@@ -1,0 +1,84 @@
+// ablation_parallel — scale-out throughput of the survey engine
+// (paper §4.1.1's scalability requirement, measured).
+//
+// Runs the full 21-destination survey sequentially and with increasing
+// worker counts, reporting wall time and speedup.  Also measures the
+// read side: parallel vs sequential per-path aggregation in the
+// selection layer.
+#include <chrono>
+#include <thread>
+
+#include "common.hpp"
+#include "measure/parallel_survey.hpp"
+
+int main(int argc, char** argv) {
+  using namespace upin;
+  const bool csv = bench::want_csv(argc, argv);
+
+  if (csv) {
+    std::printf("threads,wall_s,speedup,samples\n");
+  } else {
+    bench::print_header(
+        "Ablation — parallel survey scale-out (21 destinations, 4 iterations)",
+        "one host replica per destination; shared thread-safe database");
+    std::printf("hardware concurrency: %u (speedup is bounded by this)\n\n",
+                std::thread::hardware_concurrency());
+    std::printf("%-9s %-10s %-9s %s\n", "threads", "wall s", "speedup",
+                "samples");
+  }
+
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  double baseline = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    docdb::Database db;
+    measure::ParallelSurveyConfig config;
+    config.suite.iterations = 4;
+    config.threads = threads;
+    const auto result = measure::run_parallel_survey(env, db, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "survey failed: %s\n",
+                   result.error().message.c_str());
+      return 1;
+    }
+    if (threads == 1) baseline = result.value().wall_seconds;
+    const double speedup = baseline / result.value().wall_seconds;
+    if (csv) {
+      std::printf("%zu,%.3f,%.2f,%zu\n", threads, result.value().wall_seconds,
+                  speedup, result.value().progress.stats_inserted);
+    } else {
+      std::printf("%-9zu %-10.3f %-9.2f %zu\n", threads,
+                  result.value().wall_seconds, speedup,
+                  result.value().progress.stats_inserted);
+    }
+  }
+
+  // Read-side: aggregation of one big destination's history.
+  docdb::Database db;
+  measure::ParallelSurveyConfig config;
+  config.suite.iterations = 40;
+  config.suite.server_ids = {{5}};  // Korea: the largest path set
+  config.threads = 4;
+  if (!measure::run_parallel_survey(env, db, config).ok()) return 1;
+
+  select::PathSelector selector(db, env.topology);
+  const auto time_call = [](const auto& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const double sequential_ms =
+      time_call([&] { (void)selector.summarize(5); });
+  util::ThreadPool pool(4);
+  const double parallel_ms =
+      time_call([&] { (void)selector.summarize_parallel(5, pool); });
+  if (!csv) {
+    std::printf("\naggregation of server 5 (%d iterations):\n",
+                config.suite.iterations);
+    std::printf("  sequential summarize : %.2f ms\n", sequential_ms);
+    std::printf("  parallel summarize   : %.2f ms (4 workers)\n", parallel_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// ablation_query — secondary indexes vs collection scans.
+//
+// The selection layer queries paths_stats by path_id thousands of times
+// per aggregation.  This harness measures a Mongo-style equality query
+// with and without the hash index, at paper-scale (~3k documents) and at
+// 10x that, plus the cost of a non-indexable range query for contrast.
+#include <benchmark/benchmark.h>
+
+#include "docdb/collection.hpp"
+#include "measure/schema.hpp"
+
+namespace {
+
+using namespace upin;
+
+std::unique_ptr<docdb::Collection> make_collection(int documents, bool indexed) {
+  auto coll_ptr = std::make_unique<docdb::Collection>(measure::kPathsStats);
+  docdb::Collection& coll = *coll_ptr;
+  if (indexed) coll.create_index("path_id");
+  std::vector<docdb::Document> docs;
+  docs.reserve(static_cast<std::size_t>(documents));
+  for (int i = 0; i < documents; ++i) {
+    measure::StatsSample sample;
+    sample.path_id = std::to_string(i % 24 / 12 + 1) + "_" +
+                     std::to_string(i % 12);
+    sample.server_id = i % 24 / 12 + 1;
+    sample.timestamp =
+        util::SimTime(static_cast<std::int64_t>(i) * 1'000'000'000);
+    sample.hop_count = 6;
+    sample.isds = {16, 17};
+    sample.latency_ms = 30.0 + (i % 50);
+    sample.loss_pct = 0.0;
+    sample.target_mbps = 12.0;
+    docs.push_back(measure::stats_document(sample));
+  }
+  auto inserted = coll.insert_many(std::move(docs));
+  if (!inserted.ok()) std::abort();
+  return coll_ptr;
+}
+
+docdb::Filter path_filter(const std::string& path_id) {
+  util::JsonObject query;
+  query.set("path_id", util::Value(path_id));
+  auto filter = docdb::Filter::compile(util::Value(std::move(query)));
+  if (!filter.ok()) std::abort();
+  return std::move(filter).value();
+}
+
+void BM_EqualityIndexed(benchmark::State& state) {
+  const auto coll = make_collection(static_cast<int>(state.range(0)), true);
+  const docdb::Filter filter = path_filter("1_3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll->find(filter));
+  }
+}
+
+void BM_EqualityScan(benchmark::State& state) {
+  const auto coll = make_collection(static_cast<int>(state.range(0)), false);
+  const docdb::Filter filter = path_filter("1_3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll->find(filter));
+  }
+}
+
+void BM_RangeScan(benchmark::State& state) {
+  const auto coll = make_collection(static_cast<int>(state.range(0)), true);
+  auto filter = docdb::Filter::compile(util::Value::parse(
+      R"({"latency_ms": {"$gt": 40, "$lt": 45}})").value());
+  if (!filter.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll->find(filter.value()));
+  }
+}
+
+BENCHMARK(BM_EqualityIndexed)->Arg(3000)->Arg(30000);
+BENCHMARK(BM_EqualityScan)->Arg(3000)->Arg(30000);
+BENCHMARK(BM_RangeScan)->Arg(3000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// ablation_seeds — are the reproduced shapes seed-robust?
+//
+// Every stochastic component draws from one experiment seed.  This
+// ablation re-runs the headline shape checks (Fig 7 ordering, Fig 8
+// inversion, Fig 5 latency layering) across several seeds and reports
+// how often each shape holds.  A shape that only appears for the default
+// seed would be an artifact; all of these hold for every seed.
+#include "common.hpp"
+
+namespace {
+
+using namespace upin;
+
+struct ShapeChecks {
+  bool fig7_mtu_beats_small = false;
+  bool fig7_down_beats_up = false;
+  bool fig8_inversion = false;
+  bool fig5_three_layers = false;
+};
+
+ShapeChecks run(std::uint64_t seed) {
+  ShapeChecks checks;
+
+  // Bandwidth shapes (Germany AP).
+  const auto fleet_means = [&](double target) {
+    bench::Campaign campaign(seed);
+    measure::TestSuiteConfig config;
+    config.iterations = 8;
+    config.server_ids = {{bench::kGermanyId}};
+    config.bw_target_mbps = target;
+    campaign.run(config);
+    util::RunningMoments up64, upmtu, down64, downmtu;
+    for (const auto& s : campaign.summaries(bench::kGermanyId)) {
+      if (s.mean_bw_up_64) up64.add(*s.mean_bw_up_64);
+      if (s.mean_bw_up_mtu) upmtu.add(*s.mean_bw_up_mtu);
+      if (s.mean_bw_down_64) down64.add(*s.mean_bw_down_64);
+      if (s.mean_bw_down_mtu) downmtu.add(*s.mean_bw_down_mtu);
+    }
+    return std::array<double, 4>{up64.mean(), upmtu.mean(), down64.mean(),
+                                 downmtu.mean()};
+  };
+  const auto at12 = fleet_means(12.0);
+  checks.fig7_mtu_beats_small = at12[1] > at12[0] && at12[3] > at12[2];
+  checks.fig7_down_beats_up = at12[2] > at12[0] && at12[3] > at12[1];
+  const auto at150 = fleet_means(150.0);
+  checks.fig8_inversion = at150[0] > at150[1] && at150[2] > at150[3];
+
+  // Latency layering (Ireland).
+  {
+    bench::Campaign campaign(seed);
+    measure::TestSuiteConfig config;
+    config.iterations = 8;
+    config.server_ids = {{bench::kIrelandId}};
+    campaign.run(config);
+    double europe = 0, ohio = 0, singapore = 0;
+    for (const auto& s : campaign.summaries(bench::kIrelandId)) {
+      if (!s.latency_ms.has_value()) continue;
+      const scion::IsdAsn second_last = s.hops[s.hops.size() - 2];
+      double& slot = second_last == scion::scionlab::kOhio ? ohio
+                     : second_last == scion::scionlab::kSingapore
+                         ? singapore
+                         : europe;
+      if (slot == 0) slot = s.latency_ms->median;
+    }
+    checks.fig5_three_layers =
+        europe > 0 && ohio > 2.0 * europe && singapore > 1.3 * ohio;
+  }
+  return checks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = bench::want_csv(argc, argv);
+  const std::uint64_t seeds[] = {1, 7, 42, 1234, 987654321};
+
+  if (csv) {
+    std::printf("seed,fig7_packet_order,fig7_direction,fig8_inversion,"
+                "fig5_layers\n");
+  } else {
+    bench::print_header(
+        "Ablation — seed robustness of the reproduced shapes",
+        "each row is an independent testbed instantiation");
+    std::printf("%-12s %-18s %-16s %-16s %s\n", "seed", "Fig7 MTU>64B",
+                "Fig7 down>up", "Fig8 inversion", "Fig5 layers");
+  }
+
+  int all_hold = 0;
+  for (const std::uint64_t seed : seeds) {
+    const ShapeChecks checks = run(seed);
+    const bool everything = checks.fig7_mtu_beats_small &&
+                            checks.fig7_down_beats_up &&
+                            checks.fig8_inversion && checks.fig5_three_layers;
+    if (everything) ++all_hold;
+    if (csv) {
+      std::printf("%llu,%d,%d,%d,%d\n",
+                  static_cast<unsigned long long>(seed),
+                  checks.fig7_mtu_beats_small, checks.fig7_down_beats_up,
+                  checks.fig8_inversion, checks.fig5_three_layers);
+    } else {
+      const auto mark = [](bool ok) { return ok ? "yes" : "NO"; };
+      std::printf("%-12llu %-18s %-16s %-16s %s\n",
+                  static_cast<unsigned long long>(seed),
+                  mark(checks.fig7_mtu_beats_small),
+                  mark(checks.fig7_down_beats_up),
+                  mark(checks.fig8_inversion),
+                  mark(checks.fig5_three_layers));
+    }
+  }
+  if (!csv) {
+    std::printf("\nall shapes hold for %d/%zu seeds\n", all_hold,
+                std::size(seeds));
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// ablation_storage — the §4.2.2 batching trade-off, measured.
+//
+// The paper prefers "multiple insertions of path statistics to single
+// ones" to cut I/O overhead, accepting that a crash loses at most one
+// destination's batch.  This google-benchmark harness quantifies the
+// other side of that trade-off on the journaled (durable) store:
+// per-document insert_one vs one insert_many batch, at the batch sizes a
+// destination actually produces.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "docdb/database.hpp"
+#include "measure/schema.hpp"
+#include "scion/scionlab.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace upin;
+
+docdb::Document make_stats_doc(int i) {
+  measure::StatsSample sample;
+  sample.path_id = "2_" + std::to_string(i % 24);
+  sample.server_id = 2;
+  sample.timestamp = util::SimTime(static_cast<std::int64_t>(i) * 1'000'000'000);
+  sample.hop_count = 6;
+  sample.isds = {16, 17};
+  sample.latency_ms = 41.5;
+  sample.loss_pct = 0.0;
+  sample.jitter_ms = 0.4;
+  sample.bw_up_64 = 4.1;
+  sample.bw_down_64 = 11.2;
+  sample.bw_up_mtu = 9.0;
+  sample.bw_down_mtu = 11.7;
+  sample.target_mbps = 12.0;
+  return measure::stats_document(sample);
+}
+
+std::string temp_journal(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("upin_ablation_") + tag + ".jsonl"))
+      .string();
+}
+
+void BM_InsertOneByOne(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  const std::string path = temp_journal("one");
+  int counter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(path);
+    auto db = docdb::Database::open(path);
+    state.ResumeTiming();
+    docdb::Collection& coll = db.value()->collection(measure::kPathsStats);
+    for (int i = 0; i < batch; ++i) {
+      auto doc = make_stats_doc(counter++);
+      benchmark::DoNotOptimize(coll.insert_one(std::move(doc)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  std::filesystem::remove(path);
+}
+
+void BM_InsertBatched(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  const std::string path = temp_journal("many");
+  int counter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(path);
+    auto db = docdb::Database::open(path);
+    std::vector<docdb::Document> docs;
+    docs.reserve(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) docs.push_back(make_stats_doc(counter++));
+    state.ResumeTiming();
+    docdb::Collection& coll = db.value()->collection(measure::kPathsStats);
+    benchmark::DoNotOptimize(coll.insert_many(std::move(docs)));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  std::filesystem::remove(path);
+}
+
+BENCHMARK(BM_InsertOneByOne)->Arg(8)->Arg(24)->Arg(96);
+BENCHMARK(BM_InsertBatched)->Arg(8)->Arg(24)->Arg(96);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+#include "bw_common.hpp"
+
+#include <map>
+
+#include "common.hpp"
+
+namespace upin::bench {
+
+namespace {
+
+/// Raw per-path bandwidth samples, one vector per (direction, size).
+struct PathSamples {
+  std::vector<double> up_64, up_mtu, down_64, down_mtu;
+};
+
+}  // namespace
+
+int run_bw_figure(int argc, char** argv, double target_mbps,
+                  const char* title, const char* subtitle) {
+  const bool csv = want_csv(argc, argv);
+
+  Campaign campaign;
+  measure::TestSuiteConfig config;
+  config.iterations = 20;
+  config.server_ids = {{kGermanyId}};
+  config.bw_target_mbps = target_mbps;
+  campaign.run(config);
+
+  // Collect raw samples per path (the paper's whiskers need the spread,
+  // not just the mean).
+  std::map<std::string, PathSamples> samples;
+  campaign.db()
+      .collection(measure::kPathsStats)
+      .for_each([&](const docdb::Document& doc) {
+        const auto sample = measure::parse_stats_document(doc);
+        if (!sample.ok()) return;
+        PathSamples& slot = samples[sample.value().path_id];
+        if (sample.value().bw_up_64) slot.up_64.push_back(*sample.value().bw_up_64);
+        if (sample.value().bw_up_mtu) slot.up_mtu.push_back(*sample.value().bw_up_mtu);
+        if (sample.value().bw_down_64) slot.down_64.push_back(*sample.value().bw_down_64);
+        if (sample.value().bw_down_mtu) slot.down_mtu.push_back(*sample.value().bw_down_mtu);
+      });
+
+  const std::vector<select::PathSummary> summaries =
+      campaign.summaries(kGermanyId);
+
+  if (csv) {
+    std::printf(
+        "path_id,hops,series,median,q1,q3,whisker_low,whisker_high\n");
+  } else {
+    print_header(title, subtitle);
+    std::printf("%-6s %-4s %-10s %s\n", "path", "hops", "series",
+                "median [q1, q3] (whiskers)");
+  }
+
+  util::RunningMoments up64, upmtu, down64, downmtu;
+  for (const select::PathSummary& s : summaries) {
+    const auto it = samples.find(s.path_id);
+    if (it == samples.end()) continue;
+    const auto series = {
+        std::pair<const char*, const std::vector<double>*>{"up_64", &it->second.up_64},
+        {"up_mtu", &it->second.up_mtu},
+        {"down_64", &it->second.down_64},
+        {"down_mtu", &it->second.down_mtu},
+    };
+    for (const auto& [name, values] : series) {
+      if (values->empty()) continue;
+      const util::BoxStats box = util::box_stats(*values);
+      if (csv) {
+        std::printf("%s,%zu,%s,%.3f,%.3f,%.3f,%.3f,%.3f\n", s.path_id.c_str(),
+                    s.hop_count, name, box.median, box.q1, box.q3,
+                    box.whisker_low, box.whisker_high);
+      } else {
+        std::printf("%-6s %-4zu %-10s %7.2f  [%6.2f, %6.2f]  (%6.2f - %6.2f)\n",
+                    s.path_id.c_str(), s.hop_count, name, box.median, box.q1,
+                    box.q3, box.whisker_low, box.whisker_high);
+      }
+    }
+    if (s.mean_bw_up_64) up64.add(*s.mean_bw_up_64);
+    if (s.mean_bw_up_mtu) upmtu.add(*s.mean_bw_up_mtu);
+    if (s.mean_bw_down_64) down64.add(*s.mean_bw_down_64);
+    if (s.mean_bw_down_mtu) downmtu.add(*s.mean_bw_down_mtu);
+  }
+
+  if (!csv) {
+    std::printf("\nfleet means @ %.0f Mbps target:\n", target_mbps);
+    std::printf("  upstream   : 64B %6.2f Mbps, MTU %6.2f Mbps\n",
+                up64.mean(), upmtu.mean());
+    std::printf("  downstream : 64B %6.2f Mbps, MTU %6.2f Mbps\n",
+                down64.mean(), downmtu.mean());
+    const bool down_wins =
+        down64.mean() > up64.mean() && downmtu.mean() > upmtu.mean();
+    const bool mtu_wins = upmtu.mean() > up64.mean() &&
+                          downmtu.mean() > down64.mean();
+    const bool small_wins = up64.mean() > upmtu.mean() &&
+                            down64.mean() > downmtu.mean();
+    std::printf("  checks: downstream > upstream: %s; %s\n",
+                down_wins ? "yes" : "NO",
+                mtu_wins   ? "MTU > 64B (paper Fig 7 shape)"
+                : small_wins ? "64B > MTU (paper Fig 8 inversion)"
+                             : "no consistent packet-size ordering");
+  }
+  return 0;
+}
+
+}  // namespace upin::bench

@@ -1,0 +1,12 @@
+// bw_common.hpp — shared harness for the Fig 7 / Fig 8 bandwidth figures.
+#pragma once
+
+namespace upin::bench {
+
+/// Run a bandwidth figure at `target_mbps` against the Germany AP and
+/// print per-path mean bandwidths (up/down x 64/MTU) plus the ordering
+/// checks the paper derives.  Returns the process exit code.
+int run_bw_figure(int argc, char** argv, double target_mbps,
+                  const char* title, const char* subtitle);
+
+}  // namespace upin::bench

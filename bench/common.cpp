@@ -1,0 +1,82 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace upin::bench {
+
+double seconds_per_path_test(const measure::TestSuiteConfig& c) {
+  const double ping_s = static_cast<double>(c.ping_count) * c.ping_interval_s;
+  const double bw_s = 4.0 * c.bw_duration_s;  // {64,MTU} x {cs,sc}
+  return ping_s + bw_s + c.inter_test_gap_s;
+}
+
+Campaign::Campaign(std::uint64_t seed, simnet::NetworkConfig net_config)
+    : env_(scion::scionlab_topology()),
+      host_(std::make_unique<apps::ScionHost>(env_, seed, env_.user_as,
+                                              "10.0.8.1", net_config)) {}
+
+measure::TestSuiteProgress Campaign::run(
+    const measure::TestSuiteConfig& config) {
+  measure::TestSuite suite(*host_, db_, config);
+  const util::Status status = suite.run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 status.error().message.c_str());
+    std::abort();
+  }
+  return suite.progress();
+}
+
+std::vector<select::PathSummary> Campaign::summaries(int server_id) const {
+  select::PathSelector selector(db_, env_.topology);
+  const auto result = selector.summarize(server_id);
+  if (!result.ok()) {
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 result.error().message.c_str());
+    std::abort();
+  }
+  return result.value();
+}
+
+bool want_csv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+std::string render_box(const util::BoxStats& box) {
+  return util::format("q1 %7.2f | med %7.2f | q3 %7.2f  whisk [%7.2f, %7.2f]",
+                      box.q1, box.median, box.q3, box.whisker_low,
+                      box.whisker_high);
+}
+
+std::string ascii_box(const util::BoxStats& box, double lo, double hi,
+                      int width) {
+  std::string row(static_cast<std::size_t>(width), ' ');
+  const auto column = [&](double value) {
+    const double fraction = (value - lo) / (hi - lo);
+    const int col = static_cast<int>(fraction * (width - 1));
+    return static_cast<std::size_t>(std::clamp(col, 0, width - 1));
+  };
+  for (std::size_t c = column(box.whisker_low); c <= column(box.whisker_high);
+       ++c) {
+    row[c] = '-';
+  }
+  for (std::size_t c = column(box.q1); c <= column(box.q3); ++c) row[c] = '=';
+  row[column(box.median)] = '#';
+  return row;
+}
+
+void print_header(const std::string& title, const std::string& subtitle) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace upin::bench

@@ -1,0 +1,72 @@
+// common.hpp — shared harness for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper as a text table
+// (CSV with --csv).  A Campaign bundles testbed + host + database +
+// test-suite the way the paper's VM did, so benches differ only in the
+// destinations, targets and staging they apply.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/host.hpp"
+#include "docdb/database.hpp"
+#include "measure/testsuite.hpp"
+#include "scion/scionlab.hpp"
+#include "select/selector.hpp"
+#include "util/stats.hpp"
+
+namespace upin::bench {
+
+/// Featured destinations (paper §6): ids in the availableServers registry.
+inline constexpr int kGermanyId = 1;
+inline constexpr int kNVirginiaId = 2;
+inline constexpr int kIrelandId = 3;
+inline constexpr int kSingaporeId = 4;
+inline constexpr int kKoreaId = 5;
+
+/// Virtual seconds one path test occupies (ping 30x0.1 + 4 bwtest
+/// directions x 3 s + the configured gap) — used to stage outages.
+[[nodiscard]] double seconds_per_path_test(const measure::TestSuiteConfig& c);
+
+/// One testbed instance wired like the paper's measurement VM.
+class Campaign {
+ public:
+  explicit Campaign(std::uint64_t seed = 42,
+                    simnet::NetworkConfig net_config = {});
+
+  [[nodiscard]] const scion::ScionlabEnv& env() const noexcept { return env_; }
+  [[nodiscard]] apps::ScionHost& host() noexcept { return *host_; }
+  [[nodiscard]] docdb::Database& db() noexcept { return db_; }
+  [[nodiscard]] const docdb::Database& db() const noexcept { return db_; }
+
+  /// Run the measurement campaign; aborts the process on engine errors
+  /// (benches have no recovery story).
+  measure::TestSuiteProgress run(const measure::TestSuiteConfig& config);
+
+  /// Aggregated per-path summaries for one destination.
+  [[nodiscard]] std::vector<select::PathSummary> summaries(int server_id) const;
+
+ private:
+  scion::ScionlabEnv env_;
+  std::unique_ptr<apps::ScionHost> host_;
+  docdb::Database db_;
+};
+
+/// True when argv contains --csv.
+[[nodiscard]] bool want_csv(int argc, char** argv);
+
+/// Render box statistics as a fixed-width text cell
+/// "q1 12.3 | med 13.1 | q3 14.0  whiskers [11.8, 15.2]".
+[[nodiscard]] std::string render_box(const util::BoxStats& box);
+
+/// A crude horizontal ASCII box plot of [lo, hi] scaled to `width` cols.
+[[nodiscard]] std::string ascii_box(const util::BoxStats& box, double lo,
+                                    double hi, int width = 56);
+
+/// Print a section header.
+void print_header(const std::string& title, const std::string& subtitle);
+
+}  // namespace upin::bench

@@ -1,0 +1,62 @@
+// fig1_topology — reproduces paper Fig 1, the SCIONLab topology diagram.
+//
+// "in light orange there are Core ASes; Non-Core ASes are white colored;
+// Attachment Points are green; our AS is blue."  Emits the embedded
+// testbed as Graphviz DOT with exactly that colour scheme (render with
+// `dot -Tsvg`), plus a text census matching §3.1's description.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace upin;
+  const bool csv = bench::want_csv(argc, argv);  // csv => DOT only
+
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  const scion::Topology& topo = env.topology;
+
+  if (!csv) {
+    bench::print_header("Fig 1 — SCIONLab topology (Graphviz DOT below)",
+                        "orange = core, white = non-core, green = "
+                        "attachment point, blue = our AS");
+    std::size_t cores = 0, aps = 0, plain = 0;
+    for (const scion::AsInfo& info : topo.ases()) {
+      switch (info.role) {
+        case scion::AsRole::kCore: ++cores; break;
+        case scion::AsRole::kAttachmentPoint: ++aps; break;
+        case scion::AsRole::kNonCore: ++plain; break;
+        case scion::AsRole::kUser: break;
+      }
+    }
+    std::printf("ASes: %zu infrastructure + our AS "
+                "(%zu core, %zu attachment points, %zu non-core); "
+                "ISDs: %zu; links: %zu\n\n",
+                topo.ases().size() - 1, cores, aps, plain,
+                topo.isds().size(), topo.links().size());
+  }
+
+  std::printf("graph scionlab {\n");
+  std::printf("  layout=neato; overlap=false; splines=true;\n");
+  std::printf("  node [style=filled, fontsize=9];\n");
+  for (const scion::AsInfo& info : topo.ases()) {
+    const char* color = "white";
+    switch (info.role) {
+      case scion::AsRole::kCore: color = "orange"; break;
+      case scion::AsRole::kAttachmentPoint: color = "palegreen"; break;
+      case scion::AsRole::kUser: color = "lightblue"; break;
+      case scion::AsRole::kNonCore: color = "white"; break;
+    }
+    std::printf("  \"%s\" [fillcolor=%s, label=\"%s\\n%s\"];\n",
+                info.ia.to_string().c_str(), color, info.name.c_str(),
+                info.ia.to_string().c_str());
+  }
+  for (const scion::AsLink& link : topo.links()) {
+    const char* style = link.type == scion::LinkType::kCore ? "bold"
+                        : link.type == scion::LinkType::kPeer ? "dashed"
+                                                              : "solid";
+    std::printf("  \"%s\" -- \"%s\" [style=%s];\n",
+                link.a.to_string().c_str(), link.b.to_string().c_str(), style);
+  }
+  std::printf("}\n");
+  return 0;
+}

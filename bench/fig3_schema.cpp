@@ -1,0 +1,81 @@
+// fig3_schema — reproduces paper Fig 3, the database schema.
+//
+// "Database Schema presenting, from left-to-right, collection of paths'
+// statistics, collection of each path for each server, and servers
+// considered for the assessment."  Runs a one-iteration campaign against
+// one destination and prints, per collection, the field inventory and a
+// sample document — the live equivalent of the schema diagram.
+#include <map>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace upin;
+  const bool csv = bench::want_csv(argc, argv);
+
+  bench::Campaign campaign;
+  measure::TestSuiteConfig config;
+  config.iterations = 1;
+  config.server_ids = {{bench::kIrelandId}};
+  campaign.run(config);
+
+  if (!csv) {
+    bench::print_header(
+        "Fig 3 — database schema (availableServers, paths, paths_stats)",
+        "field inventory + one sample document per collection");
+  } else {
+    std::printf("collection,field,type,coverage_pct\n");
+  }
+
+  // Right-to-left in the paper's figure; natural build order here.
+  for (const char* name : {measure::kAvailableServers, measure::kPaths,
+                           measure::kPathsStats}) {
+    const docdb::Collection* coll = campaign.db().find_collection(name);
+    if (coll == nullptr) continue;
+
+    // Field census (dotted for one nesting level, as in `bw.up_64`).
+    std::map<std::string, std::pair<std::string, std::size_t>> fields;
+    std::size_t documents = 0;
+    coll->for_each([&](const docdb::Document& doc) {
+      ++documents;
+      for (const auto& [key, value] : doc.as_object()) {
+        if (value.is_object()) {
+          for (const auto& [inner_key, inner] : value.as_object()) {
+            auto& slot = fields[key + "." + inner_key];
+            slot.first = inner.type_name();
+            ++slot.second;
+          }
+        } else {
+          auto& slot = fields[key];
+          slot.first = value.type_name();
+          ++slot.second;
+        }
+      }
+    });
+
+    if (csv) {
+      for (const auto& [field, info] : fields) {
+        std::printf("%s,%s,%s,%.0f\n", name, field.c_str(),
+                    info.first.c_str(),
+                    100.0 * static_cast<double>(info.second) /
+                        static_cast<double>(documents));
+      }
+      continue;
+    }
+
+    std::printf("\n%s (%zu documents):\n", name, documents);
+    for (const auto& [field, info] : fields) {
+      std::printf("  %-22s %-8s present in %3.0f%%\n", field.c_str(),
+                  info.first.c_str(),
+                  100.0 * static_cast<double>(info.second) /
+                      static_cast<double>(documents));
+    }
+    docdb::FindOptions first_only;
+    first_only.limit = 1;
+    const auto sample = coll->find(docdb::Filter::match_all(), first_only);
+    if (!sample.empty()) {
+      std::printf("  sample: %s\n", sample.front().dump().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// fig4_reachability — reproduces paper Fig 4 and the §6 headline numbers.
+//
+// "Server Reachability from MY_AS#1": for each of the 21 availableServers
+// destinations, the minimum hop count of any discovered path; reported as
+// the histogram (#destinations per minimum hop count), the average path
+// length (paper: 5.66) and the share of destinations reachable within
+// 6 hops (paper: ~70%).
+#include <map>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace upin;
+  const bool csv = bench::want_csv(argc, argv);
+
+  bench::Campaign campaign;
+  const auto& servers = campaign.env().servers;
+
+  std::map<std::size_t, std::vector<int>> histogram;  // min hops -> ids
+  double hop_sum = 0.0;
+  std::size_t reachable = 0;
+  std::size_t within_six = 0;
+
+  apps::ShowpathsOptions options;
+  options.max_paths = 40;
+  options.extended = true;
+
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const int server_id = static_cast<int>(i) + 1;
+    const auto listings = campaign.host().showpaths(servers[i].ia, options);
+    if (!listings.ok() || listings.value().empty()) continue;
+    const std::size_t min_hops = listings.value().front().path.hop_count();
+    histogram[min_hops].push_back(server_id);
+    hop_sum += static_cast<double>(min_hops);
+    ++reachable;
+    if (min_hops <= 6) ++within_six;
+  }
+
+  if (!csv) {
+    bench::print_header(
+        "Fig 4 — Server Reachability from MY_AS (" +
+            campaign.env().user_as.to_string() + ")",
+        "destinations requiring a minimum hop count (paper: avg 5.66, "
+        "~70% within 6 hops)");
+    std::printf("%-10s %-14s %s\n", "min hops", "#destinations", "server ids");
+  } else {
+    std::printf("min_hops,destinations\n");
+  }
+
+  for (const auto& [hops, ids] : histogram) {
+    if (csv) {
+      std::printf("%zu,%zu\n", hops, ids.size());
+      continue;
+    }
+    std::string bar(ids.size() * 3, '#');
+    std::string id_list;
+    for (const int id : ids) {
+      if (!id_list.empty()) id_list += ",";
+      id_list += std::to_string(id);
+    }
+    std::printf("%-10zu %-3zu %-33s [%s]\n", hops, ids.size(), bar.c_str(),
+                id_list.c_str());
+  }
+
+  const double avg = hop_sum / static_cast<double>(reachable);
+  const double pct_within_six =
+      100.0 * static_cast<double>(within_six) / static_cast<double>(reachable);
+  if (csv) {
+    std::printf("# reachable=%zu avg=%.2f within6=%.1f%%\n", reachable, avg,
+                pct_within_six);
+  } else {
+    std::printf("\nreachable destinations : %zu (paper: 21)\n", reachable);
+    std::printf("average path length    : %.2f hops (paper: 5.66)\n", avg);
+    std::printf("within 6 hops          : %.1f%% (paper: ~70%%)\n",
+                pct_within_six);
+  }
+  return 0;
+}

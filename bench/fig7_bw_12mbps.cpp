@@ -1,0 +1,17 @@
+// fig7_bw_12mbps — reproduces paper Fig 7.
+//
+// "Average bandwidth values for each path, requiring a bandwidth of
+// 12Mbps from and to a Germany Server" (Magdeburg AP 19-ffaa:0:1303):
+// upstream (client->server) on the left, downstream on the right; per
+// path two whiskers — MTU-sized packets vs 64-byte packets.  Expected
+// shape (paper §6.2): upstream below downstream (access asymmetry), and
+// 64-byte bandwidth below MTU bandwidth (per-packet header overhead).
+#include "bw_common.hpp"
+
+int main(int argc, char** argv) {
+  return upin::bench::run_bw_figure(
+      argc, argv, 12.0,
+      "Fig 7 — Bandwidth per path @ 12 Mbps target, Germany AP "
+      "19-ffaa:0:1303",
+      "paper shape: downstream > upstream; MTU > 64-byte at this target");
+}

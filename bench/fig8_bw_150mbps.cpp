@@ -1,0 +1,16 @@
+// fig8_bw_150mbps — reproduces paper Fig 8.
+//
+// Same setup as Fig 7 but demanding 150 Mbps: the network saturates and
+// the ordering *inverts* — 64-byte streams achieve more than MTU-sized
+// streams (paper §6.2's counter-intuitive finding; in this model it
+// emerges from fragmentation loss coupling under overload; see
+// ablation_lossmodel for the knob that removes it).
+#include "bw_common.hpp"
+
+int main(int argc, char** argv) {
+  return upin::bench::run_bw_figure(
+      argc, argv, 150.0,
+      "Fig 8 — Bandwidth per path @ 150 Mbps target, Germany AP "
+      "19-ffaa:0:1303",
+      "paper shape: trend reverses — 64-byte beats MTU under saturation");
+}

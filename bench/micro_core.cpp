@@ -1,0 +1,112 @@
+// micro_core — performance-tracking microbenchmarks for the hot paths of
+// the library (google-benchmark): JSON parse/serialize, filter matching,
+// control-plane path combination, and a full single-destination campaign
+// iteration.  Not a paper figure; a regression harness for contributors.
+#include <benchmark/benchmark.h>
+
+#include "apps/host.hpp"
+#include "docdb/filter.hpp"
+#include "measure/schema.hpp"
+#include "measure/testsuite.hpp"
+#include "scion/beacon.hpp"
+#include "scion/scionlab.hpp"
+
+namespace {
+
+using namespace upin;
+
+const char* kStatsJson =
+    R"({"_id":"2_15_000000012000","path_id":"2_15","server_id":2,)"
+    R"("timestamp_ms":12000,"hop_count":6,"isds":[16,17],)"
+    R"("latency_ms":41.52,"loss_pct":3.3,"jitter_ms":0.61,)"
+    R"("bw":{"up_64":4.1,"down_64":11.2,"up_mtu":9.0,"down_mtu":11.7},)"
+    R"("target_mbps":12.0})";
+
+void BM_JsonParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Value::parse(kStatsJson));
+  }
+}
+
+void BM_JsonDump(benchmark::State& state) {
+  const util::Value doc = util::Value::parse(kStatsJson).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc.dump());
+  }
+}
+
+void BM_FilterCompile(benchmark::State& state) {
+  const util::Value query = util::Value::parse(
+      R"({"server_id": 2, "loss_pct": {"$lt": 10}, "isds": {"$nin": [20]}})")
+      .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(docdb::Filter::compile(query));
+  }
+}
+
+void BM_FilterMatch(benchmark::State& state) {
+  const docdb::Filter filter =
+      docdb::Filter::compile(
+          util::Value::parse(
+              R"({"server_id": 2, "loss_pct": {"$lt": 10}, "isds": 17})")
+              .value())
+          .value();
+  const util::Value doc = util::Value::parse(kStatsJson).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.matches(doc));
+  }
+}
+
+void BM_BeaconingConstruction(benchmark::State& state) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  for (auto _ : state) {
+    scion::Beaconing beacons(env.topology);
+    benchmark::DoNotOptimize(&beacons);
+  }
+}
+
+void BM_PathCombination(benchmark::State& state) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  const scion::Beaconing beacons(env.topology);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        beacons.paths(env.user_as, scion::scionlab::kIreland));
+  }
+}
+
+void BM_PingMeasurement(benchmark::State& state) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
+  const scion::SnetAddress ireland{scion::scionlab::kIreland, "172.31.43.7"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.ping(ireland, {}));
+  }
+}
+
+void BM_CampaignIteration(benchmark::State& state) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  for (auto _ : state) {
+    state.PauseTiming();
+    apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
+    docdb::Database db;
+    measure::TestSuiteConfig config;
+    config.iterations = 1;
+    config.server_ids = {{3}};
+    measure::TestSuite suite(host, db, config);
+    state.ResumeTiming();
+    if (!suite.run().ok()) std::abort();
+  }
+}
+
+BENCHMARK(BM_JsonParse);
+BENCHMARK(BM_JsonDump);
+BENCHMARK(BM_FilterCompile);
+BENCHMARK(BM_FilterMatch);
+BENCHMARK(BM_BeaconingConstruction);
+BENCHMARK(BM_PathCombination);
+BENCHMARK(BM_PingMeasurement);
+BENCHMARK(BM_CampaignIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

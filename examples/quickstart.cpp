@@ -1,0 +1,101 @@
+// quickstart — the smallest end-to-end tour of the library.
+//
+// Builds the SCIONLab-like testbed, discovers paths from the user AS to
+// the Ireland destination, probes one path, runs a bandwidth test, runs a
+// tiny measurement campaign into an in-memory database, and asks the
+// selector for the best low-latency path.
+#include <cstdio>
+
+#include "apps/host.hpp"
+#include "measure/testsuite.hpp"
+#include "scion/scionlab.hpp"
+#include "select/selector.hpp"
+
+int main() {
+  using namespace upin;
+
+  // 1. The testbed and our AS (attached to ETHZ-AP, paper §3.2).
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  apps::ScionHost host(env, /*seed=*/42, env.user_as, "10.0.8.1");
+
+  const apps::AddressInfo address = host.address();
+  std::printf("local address: %s (%s)\n", address.local.to_string().c_str(),
+              address.as_name.c_str());
+
+  // 2. `scion showpaths --extended` to AWS Ireland.
+  apps::ShowpathsOptions show;
+  show.max_paths = 40;
+  show.extended = true;
+  const auto listings = host.showpaths(scion::scionlab::kIreland, show);
+  if (!listings.ok()) {
+    std::fprintf(stderr, "showpaths failed: %s\n",
+                 listings.error().message.c_str());
+    return 1;
+  }
+  std::printf("\npaths to %s (%zu found):\n",
+              scion::scionlab::kIreland.to_string().c_str(),
+              listings.value().size());
+  for (const apps::PathListing& listing : listings.value()) {
+    std::printf("  %s\n", listing.render.c_str());
+  }
+
+  // 3. `scion ping` over the best path.
+  const scion::SnetAddress ireland{scion::scionlab::kIreland, "172.31.43.7"};
+  const auto ping = host.ping(ireland, apps::PingOptions{});
+  if (ping.ok()) {
+    std::printf("\nping via best path: %s\n", ping.value().summary().c_str());
+  }
+
+  // 4. `scion-bwtestclient -cs 3,1000,?,12Mbps`.
+  apps::BwtestOptions bw;
+  bw.cs_spec = "3,1000,?,12Mbps";
+  const auto bwtest = host.bwtestclient(ireland, bw);
+  if (bwtest.ok()) {
+    std::printf("bwtest: up %.2f Mbps, down %.2f Mbps (attempted %.2f)\n",
+                bwtest.value().client_to_server.achieved_mbps,
+                bwtest.value().server_to_client.achieved_mbps,
+                bwtest.value().client_to_server.attempted_mbps);
+  }
+
+  // 5. A small campaign into the measurement database...
+  docdb::Database db;
+  measure::TestSuiteConfig config;
+  config.iterations = 3;
+  config.server_ids = {{3}};  // Ireland
+  measure::TestSuite suite(host, db, config);
+  const auto run = suite.run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.error().message.c_str());
+    return 1;
+  }
+  std::printf("\ncampaign: %zu paths, %zu tests, %zu stats documents\n",
+              suite.progress().paths_collected,
+              suite.progress().path_tests_run,
+              suite.progress().stats_inserted);
+
+  // 6. ...and the user-driven selection on top of it.
+  select::PathSelector selector(db, env.topology);
+  select::UserRequest request;
+  request.server_id = 3;
+  request.objective = select::Objective::kLowestLatency;
+  const auto best = selector.best(request);
+  if (!best.ok()) {
+    std::fprintf(stderr, "selection failed: %s\n",
+                 best.error().message.c_str());
+    return 1;
+  }
+  std::printf("best path for [%s]:\n  %s\n  %s\n",
+              request.describe().c_str(),
+              best.value().summary.sequence.c_str(),
+              best.value().rationale.c_str());
+
+  // The same request, excluding the US for sovereignty reasons.
+  request.exclude_countries = {"US"};
+  const auto sovereign = selector.best(request);
+  if (sovereign.ok()) {
+    std::printf("best path avoiding US:\n  %s\n  %s\n",
+                sovereign.value().summary.sequence.c_str(),
+                sovereign.value().rationale.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,194 @@
+// scion_cli — the paper's command surface (§3.3) as a CLI front-end.
+//
+//   scion_cli address
+//   scion_cli showpaths <isd-as> [-m N] [--extended]
+//   scion_cli ping <isd-as,[host]> [-c N] [--interval <s>]
+//             [--sequence "<hop predicates>"] [--interactive]
+//   scion_cli traceroute <isd-as,[host]> [--sequence "..."]
+//   scion_cli bwtestclient -s <isd-as,[host]> -cs <spec> [-sc <spec>]
+//             [--sequence "..."]
+//
+// --interactive reproduces the paper's highlighted feature: "displays all
+// the available paths for the specified destination allowing the user to
+// select the desired traffic route" (a path number is read from stdin).
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/host.hpp"
+#include "scion/scionlab.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace upin;
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "scion_cli: %s\n", message.c_str());
+  return 1;
+}
+
+/// List paths and let the user pick one by number (interactive mode).
+util::Result<std::string> choose_interactively(apps::ScionHost& host,
+                                               scion::IsdAsn dst) {
+  apps::ShowpathsOptions options;
+  options.max_paths = 40;
+  options.extended = true;
+  const auto listings = host.showpaths(dst, options);
+  if (!listings.ok()) return util::Result<std::string>(listings.error());
+  std::printf("Available paths to %s:\n", dst.to_string().c_str());
+  for (const apps::PathListing& listing : listings.value()) {
+    std::printf("%s\n", listing.render.c_str());
+  }
+  std::printf("Choose path: ");
+  std::fflush(stdout);
+  std::string line;
+  if (!std::getline(std::cin, line)) {
+    return util::Error{util::ErrorCode::kInvalidArgument, "no selection"};
+  }
+  const auto index = util::parse_int(util::trim(line));
+  if (!index.has_value() || *index < 0 ||
+      static_cast<std::size_t>(*index) >= listings.value().size()) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "selection out of range"};
+  }
+  return listings.value()[static_cast<std::size_t>(*index)].path.sequence();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return fail(
+        "usage: scion_cli <address|showpaths|ping|traceroute|bwtestclient> "
+        "...");
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
+
+  const auto flag_value = [&](const std::string& name) -> const std::string* {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+      if (args[i] == name) return &args[i + 1];
+    }
+    return nullptr;
+  };
+  const auto has_flag = [&](const std::string& name) {
+    for (const std::string& arg : args) {
+      if (arg == name) return true;
+    }
+    return false;
+  };
+
+  if (command == "address") {
+    const apps::AddressInfo info = host.address();
+    std::printf("%s\n", info.local.to_string().c_str());
+    return 0;
+  }
+
+  if (command == "showpaths") {
+    if (args.empty()) return fail("showpaths needs a destination ISD-AS");
+    const auto dst = scion::IsdAsn::parse(args[0]);
+    if (!dst.ok()) return fail(dst.error().message);
+    apps::ShowpathsOptions options;
+    options.extended = has_flag("--extended");
+    if (const std::string* m = flag_value("-m")) {
+      const auto parsed = util::parse_int(*m);
+      if (!parsed.has_value() || *parsed <= 0) return fail("bad -m value");
+      options.max_paths = static_cast<std::size_t>(*parsed);
+    }
+    const auto listings = host.showpaths(dst.value(), options);
+    if (!listings.ok()) return fail(listings.error().message);
+    for (const apps::PathListing& listing : listings.value()) {
+      std::printf("%s\n", listing.render.c_str());
+    }
+    return 0;
+  }
+
+  if (command == "ping" || command == "traceroute") {
+    if (args.empty()) return fail(command + " needs a destination address");
+    const auto dst = scion::SnetAddress::parse(args[0]);
+    if (!dst.ok()) return fail(dst.error().message);
+
+    std::string sequence;
+    if (const std::string* seq = flag_value("--sequence")) sequence = *seq;
+    if (has_flag("--interactive") || has_flag("-i")) {
+      const auto chosen = choose_interactively(host, dst.value().ia);
+      if (!chosen.ok()) return fail(chosen.error().message);
+      sequence = chosen.value();
+    }
+
+    if (command == "traceroute") {
+      const auto report = host.traceroute(dst.value(), sequence);
+      if (!report.ok()) return fail(report.error().message);
+      for (std::size_t i = 0; i < report.value().trace.hops.size(); ++i) {
+        const simnet::TraceHop& hop = report.value().trace.hops[i];
+        std::printf("%2zu %-18s %s\n", i + 1,
+                    report.value().path.hops()[i + 1].ia.to_string().c_str(),
+                    hop.rtt_ms.has_value()
+                        ? util::format("%.3f ms", *hop.rtt_ms).c_str()
+                        : "*");
+      }
+      return 0;
+    }
+
+    apps::PingOptions options;
+    options.sequence = sequence;
+    if (const std::string* c = flag_value("-c")) {
+      const auto parsed = util::parse_int(*c);
+      if (!parsed.has_value() || *parsed <= 0) return fail("bad -c value");
+      options.count = static_cast<std::size_t>(*parsed);
+    }
+    if (const std::string* interval = flag_value("--interval")) {
+      const auto parsed = util::parse_double(*interval);
+      if (!parsed.has_value() || *parsed <= 0) return fail("bad --interval");
+      options.interval_s = *parsed;
+    }
+    const auto report = host.ping(dst.value(), options);
+    if (!report.ok()) return fail(report.error().message);
+    std::printf("using path: %s\n", report.value().path.to_string().c_str());
+    for (std::size_t i = 0; i < report.value().stats.rtt_ms.size(); ++i) {
+      const auto& rtt = report.value().stats.rtt_ms[i];
+      if (rtt.has_value()) {
+        std::printf("%zu bytes from %s: scmp_seq=%zu time=%.3fms\n",
+                    static_cast<std::size_t>(options.payload_bytes),
+                    dst.value().to_string().c_str(), i, *rtt);
+      } else {
+        std::printf("scmp_seq=%zu timeout\n", i);
+      }
+    }
+    std::printf("%s\n", report.value().summary().c_str());
+    return 0;
+  }
+
+  if (command == "bwtestclient") {
+    const std::string* server = flag_value("-s");
+    if (server == nullptr) return fail("bwtestclient needs -s <address>");
+    const auto dst = scion::SnetAddress::parse(*server);
+    if (!dst.ok()) return fail(dst.error().message);
+
+    apps::BwtestOptions options;
+    if (const std::string* cs = flag_value("-cs")) options.cs_spec = *cs;
+    if (const std::string* sc = flag_value("-sc")) options.sc_spec = *sc;
+    if (const std::string* seq = flag_value("--sequence")) {
+      options.sequence = *seq;
+    }
+    const auto report = host.bwtestclient(dst.value(), options);
+    if (!report.ok()) return fail(report.error().message);
+    std::printf("path: %s\n", report.value().path.to_string().c_str());
+    std::printf("C->S (%s): attempted %.2f Mbps, achieved %.2f Mbps\n",
+                report.value().cs_resolved.to_string().c_str(),
+                report.value().client_to_server.attempted_mbps,
+                report.value().client_to_server.achieved_mbps);
+    std::printf("S->C (%s): attempted %.2f Mbps, achieved %.2f Mbps\n",
+                report.value().sc_resolved.to_string().c_str(),
+                report.value().server_to_client.attempted_mbps,
+                report.value().server_to_client.achieved_mbps);
+    return 0;
+  }
+
+  return fail("unknown command: " + command);
+}

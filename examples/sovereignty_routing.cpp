@@ -1,0 +1,86 @@
+// sovereignty_routing — the paper's governance use case (§1, §6):
+// "devices to exclude for geographical or sovereignty reasons".
+//
+// A European research group wants to reach the five featured servers
+// while (a) never transiting the United States, then (b) never touching
+// AWS infrastructure at all.  The example runs a measurement campaign,
+// then shows — per destination — what each policy costs in latency and
+// which requests are simply unsatisfiable (the selector reports why).
+#include <cstdio>
+
+#include "apps/host.hpp"
+#include "measure/testsuite.hpp"
+#include "scion/scionlab.hpp"
+#include "select/selector.hpp"
+
+namespace {
+
+using namespace upin;
+
+void report(const select::PathSelector& selector, int server_id,
+            const char* label, const select::UserRequest& request) {
+  const auto best = selector.best(request);
+  if (!best.ok()) {
+    std::printf("    %-18s : unsatisfiable (%s)\n", label,
+                best.error().message.c_str());
+    return;
+  }
+  std::printf("    %-18s : %s, %s\n", label,
+              best.value().summary.path_id.c_str(),
+              best.value().rationale.c_str());
+  (void)server_id;
+}
+
+}  // namespace
+
+int main() {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
+  docdb::Database db;
+
+  std::printf("measuring the five featured destinations...\n");
+  measure::TestSuiteConfig config;
+  config.iterations = 10;
+  config.server_ids = {{1, 2, 3, 4, 5}};
+  measure::TestSuite suite(host, db, config);
+  if (!suite.run().ok()) {
+    std::fprintf(stderr, "campaign failed\n");
+    return 1;
+  }
+  std::printf("collected %zu samples over %zu paths\n\n",
+              suite.progress().stats_inserted,
+              suite.progress().paths_collected);
+
+  const select::PathSelector selector(db, env.topology);
+  const char* names[] = {"Germany", "N. Virginia", "Ireland", "Singapore",
+                         "Korea"};
+
+  for (int server_id = 1; server_id <= 5; ++server_id) {
+    std::printf("destination %d (%s):\n", server_id, names[server_id - 1]);
+
+    select::UserRequest unconstrained;
+    unconstrained.server_id = server_id;
+    unconstrained.objective = select::Objective::kLowestLatency;
+    report(selector, server_id, "no constraints", unconstrained);
+
+    select::UserRequest no_us = unconstrained;
+    no_us.exclude_countries = {"US"};
+    report(selector, server_id, "avoid US", no_us);
+
+    select::UserRequest no_aws = unconstrained;
+    no_aws.exclude_operators = {"AWS"};
+    report(selector, server_id, "avoid AWS", no_aws);
+
+    select::UserRequest eu_only = unconstrained;
+    eu_only.allowed_isds = {16, 17, 19};  // European ISDs + AWS's own
+    report(selector, server_id, "EU ISDs only", eu_only);
+
+    std::printf("\n");
+  }
+
+  std::printf(
+      "note: N. Virginia is unreachable without touching the US, and every\n"
+      "AWS destination is unsatisfiable under 'avoid AWS' — the selector\n"
+      "surfaces the reason per path instead of silently relaxing policy.\n");
+  return 0;
+}

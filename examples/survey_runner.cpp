@@ -1,0 +1,151 @@
+// survey_runner — the paper's test_suite.sh as a single binary (§5.1).
+//
+//   survey_runner <iterations> [--skip] [--some_only]
+//                 [--db <journal.jsonl>] [--signed] [--target <Mbps>]
+//                 [--servers 1,3,5]
+//
+// Runs the three-phase campaign against the embedded SCIONLab-like
+// testbed: paths collection, test execution, batched storage.  With
+// --db the measurement database is durable (JSONL journal); with
+// --signed every batch is signed with a core-certified one-time key and
+// verified by the database's write guard.
+#include <cstdio>
+#include <cstring>
+
+#include "apps/host.hpp"
+#include "measure/testsuite.hpp"
+#include "scion/scionlab.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <iterations> [--skip] [--some_only] [--resume] "
+               "[--db <path>] [--signed] [--target <Mbps>] "
+               "[--servers 1,3,5]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upin;
+
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  const auto iterations = util::parse_int(argv[1]);
+  if (!iterations.has_value() || *iterations <= 0) {
+    std::fprintf(stderr, "iterations must be a positive integer\n");
+    return 2;
+  }
+
+  measure::TestSuiteConfig config;
+  config.iterations = static_cast<int>(*iterations);
+  std::string db_path;
+  bool signed_writes = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--skip") {
+      config.skip_collection = true;
+    } else if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg == "--some_only") {
+      config.some_only = true;
+    } else if (arg == "--signed") {
+      signed_writes = true;
+    } else if (arg == "--db" && i + 1 < argc) {
+      db_path = argv[++i];
+    } else if (arg == "--target" && i + 1 < argc) {
+      const auto target = util::parse_double(argv[++i]);
+      if (!target.has_value() || *target <= 0) {
+        std::fprintf(stderr, "bad --target\n");
+        return 2;
+      }
+      config.bw_target_mbps = *target;
+    } else if (arg == "--servers" && i + 1 < argc) {
+      std::vector<int> ids;
+      for (const std::string& token : util::split(argv[++i], ',')) {
+        const auto id = util::parse_int(token);
+        if (!id.has_value()) {
+          std::fprintf(stderr, "bad --servers list\n");
+          return 2;
+        }
+        ids.push_back(static_cast<int>(*id));
+      }
+      config.server_ids = ids;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  util::Log::set_level(util::LogLevel::kInfo);
+
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
+  std::printf("local AS: %s, attached to %s\n",
+              host.address().local.to_string().c_str(),
+              scion::scionlab::kEthzAp.to_string().c_str());
+
+  // Database: in-memory by default, durable with --db.
+  std::unique_ptr<docdb::Database> durable;
+  docdb::Database memory;
+  docdb::Database* db = &memory;
+  if (!db_path.empty()) {
+    auto opened = docdb::Database::open(db_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open db: %s\n",
+                   opened.error().message.c_str());
+      return 1;
+    }
+    durable = std::move(opened).value();
+    db = durable.get();
+    std::printf("durable database: %s\n", db_path.c_str());
+  }
+
+  scion::TrustStore trust;
+  measure::TestSuite suite(host, *db, config);
+  if (signed_writes) {
+    const scion::IsdAsn core{17, scion::make_asn(0, 0x1101)};
+    if (!trust.register_core(core).ok()) {
+      std::fprintf(stderr, "trust setup failed\n");
+      return 1;
+    }
+    db->set_write_guard(trust.make_write_guard());
+    suite.enable_signed_writes(trust);
+    std::printf("signed writes: every batch certified by %s\n",
+                core.to_string().c_str());
+  }
+
+  const util::Status run = suite.run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.error().message.c_str());
+    return 1;
+  }
+
+  const measure::TestSuiteProgress& p = suite.progress();
+  std::printf("\ncampaign finished:\n");
+  std::printf("  destinations visited : %zu\n", p.destinations_visited);
+  std::printf("  paths collected      : %zu (%zu stale deleted)\n",
+              p.paths_collected, p.paths_deleted);
+  std::printf("  path tests run       : %zu\n", p.path_tests_run);
+  std::printf("  ping failures        : %zu\n", p.ping_failures);
+  std::printf("  bwtest failures      : %zu\n", p.bwtest_failures);
+  std::printf("  stats inserted       : %zu in %zu batches (%zu rejected)\n",
+              p.stats_inserted, p.batches_inserted, p.batches_rejected);
+  std::printf("  virtual time         : %.1f min\n",
+              util::to_seconds(host.clock().now()) / 60.0);
+
+  if (durable != nullptr) {
+    if (const util::Status compacted = durable->compact(); !compacted.ok()) {
+      std::fprintf(stderr, "compact failed: %s\n",
+                   compacted.error().message.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// upin_session — the UPIN framework loop end to end (paper §2.1, §7).
+//
+// Domain Explorer publishes node knowledge; the user states an intent
+// ("video call to Ireland, never transiting the US"); the Recommender
+// maps it to a request; the Path Controller pins the winning path; the
+// Path Tracer records where traffic actually went; and the Path Verifier
+// checks the intent against trace + fresh measurements — including the
+// paper's caveat that hops in non-UPIN-enabled domains make a passing
+// verdict merely "uncertain".
+#include <cstdio>
+
+#include "measure/testsuite.hpp"
+#include "scion/scionlab.hpp"
+#include "upin/controller.hpp"
+#include "upin/explorer.hpp"
+#include "upin/recommend.hpp"
+#include "upin/verifier.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace upin;
+
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
+  docdb::Database db;
+
+  // Knowledge base + measurement history.
+  upinfw::DomainExplorer explorer(db, env.topology);
+  if (!explorer.refresh().ok()) return 1;
+  std::printf("domain explorer published %zu nodes\n",
+              explorer.published_count());
+
+  measure::TestSuiteConfig config;
+  config.iterations = 12;
+  config.server_ids = {{3}};  // Ireland
+  measure::TestSuite suite(host, db, config);
+  if (!suite.run().ok()) return 1;
+
+  // The user's intent.
+  const select::PathSelector selector(db, env.topology);
+  select::UserRequest base;
+  base.exclude_countries = {"US"};
+  const upinfw::Recommender recommender(selector);
+  const auto recommendation = recommender.recommend(
+      upinfw::IntentProfile::kVideoCall, 3, 3, base);
+  if (!recommendation.ok()) {
+    std::fprintf(stderr, "no recommendation: %s\n",
+                 recommendation.error().message.c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", recommendation.value().summary.c_str());
+  for (const select::RankedPath& ranked : recommendation.value().ranked) {
+    std::printf("  option %-6s %s\n", ranked.summary.path_id.c_str(),
+                ranked.rationale.c_str());
+  }
+
+  // Path Controller pins the winner.
+  upinfw::PathController controller(host, selector);
+  const auto applied = controller.apply(recommendation.value().request);
+  if (!applied.ok()) return 1;
+  std::printf("\ncontroller pinned %s for destination 3\n",
+              applied.value().chosen.summary.path_id.c_str());
+
+  // Path Tracer records where the traffic actually goes.
+  upinfw::PathTracer tracer(host, db);
+  const auto trace = tracer.trace_and_store(
+      3, applied.value().chosen.summary.path_id, env.servers[2],
+      applied.value().chosen.summary.sequence);
+  if (!trace.ok()) return 1;
+  std::printf("trace (%s):\n", trace.value().complete ? "complete" : "partial");
+  for (const auto& [ia, rtt] : trace.value().hops) {
+    std::printf("  %-18s %s\n", ia.to_string().c_str(),
+                rtt.has_value() ? util::format("%.2f ms", *rtt).c_str()
+                                : "no answer");
+  }
+
+  // Path Verifier: only ISD 17 (our domain) and 19 are UPIN-enabled, so
+  // the AWS hops leave the verdict "uncertain" — the paper's caveat.
+  upinfw::PathVerifier verifier(env.topology);
+  verifier.enable_isd(17);
+  verifier.enable_isd(19);
+
+  const auto fresh = controller.ping(3);
+  if (!fresh.ok()) return 1;
+  select::UserRequest checked = applied.value().request;
+  checked.max_latency_ms = 150.0;
+  checked.max_loss_pct = 5.0;
+  const upinfw::VerificationReport report =
+      verifier.verify(checked, trace.value(), fresh.value().stats);
+
+  std::printf("\nverification verdict: %s\n",
+              upinfw::to_string(report.verdict));
+  for (const upinfw::Check& check : report.checks) {
+    std::printf("  [%s] %-14s %s\n", check.passed ? "ok" : "FAIL",
+                check.name.c_str(), check.detail.c_str());
+  }
+  if (!report.unverifiable_hops.empty()) {
+    std::printf("  unverifiable hops (non-UPIN domains):");
+    for (const scion::IsdAsn ia : report.unverifiable_hops) {
+      std::printf(" %s", ia.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

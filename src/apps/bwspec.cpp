@@ -1,0 +1,145 @@
+#include "apps/bwspec.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace upin::apps {
+
+using util::ErrorCode;
+using util::Result;
+
+Result<BwSpec> BwSpec::parse(std::string_view text) {
+  const std::vector<std::string> parts = util::split(text, ',');
+  if (parts.size() != 4) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "bwtest spec needs 4 comma-separated fields"};
+  }
+  BwSpec spec;
+  int wildcards = 0;
+
+  const auto numeric = [&](std::string_view field)
+      -> Result<std::optional<double>> {
+    const std::string_view trimmed = util::trim(field);
+    if (trimmed == "?") {
+      ++wildcards;
+      return std::optional<double>{};
+    }
+    const auto value = util::parse_double(trimmed);
+    if (!value.has_value()) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "bad bwtest field: " + std::string(field)};
+    }
+    return std::optional<double>{*value};
+  };
+
+  Result<std::optional<double>> duration = numeric(parts[0]);
+  if (!duration.ok()) return Result<BwSpec>(duration.error());
+  spec.duration_s = duration.value();
+
+  const std::string_view size_field = util::trim(parts[1]);
+  if (size_field == "MTU" || size_field == "mtu") {
+    spec.packet_is_mtu = true;
+  } else {
+    Result<std::optional<double>> size = numeric(parts[1]);
+    if (!size.ok()) return Result<BwSpec>(size.error());
+    spec.packet_bytes = size.value();
+  }
+
+  Result<std::optional<double>> count = numeric(parts[2]);
+  if (!count.ok()) return Result<BwSpec>(count.error());
+  spec.packet_count = count.value();
+
+  // Bandwidth with optional unit suffix.
+  std::string_view bw_field = util::trim(parts[3]);
+  double unit = 1.0;  // Mbps
+  if (bw_field == "?") {
+    ++wildcards;
+  } else {
+    if (util::ends_with(bw_field, "Mbps") || util::ends_with(bw_field, "mbps")) {
+      bw_field = bw_field.substr(0, bw_field.size() - 4);
+    } else if (util::ends_with(bw_field, "kbps")) {
+      bw_field = bw_field.substr(0, bw_field.size() - 4);
+      unit = 1e-3;
+    } else if (util::ends_with(bw_field, "bps")) {
+      bw_field = bw_field.substr(0, bw_field.size() - 3);
+      unit = 1e-6;
+    }
+    const auto value = util::parse_double(util::trim(bw_field));
+    if (!value.has_value()) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "bad bandwidth field: " + std::string(parts[3])};
+    }
+    spec.target_mbps = *value * unit;
+  }
+
+  if (wildcards > 1) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "at most one '?' wildcard is allowed"};
+  }
+  return spec;
+}
+
+Result<BwSpec> BwSpec::resolve(double path_mtu_bytes) const {
+  BwSpec resolved = *this;
+  if (resolved.packet_is_mtu) {
+    resolved.packet_bytes = path_mtu_bytes;
+  }
+
+  const int known = (resolved.duration_s.has_value() ? 1 : 0) +
+                    (resolved.packet_bytes.has_value() ? 1 : 0) +
+                    (resolved.packet_count.has_value() ? 1 : 0) +
+                    (resolved.target_mbps.has_value() ? 1 : 0);
+  if (known < 3) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "bwtest spec is under-constrained"};
+  }
+
+  // bandwidth_bps = count * size * 8 / duration
+  if (!resolved.packet_count.has_value()) {
+    resolved.packet_count =
+        std::floor(*resolved.target_mbps * 1e6 * *resolved.duration_s /
+                   (8.0 * *resolved.packet_bytes));
+  } else if (!resolved.target_mbps.has_value()) {
+    resolved.target_mbps = *resolved.packet_count * *resolved.packet_bytes *
+                           8.0 / *resolved.duration_s / 1e6;
+  } else if (!resolved.duration_s.has_value()) {
+    resolved.duration_s = *resolved.packet_count * *resolved.packet_bytes *
+                          8.0 / (*resolved.target_mbps * 1e6);
+  } else if (!resolved.packet_bytes.has_value()) {
+    resolved.packet_bytes = *resolved.target_mbps * 1e6 *
+                            *resolved.duration_s /
+                            (8.0 * *resolved.packet_count);
+  }
+
+  if (*resolved.duration_s <= 0.0 || *resolved.duration_s > 10.0) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "duration must be in (0, 10] seconds"};
+  }
+  if (*resolved.packet_bytes < 4.0) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "packet size must be at least 4 bytes"};
+  }
+  if (*resolved.target_mbps <= 0.0) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "target bandwidth must be positive"};
+  }
+  return resolved;
+}
+
+std::string BwSpec::to_string() const {
+  const auto field = [](const std::optional<double>& value) -> std::string {
+    if (!value.has_value()) return "?";
+    if (*value == std::floor(*value)) {
+      return std::to_string(static_cast<long long>(*value));
+    }
+    return util::format("%g", *value);
+  };
+  std::string size = packet_is_mtu && !packet_bytes.has_value()
+                         ? "MTU"
+                         : field(packet_bytes);
+  return field(duration_s) + "," + size + "," + field(packet_count) + "," +
+         (target_mbps.has_value() ? util::format("%gMbps", *target_mbps) : "?");
+}
+
+}  // namespace upin::apps

@@ -1,0 +1,40 @@
+// bwspec.hpp — the bwtester parameter mini-language.
+//
+// `scion-bwtestclient` takes test parameters as "<duration>,<size>,<count>,
+// <bandwidth>" with `?` wildcards resolved from the other three (paper
+// §3.3: "5,100,?,150Mbps specifies that the packet size is 100 bytes,
+// sent over 5 seconds, resulting in a bandwidth of 150Mbps").  Size may
+// also be the literal "MTU", resolved against the path MTU at run time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace upin::apps {
+
+/// A parsed bwtest parameter set.  Unset fields were `?` wildcards.
+struct BwSpec {
+  std::optional<double> duration_s;
+  std::optional<double> packet_bytes;  ///< unset also when "MTU" was given
+  bool packet_is_mtu = false;          ///< size given as literal "MTU"
+  std::optional<double> packet_count;
+  std::optional<double> target_mbps;
+
+  /// Parse "3,64,?,12Mbps".  At most one `?`; bandwidth accepts a
+  /// trailing "Mbps"/"kbps"/"bps" unit (default Mbps).
+  [[nodiscard]] static util::Result<BwSpec> parse(std::string_view text);
+
+  /// Fill wildcards given the path MTU: packet size resolves from "MTU";
+  /// the remaining unknown resolves from bandwidth = count*size*8/duration.
+  /// Fails when the spec is over- or under-constrained or out of range
+  /// (duration must be in (0, 10] s, size >= 4 bytes — §3.3).
+  [[nodiscard]] util::Result<BwSpec> resolve(double path_mtu_bytes) const;
+
+  /// Render back to the "d,s,n,bwMbps" form.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace upin::apps

@@ -1,0 +1,230 @@
+#include "apps/host.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace upin::apps {
+
+using scion::IsdAsn;
+using scion::Path;
+using scion::SnetAddress;
+using util::ErrorCode;
+using util::Result;
+using util::SimTime;
+
+ScionHost::ScionHost(const scion::ScionlabEnv& env, std::uint64_t seed,
+                     IsdAsn local_as, std::string local_host_ip,
+                     simnet::NetworkConfig net_config)
+    : env_(env),
+      beaconing_(env.topology),
+      compiled_(env.topology.compile(seed, net_config)),
+      local_as_(local_as),
+      local_host_ip_(std::move(local_host_ip)) {}
+
+AddressInfo ScionHost::address() const {
+  AddressInfo info;
+  info.local = SnetAddress{local_as_, local_host_ip_};
+  if (const scion::AsInfo* as_info = env_.topology.find_as(local_as_)) {
+    info.as_name = as_info->name;
+    info.role = as_info->role;
+  }
+  return info;
+}
+
+Result<std::vector<PathListing>> ScionHost::showpaths(
+    IsdAsn dst, const ShowpathsOptions& options) const {
+  if (env_.topology.find_as(dst) == nullptr) {
+    return util::Error{ErrorCode::kNotFound,
+                       "unknown destination AS " + dst.to_string()};
+  }
+  std::vector<Path> paths = beaconing_.paths(local_as_, dst);
+  if (paths.size() > options.max_paths) paths.resize(options.max_paths);
+
+  std::vector<PathListing> listings;
+  listings.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    PathListing listing;
+    listing.path = paths[i];
+    // Path status reflects current liveness: a hop inside an active hard
+    // outage window makes the path show "timeout", as in the real
+    // `showpaths` output.
+    for (const scion::PathHop& hop : listing.path.hops()) {
+      const auto node = compiled_.node_of.find(hop.ia);
+      if (node != compiled_.node_of.end() &&
+          compiled_.network.outage_drop(node->second, clock_.now()) >= 1.0) {
+        listing.path.set_status("timeout");
+        break;
+      }
+    }
+    std::string render =
+        util::format("[%2zu] %s", i, listing.path.sequence().c_str());
+    if (options.extended) {
+      render += util::format(
+          " MTU: %d, Status: %s, Latency: %dms",
+          static_cast<int>(listing.path.mtu()), listing.path.status().c_str(),
+          static_cast<int>(util::to_millis(listing.path.static_latency())));
+    }
+    listing.render = std::move(render);
+    listings.push_back(std::move(listing));
+  }
+  return listings;
+}
+
+Result<Path> ScionHost::pick_path(IsdAsn dst,
+                                  const std::string& sequence) const {
+  const std::vector<Path> paths = beaconing_.paths(local_as_, dst);
+  if (paths.empty()) {
+    return util::Error{ErrorCode::kUnreachable,
+                       "no path to " + dst.to_string()};
+  }
+  if (sequence.empty()) return paths.front();
+
+  Result<Path> wanted = Path::parse_sequence(sequence);
+  if (!wanted.ok()) return wanted;
+  for (const Path& candidate : paths) {
+    if (candidate.hops().size() != wanted.value().hops().size()) continue;
+    bool same = true;
+    for (std::size_t i = 0; i < candidate.hops().size(); ++i) {
+      if (candidate.hops()[i].ia != wanted.value().hops()[i].ia) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return candidate;
+  }
+  return util::Error{ErrorCode::kNotFound,
+                     "no discovered path matches sequence: " + sequence};
+}
+
+Result<std::vector<simnet::NodeId>> ScionHost::route_of(
+    const Path& path) const {
+  std::vector<simnet::NodeId> route;
+  route.reserve(path.hops().size());
+  for (const scion::PathHop& hop : path.hops()) {
+    const auto it = compiled_.node_of.find(hop.ia);
+    if (it == compiled_.node_of.end()) {
+      return util::Error{ErrorCode::kNotFound,
+                         "AS not in compiled network: " + hop.ia.to_string()};
+    }
+    route.push_back(it->second);
+  }
+  return route;
+}
+
+std::string PingReport::summary() const {
+  const auto avg = stats.avg_ms();
+  return util::format(
+      "%zu packets sent, %zu lost (%.1f%%), avg RTT %s", stats.sent(),
+      stats.lost(), stats.loss_pct(),
+      avg.has_value() ? util::format("%.2fms", *avg).c_str() : "n/a");
+}
+
+Result<PingReport> ScionHost::ping(const SnetAddress& dst,
+                                   const PingOptions& options) {
+  Result<Path> path = pick_path(dst.ia, options.sequence);
+  if (!path.ok()) return Result<PingReport>(path.error());
+  Result<std::vector<simnet::NodeId>> route = route_of(path.value());
+  if (!route.ok()) return Result<PingReport>(route.error());
+
+  simnet::PingOptions ping_options;
+  ping_options.count = options.count;
+  ping_options.interval = util::sim_seconds(options.interval_s);
+  ping_options.payload_bytes = options.payload_bytes;
+
+  Result<simnet::PingStats> stats =
+      compiled_.network.ping(route.value(), ping_options, clock_.now());
+  if (!stats.ok()) return Result<PingReport>(stats.error());
+
+  // The command occupies the timeline for count * interval.
+  clock_.advance(util::sim_seconds(static_cast<double>(options.count) *
+                                   options.interval_s));
+
+  PingReport report;
+  report.path = std::move(path).value();
+  report.stats = std::move(stats).value();
+  return report;
+}
+
+Result<TracerouteReport> ScionHost::traceroute(const SnetAddress& dst,
+                                               const std::string& sequence) {
+  Result<Path> path = pick_path(dst.ia, sequence);
+  if (!path.ok()) return Result<TracerouteReport>(path.error());
+  Result<std::vector<simnet::NodeId>> route = route_of(path.value());
+  if (!route.ok()) return Result<TracerouteReport>(route.error());
+
+  Result<simnet::TraceResult> trace =
+      compiled_.network.traceroute(route.value(), clock_.now());
+  if (!trace.ok()) return Result<TracerouteReport>(trace.error());
+  clock_.advance(util::sim_seconds(1.0));
+
+  TracerouteReport report;
+  report.path = std::move(path).value();
+  report.trace = std::move(trace).value();
+  return report;
+}
+
+Result<BwtestReport> ScionHost::bwtestclient(const SnetAddress& server,
+                                             const BwtestOptions& options) {
+  Result<Path> path = pick_path(server.ia, options.sequence);
+  if (!path.ok()) return Result<BwtestReport>(path.error());
+  Result<std::vector<simnet::NodeId>> route = route_of(path.value());
+  if (!route.ok()) return Result<BwtestReport>(route.error());
+
+  Result<BwSpec> cs_parsed = BwSpec::parse(options.cs_spec);
+  if (!cs_parsed.ok()) return Result<BwtestReport>(cs_parsed.error());
+  Result<BwSpec> cs = cs_parsed.value().resolve(path.value().mtu());
+  if (!cs.ok()) return Result<BwtestReport>(cs.error());
+
+  // "The parameters for the client-to-server direction ... by default,
+  // they are used for the server-to-client too" (§3.3).
+  Result<BwSpec> sc_parsed = BwSpec::parse(
+      options.sc_spec.empty() ? options.cs_spec : options.sc_spec);
+  if (!sc_parsed.ok()) return Result<BwtestReport>(sc_parsed.error());
+  Result<BwSpec> sc = sc_parsed.value().resolve(path.value().mtu());
+  if (!sc.ok()) return Result<BwtestReport>(sc.error());
+
+  const auto run = [&](const BwSpec& spec,
+                       const std::vector<simnet::NodeId>& direction_route)
+      -> Result<simnet::BwtestResult> {
+    simnet::BwtestOptions bw_options;
+    bw_options.duration_s = *spec.duration_s;
+    bw_options.packet_bytes = *spec.packet_bytes;
+    bw_options.target_mbps = *spec.target_mbps;
+    Result<simnet::BwtestResult> result =
+        compiled_.network.bwtest(direction_route, bw_options, clock_.now());
+    // The test occupies the timeline whether it succeeded or the server
+    // errored mid-run; only argument errors cost nothing.
+    if (result.ok() ||
+        result.error().code == util::ErrorCode::kBadResponse) {
+      clock_.advance(util::sim_seconds(*spec.duration_s));
+    }
+    return result;
+  };
+
+  Result<simnet::BwtestResult> cs_result = run(cs.value(), route.value());
+  if (!cs_result.ok()) return Result<BwtestReport>(cs_result.error());
+
+  std::vector<simnet::NodeId> reverse_route(route.value().rbegin(),
+                                            route.value().rend());
+  Result<simnet::BwtestResult> sc_result = run(sc.value(), reverse_route);
+  if (!sc_result.ok()) return Result<BwtestReport>(sc_result.error());
+
+  BwtestReport report;
+  report.path = std::move(path).value();
+  report.cs_resolved = std::move(cs).value();
+  report.sc_resolved = std::move(sc).value();
+  report.client_to_server = cs_result.value();
+  report.server_to_client = sc_result.value();
+  return report;
+}
+
+void ScionHost::inject_outage(IsdAsn as, SimTime start, SimTime end,
+                              double drop_prob) {
+  const auto it = compiled_.node_of.find(as);
+  if (it == compiled_.node_of.end()) return;
+  compiled_.network.add_outage(
+      simnet::OutageWindow{it->second, start, end, drop_prob});
+}
+
+}  // namespace upin::apps

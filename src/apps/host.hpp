@@ -1,0 +1,139 @@
+// host.hpp — the SCION end host and its application surface.
+//
+// A ScionHost binds the testbed (topology + compiled network + virtual
+// clock) to one local AS and exposes the applications of paper §3.3 as
+// library calls with the same semantics:
+//
+//   address()        ~ `scion address`
+//   showpaths()      ~ `scion showpaths --extended -m N`
+//   ping()           ~ `scion ping <dst> -c N --interval I --sequence S`
+//   traceroute()     ~ `scion traceroute <dst> --sequence S`
+//   bwtestclient()   ~ `scion-bwtestclient -s <dst> -cs SPEC [-sc SPEC]`
+//
+// Each call consumes virtual time exactly like the real command consumes
+// wall time (30 pings at 0.1 s ≈ 3 s, one bwtest = its duration), so a
+// measurement campaign lays its samples on a faithful shared timeline —
+// the property behind the Fig 9 congestion-episode reading.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/bwspec.hpp"
+#include "scion/beacon.hpp"
+#include "scion/scionlab.hpp"
+#include "util/clock.hpp"
+
+namespace upin::apps {
+
+/// Result of `scion address`.
+struct AddressInfo {
+  scion::SnetAddress local;
+  std::string as_name;
+  scion::AsRole role = scion::AsRole::kUser;
+};
+
+struct ShowpathsOptions {
+  std::size_t max_paths = 10;  ///< -m; the paper uses 40
+  bool extended = false;       ///< adds MTU / status / latency metadata
+};
+
+/// One row of showpaths output.
+struct PathListing {
+  scion::Path path;
+  std::string render;  ///< the printed line (interfaces, and metadata if extended)
+};
+
+struct PingOptions {
+  std::size_t count = 30;               ///< -c
+  double interval_s = 0.1;              ///< --interval
+  std::string sequence;                 ///< --sequence hop predicates; empty = best path
+  double payload_bytes = 64.0;
+};
+
+struct PingReport {
+  scion::Path path;                     ///< the path actually probed
+  simnet::PingStats stats;
+  [[nodiscard]] std::string summary() const;  ///< "30 packets, 3.3% loss, avg 41.2ms"
+};
+
+struct TracerouteReport {
+  scion::Path path;
+  simnet::TraceResult trace;
+};
+
+struct BwtestOptions {
+  std::string cs_spec = "3,1000,?,12Mbps";  ///< -cs client->server
+  std::string sc_spec;                      ///< -sc; empty = reuse cs (§3.3)
+  std::string sequence;                     ///< hop predicates; empty = best path
+};
+
+struct BwtestReport {
+  scion::Path path;
+  BwSpec cs_resolved;
+  BwSpec sc_resolved;
+  simnet::BwtestResult client_to_server;
+  simnet::BwtestResult server_to_client;
+};
+
+/// A host inside the testbed.  Not copyable; shares the env and clock by
+/// reference (one campaign = one host on one timeline).
+class ScionHost {
+ public:
+  /// `local_host_ip` is this host's address within its AS.
+  ScionHost(const scion::ScionlabEnv& env, std::uint64_t seed,
+            scion::IsdAsn local_as, std::string local_host_ip,
+            simnet::NetworkConfig net_config = {});
+
+  ScionHost(const ScionHost&) = delete;
+  ScionHost& operator=(const ScionHost&) = delete;
+
+  [[nodiscard]] AddressInfo address() const;
+
+  /// Paths to `dst`, ranked by hop count (then static latency), at most
+  /// `options.max_paths` — the `scion showpaths` contract.
+  [[nodiscard]] util::Result<std::vector<PathListing>> showpaths(
+      scion::IsdAsn dst, const ShowpathsOptions& options) const;
+
+  [[nodiscard]] util::Result<PingReport> ping(const scion::SnetAddress& dst,
+                                              const PingOptions& options);
+
+  [[nodiscard]] util::Result<TracerouteReport> traceroute(
+      const scion::SnetAddress& dst, const std::string& sequence = {});
+
+  [[nodiscard]] util::Result<BwtestReport> bwtestclient(
+      const scion::SnetAddress& server, const BwtestOptions& options);
+
+  /// The shared virtual clock (exposed so campaigns can schedule pauses).
+  [[nodiscard]] util::VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const util::VirtualClock& clock() const noexcept { return clock_; }
+
+  /// Inject an outage on an AS (benchmark staging for Fig 9).
+  void inject_outage(scion::IsdAsn as, util::SimTime start, util::SimTime end,
+                     double drop_prob = 1.0);
+
+  [[nodiscard]] const scion::ScionlabEnv& env() const noexcept { return env_; }
+  [[nodiscard]] const scion::Beaconing& beaconing() const noexcept { return beaconing_; }
+  [[nodiscard]] const simnet::Network& network() const noexcept {
+    return compiled_.network;
+  }
+
+  /// Translate a path into the simnet route of its ASes.
+  [[nodiscard]] util::Result<std::vector<simnet::NodeId>> route_of(
+      const scion::Path& path) const;
+
+ private:
+  /// Path selected by `sequence` (validated against discovered paths), or
+  /// the best (first-ranked) path when the sequence is empty.
+  [[nodiscard]] util::Result<scion::Path> pick_path(
+      scion::IsdAsn dst, const std::string& sequence) const;
+
+  const scion::ScionlabEnv& env_;
+  scion::Beaconing beaconing_;
+  scion::Topology::Compiled compiled_;
+  util::VirtualClock clock_;
+  scion::IsdAsn local_as_;
+  std::string local_host_ip_;
+};
+
+}  // namespace upin::apps

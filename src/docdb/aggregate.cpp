@@ -1,0 +1,295 @@
+#include "docdb/aggregate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "docdb/filter.hpp"
+
+namespace upin::docdb {
+
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+namespace {
+
+/// Resolve an expression against a document: "$path" is a field
+/// reference (null Value when absent); anything else is a literal.
+Value evaluate(const Value& expression, const Document& doc) {
+  if (expression.is_string() && !expression.as_string().empty() &&
+      expression.as_string()[0] == '$') {
+    const Value* found =
+        doc.get_path(std::string_view(expression.as_string()).substr(1));
+    return found == nullptr ? Value() : *found;
+  }
+  return expression;
+}
+
+// ------------------------------------------------------------ accumulators
+
+struct Accumulator {
+  enum class Kind { kAvg, kSum, kMin, kMax, kCount, kFirst, kPush };
+  Kind kind = Kind::kCount;
+  Value argument;  ///< expression evaluated per document
+
+  // running state
+  double numeric = 0.0;
+  std::size_t seen = 0;
+  Value value_state;          // min/max/first
+  Value::Array pushed;        // push
+  bool has_value = false;
+
+  void feed(const Document& doc) {
+    switch (kind) {
+      case Kind::kCount:
+        ++seen;
+        break;
+      case Kind::kAvg:
+      case Kind::kSum: {
+        const Value v = evaluate(argument, doc);
+        if (v.is_number()) {
+          numeric += v.as_double();
+          ++seen;
+        }
+        break;
+      }
+      case Kind::kMin:
+      case Kind::kMax: {
+        const Value v = evaluate(argument, doc);
+        if (v.is_null()) break;
+        if (!has_value ||
+            (kind == Kind::kMin ? compare_values(v, value_state) < 0
+                                : compare_values(v, value_state) > 0)) {
+          value_state = v;
+          has_value = true;
+        }
+        break;
+      }
+      case Kind::kFirst: {
+        if (!has_value) {
+          value_state = evaluate(argument, doc);
+          has_value = true;
+        }
+        break;
+      }
+      case Kind::kPush: {
+        const Value v = evaluate(argument, doc);
+        if (!v.is_null()) pushed.push_back(v);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] Value finish() const {
+    switch (kind) {
+      case Kind::kCount: return Value(seen);
+      case Kind::kSum: return Value(numeric);
+      case Kind::kAvg:
+        return seen == 0 ? Value()
+                         : Value(numeric / static_cast<double>(seen));
+      case Kind::kMin:
+      case Kind::kMax:
+      case Kind::kFirst: return has_value ? value_state : Value();
+      case Kind::kPush: return Value(pushed);
+    }
+    return Value();
+  }
+};
+
+Result<Accumulator> parse_accumulator(const Value& spec) {
+  if (!spec.is_object() || spec.as_object().size() != 1) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "accumulator must be a single-operator object"};
+  }
+  const auto& [op, argument] = *spec.as_object().begin();
+  Accumulator acc;
+  acc.argument = argument;
+  if (op == "$avg") {
+    acc.kind = Accumulator::Kind::kAvg;
+  } else if (op == "$sum") {
+    acc.kind = Accumulator::Kind::kSum;
+  } else if (op == "$min") {
+    acc.kind = Accumulator::Kind::kMin;
+  } else if (op == "$max") {
+    acc.kind = Accumulator::Kind::kMax;
+  } else if (op == "$count") {
+    acc.kind = Accumulator::Kind::kCount;
+  } else if (op == "$first") {
+    acc.kind = Accumulator::Kind::kFirst;
+  } else if (op == "$push") {
+    acc.kind = Accumulator::Kind::kPush;
+  } else {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "unknown accumulator " + op};
+  }
+  return acc;
+}
+
+// ------------------------------------------------------------------ stages
+
+Result<std::vector<Document>> stage_match(std::vector<Document> docs,
+                                          const Value& query) {
+  Result<Filter> filter = Filter::compile(query);
+  if (!filter.ok()) return Result<std::vector<Document>>(filter.error());
+  std::vector<Document> out;
+  out.reserve(docs.size());
+  for (Document& doc : docs) {
+    if (filter.value().matches(doc)) out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+Result<std::vector<Document>> stage_group(const std::vector<Document>& docs,
+                                          const Value& spec) {
+  if (!spec.is_object() || !spec.as_object().contains("_id")) {
+    return util::Error{ErrorCode::kInvalidArgument, "$group requires _id"};
+  }
+  const Value& key_expression = *spec.as_object().find("_id");
+
+  struct Group {
+    Value key;
+    std::vector<std::pair<std::string, Accumulator>> accumulators;
+  };
+  // Keyed by canonical serialization for deterministic, sorted output.
+  std::map<std::string, Group> groups;
+
+  for (const Document& doc : docs) {
+    const Value key = evaluate(key_expression, doc);
+    const std::string token = key.dump();
+    auto it = groups.find(token);
+    if (it == groups.end()) {
+      Group fresh;
+      fresh.key = key;
+      for (const auto& [name, acc_spec] : spec.as_object()) {
+        if (name == "_id") continue;
+        Result<Accumulator> acc = parse_accumulator(acc_spec);
+        if (!acc.ok()) return Result<std::vector<Document>>(acc.error());
+        fresh.accumulators.emplace_back(name, std::move(acc).value());
+      }
+      it = groups.emplace(token, std::move(fresh)).first;
+    }
+    for (auto& [name, acc] : it->second.accumulators) acc.feed(doc);
+  }
+
+  std::vector<Document> out;
+  out.reserve(groups.size());
+  for (const auto& [token, group] : groups) {
+    util::JsonObject doc;
+    doc.set("_id", group.key);
+    for (const auto& [name, acc] : group.accumulators) {
+      doc.set(name, acc.finish());
+    }
+    out.emplace_back(Value(std::move(doc)));
+  }
+  return out;
+}
+
+Result<std::vector<Document>> stage_sort(std::vector<Document> docs,
+                                         const Value& spec) {
+  if (!spec.is_object() || spec.as_object().size() != 1) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "$sort takes exactly one {field: 1|-1}"};
+  }
+  const auto& [field, direction] = *spec.as_object().begin();
+  if (!direction.is_int() ||
+      (direction.as_int() != 1 && direction.as_int() != -1)) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "$sort direction must be 1 or -1"};
+  }
+  const bool descending = direction.as_int() == -1;
+  const std::string field_name = field;
+  std::stable_sort(docs.begin(), docs.end(),
+                   [&](const Document& a, const Document& b) {
+                     const Value* va = a.get_path(field_name);
+                     const Value* vb = b.get_path(field_name);
+                     const Value null_value;
+                     const int c = compare_values(va ? *va : null_value,
+                                                  vb ? *vb : null_value);
+                     return descending ? c > 0 : c < 0;
+                   });
+  return docs;
+}
+
+Result<std::vector<Document>> stage_project(const std::vector<Document>& docs,
+                                            const Value& spec) {
+  if (!spec.is_object()) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "$project takes an object"};
+  }
+  std::vector<Document> out;
+  out.reserve(docs.size());
+  for (const Document& doc : docs) {
+    util::JsonObject projected;
+    for (const auto& [name, rule] : spec.as_object()) {
+      if (rule.is_int() && rule.as_int() == 1) {
+        if (const Value* kept = doc.get_path(name)) projected.set(name, *kept);
+      } else if (rule.is_string()) {
+        const Value v = evaluate(rule, doc);
+        if (!v.is_null()) projected.set(name, v);
+      } else {
+        return util::Error{ErrorCode::kInvalidArgument,
+                           "$project rule must be 1 or a \"$field\""};
+      }
+    }
+    out.emplace_back(Value(std::move(projected)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Document>> aggregate_documents(std::vector<Document> docs,
+                                                  const Value& pipeline) {
+  if (!pipeline.is_array()) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "pipeline must be a JSON array of stages"};
+  }
+  for (const Value& stage : pipeline.as_array()) {
+    if (!stage.is_object() || stage.as_object().size() != 1) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "each stage must be a single-operator object"};
+    }
+    const auto& [op, spec] = *stage.as_object().begin();
+    Result<std::vector<Document>> next = [&]() {
+      if (op == "$match") return stage_match(std::move(docs), spec);
+      if (op == "$group") return stage_group(docs, spec);
+      if (op == "$sort") return stage_sort(std::move(docs), spec);
+      if (op == "$project") return stage_project(docs, spec);
+      if (op == "$limit") {
+        if (!spec.is_int() || spec.as_int() < 0) {
+          return Result<std::vector<Document>>(util::Error{
+              ErrorCode::kInvalidArgument, "$limit takes a non-negative int"});
+        }
+        if (static_cast<std::size_t>(spec.as_int()) < docs.size()) {
+          docs.resize(static_cast<std::size_t>(spec.as_int()));
+        }
+        return Result<std::vector<Document>>(std::move(docs));
+      }
+      if (op == "$skip") {
+        if (!spec.is_int() || spec.as_int() < 0) {
+          return Result<std::vector<Document>>(util::Error{
+              ErrorCode::kInvalidArgument, "$skip takes a non-negative int"});
+        }
+        const auto n = std::min<std::size_t>(
+            static_cast<std::size_t>(spec.as_int()), docs.size());
+        docs.erase(docs.begin(), docs.begin() + static_cast<std::ptrdiff_t>(n));
+        return Result<std::vector<Document>>(std::move(docs));
+      }
+      return Result<std::vector<Document>>(
+          util::Error{ErrorCode::kInvalidArgument, "unknown stage " + op});
+    }();
+    if (!next.ok()) return next;
+    docs = std::move(next).value();
+  }
+  return docs;
+}
+
+Result<std::vector<Document>> aggregate(const Collection& collection,
+                                        const Value& pipeline) {
+  std::vector<Document> docs;
+  docs.reserve(collection.size());
+  collection.for_each([&](const Document& doc) { docs.push_back(doc); });
+  return aggregate_documents(std::move(docs), pipeline);
+}
+
+}  // namespace upin::docdb

@@ -1,0 +1,36 @@
+// aggregate.hpp — a MongoDB-style aggregation pipeline.
+//
+// The selection layer's queries ("average latency per ISD set and hop
+// count", Fig 6) are group-by aggregations; a downstream user of a
+// Mongo substitute expects them server-side.  Supported stages:
+//
+//   {"$match":  <filter query>}
+//   {"$group":  {"_id": "$field" | null,
+//                "<out>": {"$avg"|"$sum"|"$min"|"$max": "$path" | number},
+//                "<out>": {"$count": {}},
+//                "<out>": {"$first": "$path"},
+//                "<out>": {"$push": "$path"}}}
+//   {"$sort":   {"field": 1 | -1}}          (single key)
+//   {"$skip":   N}
+//   {"$limit":  N}
+//   {"$project": {"keep": 1, "renamed": "$other.path"}}
+//
+// Field references are "$dotted.path" strings, as in Mongo.
+#pragma once
+
+#include "docdb/collection.hpp"
+
+namespace upin::docdb {
+
+/// Run `pipeline` (a JSON array of stage objects) over a collection.
+/// Returns the resulting documents; kInvalidArgument on unknown stages,
+/// operators or malformed arguments.
+[[nodiscard]] util::Result<std::vector<Document>> aggregate(
+    const Collection& collection, const util::Value& pipeline);
+
+/// Same, but over an explicit document vector (used for stage chaining
+/// and tests).
+[[nodiscard]] util::Result<std::vector<Document>> aggregate_documents(
+    std::vector<Document> documents, const util::Value& pipeline);
+
+}  // namespace upin::docdb

@@ -1,0 +1,297 @@
+#include "docdb/collection.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "docdb/update.hpp"
+
+namespace upin::docdb {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+Collection::Collection(std::string name) : name_(std::move(name)) {}
+
+std::size_t Collection::size() const {
+  const std::shared_lock lock(mutex_);
+  return id_to_slot_.size();
+}
+
+void Collection::emit(const MutationEvent& event) {
+  if (observer_) observer_(event);
+}
+
+Result<std::string> Collection::prepare_id_locked(Document& doc) {
+  if (!doc.is_object()) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "document must be a JSON object"};
+  }
+  const Value* id_value = doc.get(kIdField);
+  std::string id;
+  if (id_value == nullptr) {
+    id = "doc_" + std::to_string(next_auto_id_++);
+    doc[kIdField] = Value(id);
+  } else if (id_value->is_string()) {
+    id = id_value->as_string();
+  } else {
+    return util::Error{ErrorCode::kInvalidArgument, "_id must be a string"};
+  }
+  if (id_to_slot_.contains(id)) {
+    return util::Error{ErrorCode::kConflict, "duplicate _id: " + id};
+  }
+  return id;
+}
+
+void Collection::insert_locked(Document doc, const std::string& id) {
+  const std::size_t position = slots_.size();
+  slots_.push_back(Slot{std::move(doc), true});
+  id_to_slot_.emplace(id, position);
+  for (const auto& index : indexes_) {
+    index->add(slots_[position].doc, position);
+  }
+}
+
+Result<std::string> Collection::insert_one(Document doc) {
+  MutationEvent event;
+  {
+    const std::unique_lock lock(mutex_);
+    Result<std::string> id = prepare_id_locked(doc);
+    if (!id.ok()) return id;
+    event = MutationEvent{MutationEvent::Kind::kInsert, name_, id.value(), doc};
+    insert_locked(std::move(doc), id.value());
+    emit(event);
+    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
+    return id;
+  }
+}
+
+Result<std::vector<std::string>> Collection::insert_many(
+    std::vector<Document> docs) {
+  const std::unique_lock lock(mutex_);
+  // Validate the whole batch first (atomicity): ids must be well-formed,
+  // absent from the store, and unique within the batch.
+  std::vector<std::string> ids;
+  ids.reserve(docs.size());
+  for (Document& doc : docs) {
+    Result<std::string> id = prepare_id_locked(doc);
+    if (!id.ok()) return Result<std::vector<std::string>>(id.error());
+    if (std::find(ids.begin(), ids.end(), id.value()) != ids.end()) {
+      return util::Error{ErrorCode::kConflict,
+                         "duplicate _id within batch: " + id.value()};
+    }
+    ids.push_back(std::move(id).value());
+  }
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    emit(MutationEvent{MutationEvent::Kind::kInsert, name_, ids[i], docs[i]});
+    insert_locked(std::move(docs[i]), ids[i]);
+  }
+  // One durability point for the whole batch (§4.2.2 trade-off).
+  if (!docs.empty()) {
+    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
+  }
+  return ids;
+}
+
+Result<Document> Collection::find_by_id(std::string_view id) const {
+  const std::shared_lock lock(mutex_);
+  const auto it = id_to_slot_.find(std::string(id));
+  if (it == id_to_slot_.end()) {
+    return util::Error{ErrorCode::kNotFound,
+                       "no document with _id " + std::string(id)};
+  }
+  return slots_[it->second].doc;
+}
+
+std::vector<std::size_t> Collection::candidates_locked(
+    const Filter& filter) const {
+  // Planner: a filter pinning an indexed field by equality scans only the
+  // index bucket; everything else scans the collection.
+  for (const auto& index : indexes_) {
+    if (const Value* pinned = filter.equality_on(index->field())) {
+      std::vector<std::size_t> hits = index->lookup(*pinned);
+      std::sort(hits.begin(), hits.end());
+      hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+      return hits;
+    }
+  }
+  std::vector<std::size_t> all;
+  all.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) all.push_back(i);
+  return all;
+}
+
+std::vector<Document> Collection::find(const Filter& filter,
+                                       const FindOptions& options) const {
+  const std::shared_lock lock(mutex_);
+  std::vector<const Document*> matches;
+  for (const std::size_t position : candidates_locked(filter)) {
+    const Slot& slot = slots_[position];
+    if (slot.alive && filter.matches(slot.doc)) matches.push_back(&slot.doc);
+  }
+
+  if (!options.sort_by.empty()) {
+    std::stable_sort(matches.begin(), matches.end(),
+                     [&](const Document* a, const Document* b) {
+                       const Value* va = a->get_path(options.sort_by);
+                       const Value* vb = b->get_path(options.sort_by);
+                       const Value null_value;
+                       const int c = compare_values(va ? *va : null_value,
+                                                    vb ? *vb : null_value);
+                       return options.descending ? c > 0 : c < 0;
+                     });
+  }
+
+  std::vector<Document> out;
+  const std::size_t begin = std::min(options.skip, matches.size());
+  std::size_t end = matches.size();
+  if (options.limit.has_value()) {
+    end = std::min(end, begin + *options.limit);
+  }
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) out.push_back(*matches[i]);
+  return out;
+}
+
+Result<Document> Collection::find_one(const Filter& filter) const {
+  const std::shared_lock lock(mutex_);
+  for (const std::size_t position : candidates_locked(filter)) {
+    const Slot& slot = slots_[position];
+    if (slot.alive && filter.matches(slot.doc)) return slot.doc;
+  }
+  return util::Error{ErrorCode::kNotFound, "no matching document"};
+}
+
+std::size_t Collection::count(const Filter& filter) const {
+  const std::shared_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const std::size_t position : candidates_locked(filter)) {
+    const Slot& slot = slots_[position];
+    if (slot.alive && filter.matches(slot.doc)) ++total;
+  }
+  return total;
+}
+
+Result<std::size_t> Collection::update_many(const Filter& filter,
+                                            const Value& update) {
+  const std::unique_lock lock(mutex_);
+  std::size_t modified = 0;
+  for (const std::size_t position : candidates_locked(filter)) {
+    Slot& slot = slots_[position];
+    if (!slot.alive || !filter.matches(slot.doc)) continue;
+
+    Document updated = slot.doc;
+    const Status status = apply_update(updated, update);
+    if (!status.ok()) return Result<std::size_t>(status.error());
+    if (updated == slot.doc) continue;
+
+    for (const auto& index : indexes_) index->remove(slot.doc, position);
+    slot.doc = std::move(updated);
+    for (const auto& index : indexes_) index->add(slot.doc, position);
+    ++modified;
+
+    const auto id = document_id(slot.doc);
+    emit(MutationEvent{MutationEvent::Kind::kUpdate, name_,
+                       std::string(id.value_or("")), slot.doc});
+  }
+  if (modified > 0) {
+    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
+  }
+  return modified;
+}
+
+std::size_t Collection::delete_many(const Filter& filter) {
+  const std::unique_lock lock(mutex_);
+  std::size_t removed = 0;
+  for (const std::size_t position : candidates_locked(filter)) {
+    Slot& slot = slots_[position];
+    if (!slot.alive || !filter.matches(slot.doc)) continue;
+    const auto id = document_id(slot.doc);
+    for (const auto& index : indexes_) index->remove(slot.doc, position);
+    id_to_slot_.erase(std::string(id.value_or("")));
+    slot.alive = false;
+    slot.doc = Document();
+    ++removed;
+    emit(MutationEvent{MutationEvent::Kind::kDelete, name_,
+                       std::string(id.value_or("")), Document()});
+  }
+  if (removed > 0) {
+    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
+  }
+  return removed;
+}
+
+bool Collection::delete_by_id(std::string_view id) {
+  const std::unique_lock lock(mutex_);
+  const auto it = id_to_slot_.find(std::string(id));
+  if (it == id_to_slot_.end()) return false;
+  Slot& slot = slots_[it->second];
+  for (const auto& index : indexes_) index->remove(slot.doc, it->second);
+  slot.alive = false;
+  slot.doc = Document();
+  id_to_slot_.erase(it);
+  emit(MutationEvent{MutationEvent::Kind::kDelete, name_, std::string(id),
+                     Document()});
+  emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
+  return true;
+}
+
+void Collection::create_index(std::string field) {
+  const std::unique_lock lock(mutex_);
+  for (const auto& index : indexes_) {
+    if (index->field() == field) return;
+  }
+  auto index = std::make_unique<FieldIndex>(std::move(field));
+  for (std::size_t position = 0; position < slots_.size(); ++position) {
+    if (slots_[position].alive) index->add(slots_[position].doc, position);
+  }
+  indexes_.push_back(std::move(index));
+}
+
+std::vector<std::string> Collection::indexed_fields() const {
+  const std::shared_lock lock(mutex_);
+  std::vector<std::string> fields;
+  fields.reserve(indexes_.size());
+  for (const auto& index : indexes_) fields.push_back(index->field());
+  return fields;
+}
+
+std::vector<Value> Collection::distinct(std::string_view field,
+                                        const Filter& filter) const {
+  const std::shared_lock lock(mutex_);
+  std::vector<Value> values;
+  for (const Slot& slot : slots_) {
+    if (!slot.alive || !filter.matches(slot.doc)) continue;
+    const Value* field_value = slot.doc.get_path(field);
+    if (field_value == nullptr) continue;
+    const auto add_unique = [&](const Value& candidate) {
+      for (const Value& existing : values) {
+        if (existing == candidate) return;
+      }
+      values.push_back(candidate);
+    };
+    if (field_value->is_array()) {
+      for (const Value& element : field_value->as_array()) add_unique(element);
+    } else {
+      add_unique(*field_value);
+    }
+  }
+  return values;
+}
+
+void Collection::for_each(
+    const std::function<void(const Document&)>& fn) const {
+  const std::shared_lock lock(mutex_);
+  for (const Slot& slot : slots_) {
+    if (slot.alive) fn(slot.doc);
+  }
+}
+
+void Collection::set_observer(
+    std::function<void(const MutationEvent&)> observer) {
+  const std::unique_lock lock(mutex_);
+  observer_ = std::move(observer);
+}
+
+}  // namespace upin::docdb

@@ -1,0 +1,123 @@
+// collection.hpp — a named set of documents (Mongo "collection").
+//
+// Implements the store behind the paper's three collections
+// (availableServers, paths, paths_stats — Fig 3).  Batched insertion
+// (`insert_many`) is atomic: the paper's fault-tolerance design (§4.2.2)
+// batches one destination's statistics per write so a crash loses at most
+// one balanced sample per path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "docdb/document.hpp"
+#include "docdb/filter.hpp"
+#include "docdb/index.hpp"
+#include "util/result.hpp"
+
+namespace upin::docdb {
+
+/// Options for find().
+struct FindOptions {
+  std::string sort_by;               ///< dotted path; empty = insertion order
+  bool descending = false;           ///< sort direction
+  std::size_t skip = 0;              ///< drop this many leading results
+  std::optional<std::size_t> limit;  ///< cap on returned documents
+};
+
+/// A mutation event, surfaced to the owning Database for journaling.
+/// kSync marks a durability point: it follows every single mutation and
+/// every *batch* (so a batched insert costs one flush, not N — the I/O
+/// trade-off of paper §4.2.2, measured in bench/ablation_storage).
+struct MutationEvent {
+  enum class Kind { kInsert, kUpdate, kDelete, kSync };
+  Kind kind;
+  std::string collection;
+  std::string id;
+  Document document;  ///< post-image for insert/update; empty for delete
+};
+
+/// Thread-safe document collection with optional secondary indexes.
+class Collection {
+ public:
+  explicit Collection(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Number of live documents.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Insert one document.  A missing `_id` is assigned ("doc_<n>");
+  /// a duplicate `_id` is a kConflict.  Returns the document's id.
+  util::Result<std::string> insert_one(Document doc);
+
+  /// Atomic batch insert: either every document is inserted or none
+  /// (first conflicting/invalid id reported).  Returns the ids in order.
+  util::Result<std::vector<std::string>> insert_many(std::vector<Document> docs);
+
+  /// Fetch by id.
+  [[nodiscard]] util::Result<Document> find_by_id(std::string_view id) const;
+
+  /// All documents matching `filter`, honoring `options`.  Uses a field
+  /// index when the filter pins an indexed field by equality.
+  [[nodiscard]] std::vector<Document> find(const Filter& filter,
+                                           const FindOptions& options = {}) const;
+
+  /// First match in insertion order, or kNotFound.
+  [[nodiscard]] util::Result<Document> find_one(const Filter& filter) const;
+
+  [[nodiscard]] std::size_t count(const Filter& filter) const;
+  [[nodiscard]] std::size_t count_all() const { return size(); }
+
+  /// Apply a Mongo-style update document to every match; returns the
+  /// number of documents modified.
+  util::Result<std::size_t> update_many(const Filter& filter,
+                                        const util::Value& update);
+
+  /// Delete every match; returns how many were removed.
+  std::size_t delete_many(const Filter& filter);
+  /// Delete one document by id.
+  bool delete_by_id(std::string_view id);
+
+  /// Create (and backfill) a hash index on a dotted field.  Idempotent.
+  void create_index(std::string field);
+  [[nodiscard]] std::vector<std::string> indexed_fields() const;
+
+  /// Distinct values of `field` among documents matching `filter`.
+  [[nodiscard]] std::vector<util::Value> distinct(std::string_view field,
+                                                  const Filter& filter) const;
+
+  /// Visit every live document (read lock held during the walk).
+  void for_each(const std::function<void(const Document&)>& fn) const;
+
+  /// Observer invoked after each committed mutation (Database journaling).
+  void set_observer(std::function<void(const MutationEvent&)> observer);
+
+ private:
+  struct Slot {
+    Document doc;
+    bool alive = false;
+  };
+
+  // All methods below require mutex_ held by the caller.
+  util::Result<std::string> prepare_id_locked(Document& doc);
+  void insert_locked(Document doc, const std::string& id);
+  [[nodiscard]] std::vector<std::size_t> candidates_locked(
+      const Filter& filter) const;
+  void emit(const MutationEvent& event);
+
+  std::string name_;
+  mutable std::shared_mutex mutex_;
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, std::size_t> id_to_slot_;
+  std::vector<std::unique_ptr<FieldIndex>> indexes_;
+  std::uint64_t next_auto_id_ = 1;
+  std::function<void(const MutationEvent&)> observer_;
+};
+
+}  // namespace upin::docdb

@@ -1,0 +1,206 @@
+#include "docdb/database.hpp"
+
+#include "util/log.hpp"
+
+namespace upin::docdb {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+Result<std::unique_ptr<Database>> Database::open(const std::string& path) {
+  auto db = std::make_unique<Database>();
+  db->journal_ = std::make_unique<Journal>();
+
+  // Replay first (journal not yet open for append, observers suppressed).
+  db->replaying_ = true;
+  const Status replayed = Journal::replay(path, [&](const JournalRecord& record) -> Status {
+    Collection& coll = db->collection(record.collection);
+    if (record.op == "create_collection") {
+      return Status::success();
+    }
+    if (record.op == "create_index") {
+      coll.create_index(record.field);
+      return Status::success();
+    }
+    if (record.op == "insert") {
+      Result<std::string> inserted = coll.insert_one(record.document);
+      if (!inserted.ok()) return Status(inserted.error());
+      return Status::success();
+    }
+    if (record.op == "update") {
+      // Post-image replay: delete + reinsert.
+      coll.delete_by_id(record.id);
+      Result<std::string> inserted = coll.insert_one(record.document);
+      if (!inserted.ok()) return Status(inserted.error());
+      return Status::success();
+    }
+    if (record.op == "delete") {
+      coll.delete_by_id(record.id);
+      return Status::success();
+    }
+    return Status(ErrorCode::kParseError, "unknown journal op: " + record.op);
+  });
+  db->replaying_ = false;
+  if (!replayed.ok()) return Result<std::unique_ptr<Database>>(replayed.error());
+
+  const Status opened = db->journal_->open(path);
+  if (!opened.ok()) return Result<std::unique_ptr<Database>>(opened.error());
+  return db;
+}
+
+void Database::attach_observer(Collection& coll) {
+  coll.set_observer([this](const MutationEvent& event) {
+    if (replaying_ || journal_ == nullptr || !journal_->is_open()) return;
+    if (event.kind == MutationEvent::Kind::kSync) {
+      const Status flushed = journal_->flush();
+      if (!flushed.ok()) {
+        util::Log::error("journal flush failed: " + flushed.error().message);
+      }
+      return;
+    }
+    JournalRecord record;
+    record.collection = event.collection;
+    record.id = event.id;
+    switch (event.kind) {
+      case MutationEvent::Kind::kInsert:
+        record.op = "insert";
+        record.document = event.document;
+        break;
+      case MutationEvent::Kind::kUpdate:
+        record.op = "update";
+        record.document = event.document;
+        break;
+      case MutationEvent::Kind::kDelete:
+        record.op = "delete";
+        break;
+      case MutationEvent::Kind::kSync:
+        return;  // handled above
+    }
+    const Status appended = journal_->append(record);
+    if (!appended.ok()) {
+      util::Log::error("journal append failed: " + appended.error().message);
+    }
+  });
+}
+
+Collection& Database::collection(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    auto coll = std::make_unique<Collection>(name);
+    attach_observer(*coll);
+    it = collections_.emplace(name, std::move(coll)).first;
+    if (!replaying_ && journal_ != nullptr && journal_->is_open()) {
+      JournalRecord record;
+      record.op = "create_collection";
+      record.collection = name;
+      const Status appended = journal_->append(record);
+      if (!appended.ok()) {
+        util::Log::error("journal append failed: " + appended.error().message);
+      }
+    }
+  }
+  return *it->second;
+}
+
+Collection* Database::find_collection(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+const Collection* Database::find_collection(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::collection_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, unused] : collections_) names.push_back(name);
+  return names;
+}
+
+bool Database::drop_collection(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return collections_.erase(name) > 0;
+}
+
+void Database::set_write_guard(WriteGuard guard) {
+  const std::lock_guard<std::mutex> lock(guard_mutex_);
+  write_guard_ = std::move(guard);
+}
+
+bool Database::has_write_guard() const {
+  const std::lock_guard<std::mutex> lock(guard_mutex_);
+  return static_cast<bool>(write_guard_);
+}
+
+namespace {
+
+const util::Error kDenied{ErrorCode::kPermissionDenied,
+                          "write credential rejected"};
+
+}  // namespace
+
+Result<std::string> Database::guarded_insert(const std::string& collection_name,
+                                             Document doc,
+                                             const Value& credential) {
+  {
+    const std::lock_guard<std::mutex> lock(guard_mutex_);
+    if (write_guard_ && !write_guard_(credential)) {
+      return Result<std::string>(kDenied);
+    }
+  }
+  return collection(collection_name).insert_one(std::move(doc));
+}
+
+Result<std::vector<std::string>> Database::guarded_insert_many(
+    const std::string& collection_name, std::vector<Document> docs,
+    const Value& credential) {
+  {
+    const std::lock_guard<std::mutex> lock(guard_mutex_);
+    if (write_guard_ && !write_guard_(credential)) {
+      return Result<std::vector<std::string>>(kDenied);
+    }
+  }
+  return collection(collection_name).insert_many(std::move(docs));
+}
+
+std::vector<JournalRecord> Database::snapshot_records() const {
+  std::vector<JournalRecord> records;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, coll] : collections_) {
+    JournalRecord create;
+    create.op = "create_collection";
+    create.collection = name;
+    records.push_back(create);
+    for (const std::string& field : coll->indexed_fields()) {
+      JournalRecord index;
+      index.op = "create_index";
+      index.collection = name;
+      index.field = field;
+      records.push_back(index);
+    }
+    coll->for_each([&](const Document& doc) {
+      JournalRecord insert;
+      insert.op = "insert";
+      insert.collection = name;
+      insert.id = std::string(document_id(doc).value_or(""));
+      insert.document = doc;
+      records.push_back(insert);
+    });
+  }
+  return records;
+}
+
+Status Database::compact() {
+  if (journal_ == nullptr) return Status::success();
+  return journal_->rewrite(snapshot_records());
+}
+
+}  // namespace upin::docdb

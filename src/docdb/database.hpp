@@ -1,0 +1,87 @@
+// database.hpp — a named set of collections with optional durability and
+// write-access control.
+//
+// Mirrors the paper's MongoDB deployment: three collections (Fig 3),
+// batched writes (§4.2.2), and the designed-but-unimplemented PKC write
+// gate (§4.2.2 "Database Access Management") which we do implement via a
+// pluggable WriteGuard (the SCION trust layer provides one).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "docdb/collection.hpp"
+#include "docdb/journal.hpp"
+
+namespace upin::docdb {
+
+/// Verifies a write credential.  Returning false rejects the mutation
+/// with kPermissionDenied.  Implementations must be thread-safe.
+using WriteGuard = std::function<bool(const util::Value& credential)>;
+
+/// An embedded multi-collection document database.
+class Database {
+ public:
+  Database() = default;
+
+  /// Open a durable database backed by the JSONL journal at `path`,
+  /// replaying any existing contents.
+  [[nodiscard]] static util::Result<std::unique_ptr<Database>> open(
+      const std::string& path);
+
+  /// Get or create a collection.  The returned pointer is stable for the
+  /// lifetime of the Database.
+  Collection& collection(const std::string& name);
+
+  /// Existing collection or nullptr.
+  [[nodiscard]] Collection* find_collection(const std::string& name);
+  [[nodiscard]] const Collection* find_collection(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> collection_names() const;
+
+  /// Drop a collection (documents and indexes).  Returns whether it existed.
+  bool drop_collection(const std::string& name);
+
+  // ---- write-access control ------------------------------------------
+
+  /// Install a write guard.  Once set, guarded_insert* calls verify their
+  /// credential before inserting; direct Collection mutation remains
+  /// available to in-process trusted code (the guard models the paper's
+  /// *remote writer* authentication).
+  void set_write_guard(WriteGuard guard);
+  [[nodiscard]] bool has_write_guard() const;
+
+  /// Insert with credential check (single document).
+  util::Result<std::string> guarded_insert(const std::string& collection_name,
+                                           Document doc,
+                                           const util::Value& credential);
+  /// Insert with credential check (atomic batch).
+  util::Result<std::vector<std::string>> guarded_insert_many(
+      const std::string& collection_name, std::vector<Document> docs,
+      const util::Value& credential);
+
+  // ---- durability ------------------------------------------------------
+
+  /// Rewrite the journal from live state (drops deleted/overwritten
+  /// history).  No-op for in-memory databases.
+  [[nodiscard]] util::Status compact();
+
+  [[nodiscard]] bool is_durable() const noexcept { return journal_ != nullptr; }
+
+ private:
+  void attach_observer(Collection& coll);
+  [[nodiscard]] std::vector<JournalRecord> snapshot_records() const;
+
+  mutable std::mutex mutex_;
+  // std::map keeps pointers stable and names sorted for listings.
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+  std::unique_ptr<Journal> journal_;
+  WriteGuard write_guard_;
+  mutable std::mutex guard_mutex_;
+  bool replaying_ = false;
+};
+
+}  // namespace upin::docdb

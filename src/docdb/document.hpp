@@ -1,0 +1,29 @@
+// document.hpp — document conventions for the store.
+//
+// A document is a JSON object with a unique string `_id` within its
+// collection, matching the paper's MongoDB schema (Fig 3): ids like "2_15"
+// (paths) or "2_15_000000012000" (paths_stats).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace upin::docdb {
+
+using Document = util::Value;
+
+/// Field that uniquely identifies a document within a collection.
+inline constexpr std::string_view kIdField = "_id";
+
+/// The document's _id, if present and a string.
+[[nodiscard]] inline std::optional<std::string_view> document_id(
+    const Document& doc) noexcept {
+  const util::Value* id = doc.get(kIdField);
+  if (id == nullptr) return std::nullopt;
+  return id->try_string();
+}
+
+}  // namespace upin::docdb

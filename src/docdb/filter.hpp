@@ -1,0 +1,60 @@
+// filter.hpp — MongoDB-style query filters.
+//
+// The path-selection layer (paper §6) works by querying the stats store:
+// "all paths_stats for destination 2 with loss < 10 not traversing ISD 16".
+// A Filter is built from a JSON query document with the familiar operator
+// vocabulary and evaluated against candidate documents.
+//
+// Supported:
+//   implicit equality         {"server_id": 2}
+//   comparison                $eq $ne $gt $gte $lt $lte
+//   membership                $in $nin
+//   logical                   $and $or $nor $not
+//   field presence            $exists
+//   arrays                    $size $all $elemMatch
+//   strings                   $regex (ECMAScript), $like (wildcard * ?)
+//   dotted paths              {"stats.latency_ms": {"$lt": 50}}
+//
+// Equality against an array field also matches when the array *contains*
+// the operand (Mongo semantics), which is how "paths traversing ISD 17"
+// queries the `isds` array.
+#pragma once
+
+#include <memory>
+
+#include "docdb/document.hpp"
+#include "util/result.hpp"
+
+namespace upin::docdb {
+
+/// Compiled query filter.  Immutable and shareable across threads.
+class Filter {
+ public:
+  /// Compile a filter from a query document.  Unknown `$operators` and
+  /// operand type mismatches are reported as kInvalidArgument.
+  [[nodiscard]] static util::Result<Filter> compile(const util::Value& query);
+
+  /// A filter that matches every document.
+  [[nodiscard]] static Filter match_all();
+
+  /// Evaluate against one document.
+  [[nodiscard]] bool matches(const Document& doc) const;
+
+  /// The equality constant this filter pins `field` to, if the filter is
+  /// (a conjunction containing) a simple equality on it — used by the
+  /// query planner to consult an index.
+  [[nodiscard]] const util::Value* equality_on(std::string_view field) const;
+
+  class Node;  // implementation detail, exposed for the planner
+
+ private:
+  explicit Filter(std::shared_ptr<const Node> root);
+  std::shared_ptr<const Node> root_;
+};
+
+/// Total ordering across JSON values used by sorts and range operators:
+/// null < bool < number < string < array < object; numbers compare
+/// numerically regardless of int/double representation.
+[[nodiscard]] int compare_values(const util::Value& a, const util::Value& b);
+
+}  // namespace upin::docdb

@@ -1,0 +1,75 @@
+#include "docdb/index.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace upin::docdb {
+
+using util::Value;
+
+FieldIndex::FieldIndex(std::string field) : field_(std::move(field)) {}
+
+std::string FieldIndex::encode_key(const Value& value) {
+  switch (value.type()) {
+    case Value::Type::kNull: return "z";
+    case Value::Type::kBool: return value.as_bool() ? "b1" : "b0";
+    case Value::Type::kInt:
+    case Value::Type::kDouble: {
+      // Numeric values collide across representations: encode as double
+      // unless the int is not exactly representable.
+      const double d = value.as_double();
+      if (value.is_int() &&
+          static_cast<double>(value.as_int()) != d) {
+        return "i" + std::to_string(value.as_int());
+      }
+      return "n" + std::to_string(d);
+    }
+    case Value::Type::kString: return "s" + value.as_string();
+    case Value::Type::kArray:
+    case Value::Type::kObject: return "j" + value.dump();
+  }
+  return "?";
+}
+
+void FieldIndex::for_each_key(
+    const Document& doc,
+    const std::function<void(const std::string&)>& fn) const {
+  const Value* field_value = doc.get_path(field_);
+  if (field_value == nullptr) return;
+  if (field_value->is_array()) {
+    for (const Value& element : field_value->as_array()) {
+      fn(encode_key(element));
+    }
+    // The whole array is also addressable (exact-array equality).
+    fn(encode_key(*field_value));
+    return;
+  }
+  fn(encode_key(*field_value));
+}
+
+void FieldIndex::add(const Document& doc, std::size_t position) {
+  for_each_key(doc, [&](const std::string& key) {
+    buckets_[key].push_back(position);
+  });
+}
+
+void FieldIndex::remove(const Document& doc, std::size_t position) {
+  for_each_key(doc, [&](const std::string& key) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) return;
+    auto& positions = it->second;
+    positions.erase(std::remove(positions.begin(), positions.end(), position),
+                    positions.end());
+    if (positions.empty()) buckets_.erase(it);
+  });
+}
+
+void FieldIndex::clear() noexcept { buckets_.clear(); }
+
+std::vector<std::size_t> FieldIndex::lookup(const Value& value) const {
+  const auto it = buckets_.find(encode_key(value));
+  if (it == buckets_.end()) return {};
+  return it->second;
+}
+
+}  // namespace upin::docdb

@@ -1,0 +1,52 @@
+// index.hpp — secondary indexes for equality lookups.
+//
+// The selection layer repeatedly queries paths_stats by `path_id` and
+// `server_id`; a hash index turns those from collection scans into direct
+// bucket hits (ablation: bench/ablation_query).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "docdb/document.hpp"
+
+namespace upin::docdb {
+
+/// Hash index over one dotted field.  Maps the canonical encoding of the
+/// field value to the positions of documents holding it.  Array fields are
+/// multi-indexed (one entry per element), matching Mongo multikey indexes.
+class FieldIndex {
+ public:
+  explicit FieldIndex(std::string field);
+
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+
+  /// Index `doc` stored at `position`.
+  void add(const Document& doc, std::size_t position);
+  /// Remove `doc` previously stored at `position`.
+  void remove(const Document& doc, std::size_t position);
+  /// Clear the index entirely.
+  void clear() noexcept;
+
+  /// Positions of documents whose field equals `value` (or whose array
+  /// field contains it).  Order is unspecified.
+  [[nodiscard]] std::vector<std::size_t> lookup(const util::Value& value) const;
+
+  [[nodiscard]] std::size_t distinct_keys() const noexcept { return buckets_.size(); }
+
+  /// Canonical key encoding: type tag + compact serialization, so 1 and
+  /// 1.0 collide (numeric equality) but "1" does not.
+  [[nodiscard]] static std::string encode_key(const util::Value& value);
+
+ private:
+  void for_each_key(const Document& doc,
+                    const std::function<void(const std::string&)>& fn) const;
+
+  std::string field_;
+  std::unordered_map<std::string, std::vector<std::size_t>> buckets_;
+};
+
+}  // namespace upin::docdb

@@ -1,0 +1,139 @@
+#include "docdb/journal.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace upin::docdb {
+
+using util::ErrorCode;
+using util::Status;
+using util::Value;
+
+Journal::~Journal() { close(); }
+
+Status Journal::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.close();
+  path_ = path;
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    return Status(ErrorCode::kDataLoss, "cannot open journal: " + path);
+  }
+  return Status::success();
+}
+
+bool Journal::is_open() const noexcept { return out_.is_open(); }
+
+void Journal::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.close();
+}
+
+std::string Journal::encode(const JournalRecord& record) {
+  util::JsonObject line;
+  line.set("op", Value(record.op));
+  line.set("coll", Value(record.collection));
+  if (!record.id.empty()) line.set("id", Value(record.id));
+  if (!record.field.empty()) line.set("field", Value(record.field));
+  if (record.document.is_object()) line.set("doc", record.document);
+  return Value(std::move(line)).dump();
+}
+
+Status Journal::append(const JournalRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) {
+    return Status(ErrorCode::kDataLoss, "journal is not open");
+  }
+  out_ << encode(record) << '\n';
+  if (!out_) {
+    return Status(ErrorCode::kDataLoss, "journal write failed: " + path_);
+  }
+  return Status::success();
+}
+
+Status Journal::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) {
+    return Status(ErrorCode::kDataLoss, "journal is not open");
+  }
+  out_.flush();
+  if (!out_) {
+    return Status(ErrorCode::kDataLoss, "journal flush failed: " + path_);
+  }
+  return Status::success();
+}
+
+Status Journal::replay(
+    const std::string& path,
+    const std::function<Status(const JournalRecord&)>& replay) {
+  std::ifstream in(path);
+  if (!in) return Status::success();  // nothing to replay
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    util::Result<Value> parsed = Value::parse(line);
+    if (!parsed.ok()) {
+      return Status(ErrorCode::kParseError,
+                    "journal line " + std::to_string(line_number) +
+                        " corrupt: " + parsed.error().message);
+    }
+    const Value& value = parsed.value();
+    JournalRecord record;
+    if (const Value* op = value.get("op"); op && op->is_string()) {
+      record.op = op->as_string();
+    }
+    if (const Value* coll = value.get("coll"); coll && coll->is_string()) {
+      record.collection = coll->as_string();
+    }
+    if (const Value* id = value.get("id"); id && id->is_string()) {
+      record.id = id->as_string();
+    }
+    if (const Value* field = value.get("field"); field && field->is_string()) {
+      record.field = field->as_string();
+    }
+    if (const Value* doc = value.get("doc")) record.document = *doc;
+    if (record.op.empty() || record.collection.empty()) {
+      return Status(ErrorCode::kParseError,
+                    "journal line " + std::to_string(line_number) +
+                        " missing op/coll");
+    }
+    const Status status = replay(record);
+    if (!status.ok()) return status;
+  }
+  return Status::success();
+}
+
+Status Journal::rewrite(const std::vector<JournalRecord>& records) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) {
+    return Status(ErrorCode::kDataLoss, "journal has no path");
+  }
+  const std::string temp_path = path_ + ".tmp";
+  {
+    std::ofstream temp(temp_path, std::ios::trunc);
+    if (!temp) {
+      return Status(ErrorCode::kDataLoss, "cannot open " + temp_path);
+    }
+    for (const JournalRecord& record : records) {
+      temp << encode(record) << '\n';
+    }
+    temp.flush();
+    if (!temp) {
+      return Status(ErrorCode::kDataLoss, "write failed: " + temp_path);
+    }
+  }
+  if (out_.is_open()) out_.close();
+  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    return Status(ErrorCode::kDataLoss, "rename failed: " + path_);
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    return Status(ErrorCode::kDataLoss, "cannot reopen journal: " + path_);
+  }
+  return Status::success();
+}
+
+}  // namespace upin::docdb

@@ -1,0 +1,71 @@
+// journal.hpp — append-only JSONL persistence.
+//
+// Every committed mutation is appended as one JSON line; reopening a
+// database replays the journal.  `compact()` rewrites the file from the
+// live state.  This is the durability story behind the paper's "continuous
+// measurements require continuous functioning" requirement (§4.1.2):
+// a crash during a batch loses only that (uncommitted) batch.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "docdb/document.hpp"
+#include "util/result.hpp"
+
+namespace upin::docdb {
+
+/// One replayed journal record.
+struct JournalRecord {
+  std::string op;          ///< "create_collection" | "create_index" | "insert" | "update" | "delete"
+  std::string collection;
+  std::string id;          ///< document id (insert/update/delete)
+  std::string field;       ///< index field (create_index)
+  Document document;       ///< post-image (insert/update)
+};
+
+/// Append-only JSON-lines journal.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Open (creating if needed) the journal at `path` for appending.
+  [[nodiscard]] util::Status open(const std::string& path);
+  [[nodiscard]] bool is_open() const noexcept;
+  void close();
+
+  /// Append one record to the OS buffer (no flush — call flush() at a
+  /// durability point; batches share one flush, see §4.2.2).
+  [[nodiscard]] util::Status append(const JournalRecord& record);
+
+  /// Flush buffered records to the file.
+  [[nodiscard]] util::Status flush();
+
+  /// Replay an existing journal file through `replay`; stops with
+  /// kParseError on the first corrupt line (everything before it stands,
+  /// mirroring crash-truncated tails).  A missing file replays nothing.
+  [[nodiscard]] static util::Status replay(
+      const std::string& path,
+      const std::function<util::Status(const JournalRecord&)>& replay);
+
+  /// Atomically replace the journal contents with `records`
+  /// (write temp + rename).
+  [[nodiscard]] util::Status rewrite(const std::vector<JournalRecord>& records);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string encode(const JournalRecord& record);
+
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace upin::docdb

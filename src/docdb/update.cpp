@@ -1,0 +1,228 @@
+#include "docdb/update.hpp"
+
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace upin::docdb {
+
+using util::ErrorCode;
+using util::Status;
+using util::Value;
+
+namespace {
+
+/// Navigate to the parent object of a dotted path, creating intermediate
+/// objects; returns nullptr when an intermediate is a non-object.
+Value* parent_of(Document& doc, std::string_view dotted, std::string& leaf) {
+  Value* current = &doc;
+  std::string_view rest = dotted;
+  for (;;) {
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) {
+      leaf.assign(rest);
+      return current;
+    }
+    const std::string_view head = rest.substr(0, dot);
+    rest = rest.substr(dot + 1);
+    if (!current->is_object() && !current->is_null()) return nullptr;
+    current = &(*current)[head];
+    if (current->is_null()) *current = Value(util::JsonObject{});
+    if (!current->is_object()) return nullptr;
+  }
+}
+
+bool touches_id(std::string_view path) noexcept {
+  return path == kIdField;
+}
+
+Status apply_set(Document& doc, const util::JsonObject& fields) {
+  for (const auto& [path, value] : fields) {
+    if (touches_id(path)) {
+      return Status(ErrorCode::kInvalidArgument, "_id is immutable");
+    }
+    std::string leaf;
+    Value* parent = parent_of(doc, path, leaf);
+    if (parent == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "path traverses a non-object: " + path);
+    }
+    (*parent)[leaf] = value;
+  }
+  return Status::success();
+}
+
+Status apply_unset(Document& doc, const util::JsonObject& fields) {
+  for (const auto& [path, unused] : fields) {
+    if (touches_id(path)) {
+      return Status(ErrorCode::kInvalidArgument, "_id is immutable");
+    }
+    std::string leaf;
+    Value* parent = parent_of(doc, path, leaf);
+    if (parent != nullptr && parent->is_object()) {
+      parent->as_object().erase(leaf);
+    }
+  }
+  return Status::success();
+}
+
+Status apply_inc(Document& doc, const util::JsonObject& fields) {
+  for (const auto& [path, delta] : fields) {
+    if (touches_id(path)) {
+      return Status(ErrorCode::kInvalidArgument, "_id is immutable");
+    }
+    if (!delta.is_number()) {
+      return Status(ErrorCode::kInvalidArgument, "$inc requires a number");
+    }
+    std::string leaf;
+    Value* parent = parent_of(doc, path, leaf);
+    if (parent == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "path traverses a non-object: " + path);
+    }
+    Value& slot = (*parent)[leaf];
+    if (slot.is_null()) {
+      slot = delta;
+    } else if (slot.is_int() && delta.is_int()) {
+      slot = Value(slot.as_int() + delta.as_int());
+    } else if (slot.is_number()) {
+      slot = Value(slot.as_double() + delta.as_double());
+    } else {
+      return Status(ErrorCode::kInvalidArgument,
+                    "$inc target is not numeric: " + path);
+    }
+  }
+  return Status::success();
+}
+
+Status apply_push(Document& doc, const util::JsonObject& fields) {
+  for (const auto& [path, value] : fields) {
+    if (touches_id(path)) {
+      return Status(ErrorCode::kInvalidArgument, "_id is immutable");
+    }
+    std::string leaf;
+    Value* parent = parent_of(doc, path, leaf);
+    if (parent == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "path traverses a non-object: " + path);
+    }
+    Value& slot = (*parent)[leaf];
+    if (slot.is_null()) slot = Value(Value::Array{});
+    if (!slot.is_array()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "$push target is not an array: " + path);
+    }
+    slot.as_array().push_back(value);
+  }
+  return Status::success();
+}
+
+Status apply_pull(Document& doc, const util::JsonObject& fields) {
+  for (const auto& [path, value] : fields) {
+    std::string leaf;
+    Value* parent = parent_of(doc, path, leaf);
+    if (parent == nullptr || !parent->is_object()) continue;
+    Value* slot = parent->as_object().find(leaf);
+    if (slot == nullptr || !slot->is_array()) continue;
+    auto& array = slot->as_array();
+    std::erase_if(array, [&](const Value& element) { return element == value; });
+  }
+  return Status::success();
+}
+
+Status apply_rename(Document& doc, const util::JsonObject& fields) {
+  for (const auto& [path, new_name] : fields) {
+    if (touches_id(path) ||
+        (new_name.is_string() && touches_id(new_name.as_string()))) {
+      return Status(ErrorCode::kInvalidArgument, "_id is immutable");
+    }
+    if (!new_name.is_string()) {
+      return Status(ErrorCode::kInvalidArgument, "$rename requires a string");
+    }
+    std::string leaf;
+    Value* parent = parent_of(doc, path, leaf);
+    if (parent == nullptr || !parent->is_object()) continue;
+    Value* slot = parent->as_object().find(leaf);
+    if (slot == nullptr) continue;
+    Value moved = *slot;
+    parent->as_object().erase(leaf);
+    std::string new_leaf;
+    Value* new_parent = parent_of(doc, new_name.as_string(), new_leaf);
+    if (new_parent == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "bad $rename destination: " + new_name.as_string());
+    }
+    (*new_parent)[new_leaf] = std::move(moved);
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Status apply_update(Document& doc, const Value& update) {
+  if (!update.is_object()) {
+    return Status(ErrorCode::kInvalidArgument, "update must be an object");
+  }
+
+  bool has_operators = false;
+  for (const auto& [key, unused] : update.as_object()) {
+    if (!key.empty() && key[0] == '$') {
+      has_operators = true;
+      break;
+    }
+  }
+
+  if (!has_operators) {
+    // Full replacement, preserving _id.
+    if (const Value* new_id = update.get(kIdField)) {
+      const Value* old_id = doc.get(kIdField);
+      if (old_id == nullptr || !(*new_id == *old_id)) {
+        return Status(ErrorCode::kInvalidArgument, "_id is immutable");
+      }
+    }
+    const Value* old_id = doc.get(kIdField);
+    Document replacement = update;
+    if (old_id != nullptr && replacement.get(kIdField) == nullptr) {
+      // Keep the identity even when the replacement omits it.
+      util::JsonObject with_id;
+      with_id.set(std::string(kIdField), *old_id);
+      for (const auto& [key, value] : replacement.as_object()) {
+        with_id.set(key, value);
+      }
+      replacement = Value(std::move(with_id));
+    }
+    doc = std::move(replacement);
+    return Status::success();
+  }
+
+  // Operator-based update: validate-and-apply against a scratch copy so a
+  // failing operator leaves the document untouched.
+  Document scratch = doc;
+  for (const auto& [op, fields] : update.as_object()) {
+    if (!fields.is_object()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    op + " requires an object of fields");
+    }
+    Status status = Status::success();
+    if (op == "$set") {
+      status = apply_set(scratch, fields.as_object());
+    } else if (op == "$unset") {
+      status = apply_unset(scratch, fields.as_object());
+    } else if (op == "$inc") {
+      status = apply_inc(scratch, fields.as_object());
+    } else if (op == "$push") {
+      status = apply_push(scratch, fields.as_object());
+    } else if (op == "$pull") {
+      status = apply_pull(scratch, fields.as_object());
+    } else if (op == "$rename") {
+      status = apply_rename(scratch, fields.as_object());
+    } else {
+      status = Status(ErrorCode::kInvalidArgument, "unknown operator " + op);
+    }
+    if (!status.ok()) return status;
+  }
+  doc = std::move(scratch);
+  return Status::success();
+}
+
+}  // namespace upin::docdb

@@ -1,0 +1,17 @@
+// update.hpp — Mongo-style update documents.
+//
+// Supported operators: $set, $unset, $inc, $push, $pull, $rename.
+// A bare object without $-operators replaces the document (keeping _id).
+#pragma once
+
+#include "docdb/document.hpp"
+#include "util/result.hpp"
+
+namespace upin::docdb {
+
+/// Apply `update` to `doc` in place.  `_id` is immutable: attempts to
+/// modify it fail with kInvalidArgument and leave `doc` untouched.
+[[nodiscard]] util::Status apply_update(Document& doc,
+                                        const util::Value& update);
+
+}  // namespace upin::docdb

@@ -1,0 +1,82 @@
+#include "measure/parallel_survey.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "apps/host.hpp"
+#include "util/log.hpp"
+
+namespace upin::measure {
+
+using util::Result;
+
+Result<ParallelSurveyResult> run_parallel_survey(
+    const scion::ScionlabEnv& env, docdb::Database& db,
+    const ParallelSurveyConfig& config) {
+  // Which destinations run?
+  std::vector<int> server_ids;
+  if (config.suite.server_ids.has_value()) {
+    server_ids = *config.suite.server_ids;
+  } else {
+    for (std::size_t i = 0; i < env.servers.size(); ++i) {
+      server_ids.push_back(static_cast<int>(i) + 1);
+    }
+  }
+  if (server_ids.empty()) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "no destinations selected"};
+  }
+
+  // Shared bootstrap (availableServers + indexes) through one suite.
+  {
+    apps::ScionHost bootstrap_host(env, config.seed, env.user_as, "10.0.8.1",
+                                   config.net_config);
+    TestSuite bootstrap(bootstrap_host, db, config.suite);
+    const util::Status init = bootstrap.initialize();
+    if (!init.ok()) return Result<ParallelSurveyResult>(init.error());
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  ParallelSurveyResult result;
+  std::mutex merge_mutex;
+
+  util::ThreadPool pool(config.threads);
+  util::parallel_for(pool, server_ids.size(), [&](std::size_t index) {
+    // One replica VM per destination: own host, own virtual timeline.
+    apps::ScionHost host(env, config.seed, env.user_as, "10.0.8.1",
+                         config.net_config);
+    TestSuiteConfig worker_config = config.suite;
+    worker_config.server_ids = {{server_ids[index]}};
+    worker_config.some_only = false;
+    TestSuite suite(host, db, worker_config);
+    const util::Status run = suite.run();
+
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    if (!run.ok()) {
+      ++result.destinations_failed;
+      util::Log::warn("parallel survey: destination " +
+                      std::to_string(server_ids[index]) +
+                      " failed: " + run.error().message);
+      return;
+    }
+    const TestSuiteProgress& p = suite.progress();
+    result.progress.destinations_visited += p.destinations_visited;
+    result.progress.paths_collected += p.paths_collected;
+    result.progress.paths_deleted += p.paths_deleted;
+    result.progress.path_tests_run += p.path_tests_run;
+    result.progress.ping_failures += p.ping_failures;
+    result.progress.bwtest_failures += p.bwtest_failures;
+    result.progress.stats_inserted += p.stats_inserted;
+    result.progress.batches_inserted += p.batches_inserted;
+    result.progress.batches_rejected += p.batches_rejected;
+  });
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace upin::measure

@@ -1,0 +1,45 @@
+// parallel_survey.hpp — scale-out measurement (paper §4.1.1).
+//
+// The paper lists scalability as the test-suite's first requirement:
+// "the amount of data generated grows both with the number of tests
+// performed per destination, as well as the number of destinations
+// tested."  A single host measures destinations sequentially (that is
+// what creates the shared timeline).  When timelines per destination are
+// acceptable — the common case for bulk surveys — destinations can be
+// measured concurrently, one ScionHost replica per destination, all
+// writing into the same (thread-safe) database.
+//
+// Determinism: every replica is seeded identically and starts at virtual
+// time zero, so each destination's samples are bit-identical to a
+// sequential single-destination campaign with the same config.  Workers
+// share no mutable state except the database (internally locked) and a
+// few atomic counters.
+#pragma once
+
+#include "docdb/database.hpp"
+#include "measure/testsuite.hpp"
+#include "scion/scionlab.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upin::measure {
+
+struct ParallelSurveyConfig {
+  TestSuiteConfig suite;       ///< per-destination campaign parameters
+  std::size_t threads = 0;     ///< 0 = hardware concurrency
+  std::uint64_t seed = 42;     ///< replica seed (shared: determinism)
+  simnet::NetworkConfig net_config;
+};
+
+struct ParallelSurveyResult {
+  TestSuiteProgress progress;        ///< merged counters
+  std::size_t destinations_failed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Run the survey across `server_ids` (or every registered server when
+/// the config leaves them unset), one worker per destination.
+[[nodiscard]] util::Result<ParallelSurveyResult> run_parallel_survey(
+    const scion::ScionlabEnv& env, docdb::Database& db,
+    const ParallelSurveyConfig& config);
+
+}  // namespace upin::measure

@@ -1,0 +1,186 @@
+#include "measure/schema.hpp"
+
+#include "util/strings.hpp"
+
+namespace upin::measure {
+
+using docdb::Document;
+using util::ErrorCode;
+using util::JsonObject;
+using util::Result;
+using util::Value;
+
+std::string path_doc_id(int server_id, int path_index) {
+  return std::to_string(server_id) + "_" + std::to_string(path_index);
+}
+
+std::string stats_doc_id(const std::string& path_id, util::SimTime t) {
+  return path_id + "_" + util::timestamp_token(t);
+}
+
+Document server_document(int server_id, const scion::SnetAddress& addr) {
+  JsonObject doc;
+  doc.set("_id", Value(std::to_string(server_id)));
+  doc.set("server_id", Value(server_id));
+  doc.set("address", Value(addr.to_string()));
+  doc.set("isd_as", Value(addr.ia.to_string()));
+  doc.set("host", Value(addr.host));
+  return Value(std::move(doc));
+}
+
+namespace {
+
+Value isd_array(const std::set<std::uint16_t>& isds) {
+  Value::Array array;
+  for (const std::uint16_t isd : isds) {
+    array.emplace_back(static_cast<std::int64_t>(isd));
+  }
+  return Value(std::move(array));
+}
+
+}  // namespace
+
+Document path_document(int server_id, int path_index,
+                       const scion::Path& path) {
+  JsonObject doc;
+  doc.set("_id", Value(path_doc_id(server_id, path_index)));
+  doc.set("server_id", Value(server_id));
+  doc.set("path_index", Value(path_index));
+  doc.set("sequence", Value(path.sequence()));
+  Value::Array hops;
+  for (const scion::PathHop& hop : path.hops()) {
+    hops.emplace_back(hop.ia.to_string());
+  }
+  doc.set("hops", Value(std::move(hops)));
+  doc.set("isds", isd_array(path.isd_set()));
+  doc.set("hop_count", Value(path.hop_count()));
+  doc.set("mtu", Value(path.mtu()));
+  doc.set("status", Value(path.status()));
+  doc.set("static_latency_ms", Value(util::to_millis(path.static_latency())));
+  return Value(std::move(doc));
+}
+
+Document stats_document(const StatsSample& sample) {
+  JsonObject doc;
+  doc.set("_id", Value(stats_doc_id(sample.path_id, sample.timestamp)));
+  doc.set("path_id", Value(sample.path_id));
+  doc.set("server_id", Value(sample.server_id));
+  doc.set("timestamp_ms",
+          Value(static_cast<std::int64_t>(sample.timestamp.count() / 1'000'000)));
+  doc.set("hop_count", Value(sample.hop_count));
+  Value::Array isds;
+  for (const std::int64_t isd : sample.isds) isds.emplace_back(isd);
+  doc.set("isds", Value(std::move(isds)));
+  if (sample.latency_ms.has_value()) {
+    doc.set("latency_ms", Value(*sample.latency_ms));
+  }
+  doc.set("loss_pct", Value(sample.loss_pct));
+  if (sample.jitter_ms.has_value()) {
+    doc.set("jitter_ms", Value(*sample.jitter_ms));
+  }
+  JsonObject bw;
+  if (sample.bw_up_64.has_value()) bw.set("up_64", Value(*sample.bw_up_64));
+  if (sample.bw_down_64.has_value()) bw.set("down_64", Value(*sample.bw_down_64));
+  if (sample.bw_up_mtu.has_value()) bw.set("up_mtu", Value(*sample.bw_up_mtu));
+  if (sample.bw_down_mtu.has_value()) bw.set("down_mtu", Value(*sample.bw_down_mtu));
+  doc.set("bw", Value(std::move(bw)));
+  doc.set("target_mbps", Value(sample.target_mbps));
+  return Value(std::move(doc));
+}
+
+namespace {
+
+Result<std::vector<std::int64_t>> read_isds(const Document& doc) {
+  const Value* isds = doc.get("isds");
+  if (isds == nullptr || !isds->is_array()) {
+    return util::Error{ErrorCode::kParseError, "document missing isds array"};
+  }
+  std::vector<std::int64_t> result;
+  for (const Value& isd : isds->as_array()) {
+    if (!isd.is_int()) {
+      return util::Error{ErrorCode::kParseError, "non-integer isd entry"};
+    }
+    result.push_back(isd.as_int());
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<PathRecord> parse_path_document(const Document& doc) {
+  PathRecord record;
+  const auto id = docdb::document_id(doc);
+  if (!id.has_value()) {
+    return util::Error{ErrorCode::kParseError, "paths doc missing _id"};
+  }
+  record.id = std::string(*id);
+
+  const Value* server_id = doc.get("server_id");
+  const Value* path_index = doc.get("path_index");
+  const Value* sequence = doc.get("sequence");
+  const Value* hop_count = doc.get("hop_count");
+  const Value* mtu = doc.get("mtu");
+  const Value* status = doc.get("status");
+  if (server_id == nullptr || !server_id->is_int() || path_index == nullptr ||
+      !path_index->is_int() || sequence == nullptr || !sequence->is_string() ||
+      hop_count == nullptr || !hop_count->is_int() || mtu == nullptr ||
+      !mtu->is_number()) {
+    return util::Error{ErrorCode::kParseError, "paths doc missing fields"};
+  }
+  record.server_id = static_cast<int>(server_id->as_int());
+  record.path_index = static_cast<int>(path_index->as_int());
+  record.sequence = sequence->as_string();
+  record.hop_count = static_cast<std::size_t>(hop_count->as_int());
+  record.mtu = mtu->as_double();
+  record.status = status != nullptr && status->is_string()
+                      ? status->as_string()
+                      : std::string("unknown");
+  Result<std::vector<std::int64_t>> isds = read_isds(doc);
+  if (!isds.ok()) return Result<PathRecord>(isds.error());
+  record.isds = std::move(isds).value();
+  return record;
+}
+
+Result<StatsSample> parse_stats_document(const Document& doc) {
+  StatsSample sample;
+  const Value* path_id = doc.get("path_id");
+  const Value* server_id = doc.get("server_id");
+  const Value* timestamp = doc.get("timestamp_ms");
+  const Value* hop_count = doc.get("hop_count");
+  const Value* loss = doc.get("loss_pct");
+  if (path_id == nullptr || !path_id->is_string() || server_id == nullptr ||
+      !server_id->is_int() || timestamp == nullptr || !timestamp->is_int() ||
+      hop_count == nullptr || !hop_count->is_int() || loss == nullptr ||
+      !loss->is_number()) {
+    return util::Error{ErrorCode::kParseError, "stats doc missing fields"};
+  }
+  sample.path_id = path_id->as_string();
+  sample.server_id = static_cast<int>(server_id->as_int());
+  sample.timestamp = util::SimTime(timestamp->as_int() * 1'000'000);
+  sample.hop_count = static_cast<std::size_t>(hop_count->as_int());
+  sample.loss_pct = loss->as_double();
+
+  Result<std::vector<std::int64_t>> isds = read_isds(doc);
+  if (!isds.ok()) return Result<StatsSample>(isds.error());
+  sample.isds = std::move(isds).value();
+
+  const auto optional_double =
+      [&](std::string_view path) -> std::optional<double> {
+    const Value* value = doc.get_path(path);
+    if (value == nullptr || !value->is_number()) return std::nullopt;
+    return value->as_double();
+  };
+  sample.latency_ms = optional_double("latency_ms");
+  sample.jitter_ms = optional_double("jitter_ms");
+  sample.bw_up_64 = optional_double("bw.up_64");
+  sample.bw_down_64 = optional_double("bw.down_64");
+  sample.bw_up_mtu = optional_double("bw.up_mtu");
+  sample.bw_down_mtu = optional_double("bw.down_mtu");
+  if (const Value* target = doc.get("target_mbps");
+      target != nullptr && target->is_number()) {
+    sample.target_mbps = target->as_double();
+  }
+  return sample;
+}
+
+}  // namespace upin::measure

@@ -1,0 +1,86 @@
+// schema.hpp — the measurement database schema (paper Fig 3).
+//
+// Three collections:
+//   availableServers  {_id: "<n>", server_id, address}
+//   paths             {_id: "<server>_<path>", server_id, path_id,
+//                      sequence, hops, isds, hop_count, mtu, status,
+//                      static_latency_ms}
+//   paths_stats       {_id: "<server>_<path>_<timestamp>", path_id,
+//                      server_id, timestamp_ms, hop_count, isds,
+//                      latency_ms, loss_pct, jitter_ms,
+//                      bw: {up_64, down_64, up_mtu, down_mtu},
+//                      target_mbps}
+//
+// Ids follow the paper exactly: "a path whose id is 2_15 identifies the
+// path 15 of the destination 2", and a stats id appends the timestamp.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "docdb/document.hpp"
+#include "scion/path.hpp"
+#include "scion/isd_asn.hpp"
+#include "util/clock.hpp"
+
+namespace upin::measure {
+
+inline constexpr const char* kAvailableServers = "availableServers";
+inline constexpr const char* kPaths = "paths";
+inline constexpr const char* kPathsStats = "paths_stats";
+
+/// "2_15" for path 15 of destination 2.
+[[nodiscard]] std::string path_doc_id(int server_id, int path_index);
+
+/// "2_15_000000012000" — path id + virtual-time token.
+[[nodiscard]] std::string stats_doc_id(const std::string& path_id,
+                                       util::SimTime t);
+
+/// availableServers document.
+[[nodiscard]] docdb::Document server_document(int server_id,
+                                              const scion::SnetAddress& addr);
+
+/// paths document for a discovered path.
+[[nodiscard]] docdb::Document path_document(int server_id, int path_index,
+                                            const scion::Path& path);
+
+/// Inputs for one paths_stats document.  Optional fields are omitted
+/// (e.g. latency when every probe was lost).
+struct StatsSample {
+  std::string path_id;
+  int server_id = 0;
+  util::SimTime timestamp{};
+  std::size_t hop_count = 0;
+  std::vector<std::int64_t> isds;
+  std::optional<double> latency_ms;
+  double loss_pct = 0.0;
+  std::optional<double> jitter_ms;
+  std::optional<double> bw_up_64;    ///< client->server, 64-byte packets
+  std::optional<double> bw_down_64;  ///< server->client, 64-byte packets
+  std::optional<double> bw_up_mtu;
+  std::optional<double> bw_down_mtu;
+  double target_mbps = 0.0;
+};
+
+[[nodiscard]] docdb::Document stats_document(const StatsSample& sample);
+
+/// Decoded paths document (for consumers of the collection).
+struct PathRecord {
+  std::string id;
+  int server_id = 0;
+  int path_index = 0;
+  std::string sequence;
+  std::size_t hop_count = 0;
+  std::vector<std::int64_t> isds;
+  double mtu = 0.0;
+  std::string status;
+};
+
+[[nodiscard]] util::Result<PathRecord> parse_path_document(
+    const docdb::Document& doc);
+
+/// Decoded paths_stats document.
+[[nodiscard]] util::Result<StatsSample> parse_stats_document(
+    const docdb::Document& doc);
+
+}  // namespace upin::measure

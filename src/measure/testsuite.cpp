@@ -1,0 +1,323 @@
+#include "measure/testsuite.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "util/log.hpp"
+#include "util/sha256.hpp"
+#include "util/strings.hpp"
+
+namespace upin::measure {
+
+using docdb::Document;
+using docdb::Filter;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+TestSuite::TestSuite(apps::ScionHost& host, docdb::Database& db,
+                     TestSuiteConfig config)
+    : host_(host), db_(db), config_(std::move(config)) {}
+
+void TestSuite::enable_signed_writes(scion::TrustStore& trust) {
+  trust_ = &trust;
+}
+
+Status TestSuite::initialize() {
+  docdb::Collection& servers = db_.collection(kAvailableServers);
+  const std::vector<scion::SnetAddress>& registry = host_.env().servers;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const int server_id = static_cast<int>(i) + 1;
+    if (servers.find_by_id(std::to_string(server_id)).ok()) continue;
+    Result<std::string> inserted =
+        servers.insert_one(server_document(server_id, registry[i]));
+    if (!inserted.ok()) return Status(inserted.error());
+  }
+  db_.collection(kPaths).create_index("server_id");
+  db_.collection(kPathsStats).create_index("path_id");
+  db_.collection(kPathsStats).create_index("server_id");
+  return Status::success();
+}
+
+std::vector<TestSuite::Destination> TestSuite::selected_destinations() const {
+  std::vector<Destination> destinations;
+  const std::vector<scion::SnetAddress>& registry = host_.env().servers;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const int server_id = static_cast<int>(i) + 1;
+    if (config_.server_ids.has_value() &&
+        std::find(config_.server_ids->begin(), config_.server_ids->end(),
+                  server_id) == config_.server_ids->end()) {
+      continue;
+    }
+    destinations.push_back(Destination{server_id, registry[i]});
+    if (config_.some_only) break;  // --some_only: first destination only
+  }
+  return destinations;
+}
+
+Status TestSuite::collect_paths() {
+  docdb::Collection& paths = db_.collection(kPaths);
+
+  for (const Destination& destination : selected_destinations()) {
+    apps::ShowpathsOptions options;
+    options.max_paths = config_.showpaths_max;
+    options.extended = true;
+    Result<std::vector<apps::PathListing>> listings =
+        host_.showpaths(destination.address.ia, options);
+    if (!listings.ok()) {
+      util::Log::warn("showpaths to server " +
+                      std::to_string(destination.server_id) +
+                      " failed: " + listings.error().message);
+      continue;
+    }
+    if (listings.value().empty()) continue;
+
+    // Retain only paths with hop count <= min + slack (paper §5.2: "paths
+    // with a number of hops at most equal to the minimum required plus
+    // one").
+    const std::size_t min_hops = listings.value().front().path.hop_count();
+    std::vector<Document> fresh;
+    std::vector<std::string> fresh_ids;
+    int path_index = 0;
+    for (const apps::PathListing& listing : listings.value()) {
+      if (listing.path.hop_count() > min_hops + config_.hop_slack) continue;
+      const std::string id = path_doc_id(destination.server_id, path_index);
+      fresh.push_back(
+          path_document(destination.server_id, path_index, listing.path));
+      fresh_ids.push_back(id);
+      ++path_index;
+    }
+
+    // Delete documents for paths of this destination that vanished
+    // (paper §5.2: "no longer available paths ... are deleted"), then
+    // upsert the fresh set.
+    util::JsonObject query;
+    query.set("server_id", Value(destination.server_id));
+    Result<Filter> by_server = Filter::compile(Value(std::move(query)));
+    if (!by_server.ok()) return Status(by_server.error());
+    for (const Document& existing : paths.find(by_server.value())) {
+      const auto id = docdb::document_id(existing);
+      if (!id.has_value()) continue;
+      if (std::find(fresh_ids.begin(), fresh_ids.end(), *id) ==
+          fresh_ids.end()) {
+        paths.delete_by_id(*id);
+        ++progress_.paths_deleted;
+      }
+    }
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      paths.delete_by_id(fresh_ids[i]);  // replace previous snapshot
+      Result<std::string> inserted = paths.insert_one(std::move(fresh[i]));
+      if (!inserted.ok()) return Status(inserted.error());
+      ++progress_.paths_collected;
+    }
+    ++progress_.destinations_visited;
+  }
+  return Status::success();
+}
+
+Status TestSuite::store_batch(std::vector<Document> docs) {
+  if (docs.empty()) return Status::success();
+  const std::size_t batch_size = docs.size();
+
+  if (trust_ == nullptr) {
+    Result<std::vector<std::string>> inserted =
+        db_.collection(kPathsStats).insert_many(std::move(docs));
+    if (!inserted.ok()) {
+      ++progress_.batches_rejected;
+      return Status(inserted.error());
+    }
+    progress_.stats_inserted += batch_size;
+    ++progress_.batches_inserted;
+    return Status::success();
+  }
+
+  // Signed write: fresh one-time key, certificate from our ISD core,
+  // signature over the batch digest (paper §4.2.2's designed PKC gate).
+  const std::string batch_label =
+      "batch:" + std::to_string(batch_counter_++);
+  const util::LamportKeyPair key = trust_->generate_client_key(batch_label);
+  Result<scion::Certificate> cert = trust_->issue_certificate(
+      host_.address().local.ia, key.public_key);
+  if (!cert.ok()) {
+    ++progress_.batches_rejected;
+    return Status(cert.error());
+  }
+  std::string payload;
+  for (const Document& doc : docs) payload += doc.dump();
+  const std::string digest_hex = util::to_hex(util::Sha256::hash(payload));
+
+  scion::WriteCredential credential;
+  credential.certificate = std::move(cert).value();
+  credential.subject_key = key.public_key;
+  credential.batch_digest_hex = digest_hex;
+  credential.batch_signature = util::lamport_sign(key.private_key, digest_hex);
+
+  Result<std::vector<std::string>> inserted = db_.guarded_insert_many(
+      kPathsStats, std::move(docs),
+      scion::TrustStore::encode_credential(credential));
+  if (!inserted.ok()) {
+    ++progress_.batches_rejected;
+    return Status(inserted.error());
+  }
+  progress_.stats_inserted += batch_size;
+  ++progress_.batches_inserted;
+  return Status::success();
+}
+
+std::size_t TestSuite::completed_iterations(int server_id) const {
+  // A destination's completed iteration count is the *minimum* number of
+  // stored samples over its paths: batching per destination keeps these
+  // balanced, and a crash can only leave the last iteration partial.
+  const docdb::Collection* paths = db_.find_collection(kPaths);
+  const docdb::Collection* stats = db_.find_collection(kPathsStats);
+  if (paths == nullptr || stats == nullptr) return 0;
+
+  util::JsonObject query;
+  query.set("server_id", Value(server_id));
+  Result<Filter> by_server = Filter::compile(Value(std::move(query)));
+  if (!by_server.ok()) return 0;
+
+  std::size_t minimum = SIZE_MAX;
+  bool any = false;
+  for (const Document& path_doc : paths->find(by_server.value())) {
+    const auto id = docdb::document_id(path_doc);
+    if (!id.has_value()) continue;
+    util::JsonObject stats_query;
+    stats_query.set("path_id", Value(std::string(*id)));
+    Result<Filter> by_path = Filter::compile(Value(std::move(stats_query)));
+    if (!by_path.ok()) return 0;
+    minimum = std::min(minimum, stats->count(by_path.value()));
+    any = true;
+  }
+  return any ? minimum : 0;
+}
+
+Status TestSuite::run_tests() {
+  docdb::Collection& paths = db_.collection(kPaths);
+  const std::vector<Destination> destinations = selected_destinations();
+
+  // Per-destination remaining work (resume support).
+  std::vector<int> remaining(destinations.size(), config_.iterations);
+  if (config_.resume) {
+    for (std::size_t i = 0; i < destinations.size(); ++i) {
+      const auto done = completed_iterations(destinations[i].server_id);
+      remaining[i] = std::max(
+          0, config_.iterations - static_cast<int>(
+                                      std::min<std::size_t>(done, INT_MAX)));
+    }
+  }
+
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    for (std::size_t destination_index = 0;
+         destination_index < destinations.size(); ++destination_index) {
+      const Destination& destination = destinations[destination_index];
+      if (iteration >= remaining[destination_index]) continue;
+      util::JsonObject query;
+      query.set("server_id", Value(destination.server_id));
+      Result<Filter> by_server = Filter::compile(Value(std::move(query)));
+      if (!by_server.ok()) return Status(by_server.error());
+      docdb::FindOptions in_order;
+      in_order.sort_by = "path_index";
+      const std::vector<Document> path_docs =
+          paths.find(by_server.value(), in_order);
+
+      // One batch per destination: losing a crash's worth of data drops
+      // at most one balanced sample per path (paper §4.2.2).
+      std::vector<Document> batch;
+      batch.reserve(path_docs.size());
+
+      for (const Document& path_doc : path_docs) {
+        Result<PathRecord> record = parse_path_document(path_doc);
+        if (!record.ok()) {
+          util::Log::warn("skipping malformed path doc: " +
+                          record.error().message);
+          continue;
+        }
+
+        StatsSample sample;
+        sample.path_id = record.value().id;
+        sample.server_id = destination.server_id;
+        sample.hop_count = record.value().hop_count;
+        sample.isds = record.value().isds;
+        sample.target_mbps = config_.bw_target_mbps;
+
+        // --- latency & loss: scion ping -c 30 --interval 0.1s ---------
+        apps::PingOptions ping_options;
+        ping_options.count = config_.ping_count;
+        ping_options.interval_s = config_.ping_interval_s;
+        ping_options.sequence = record.value().sequence;
+        Result<apps::PingReport> ping =
+            host_.ping(destination.address, ping_options);
+        if (!ping.ok()) {
+          ++progress_.ping_failures;
+          util::Log::warn("ping " + sample.path_id +
+                          " failed: " + ping.error().message);
+          continue;  // server failure: skip this path, keep the campaign
+        }
+        sample.latency_ms = ping.value().stats.avg_ms();
+        sample.loss_pct = ping.value().stats.loss_pct();
+        sample.jitter_ms = ping.value().stats.stddev_ms();
+
+        // --- bandwidth: scion-bwtestclient -cs d,{64|MTU},?,target ----
+        const auto bw_spec = [&](std::string_view size) {
+          return util::format("%g,%.*s,?,%gMbps", config_.bw_duration_s,
+                              static_cast<int>(size.size()), size.data(),
+                              config_.bw_target_mbps);
+        };
+        apps::BwtestOptions small_options;
+        small_options.cs_spec =
+            bw_spec(util::format("%g", config_.small_packet_bytes));
+        small_options.sequence = record.value().sequence;
+        Result<apps::BwtestReport> small =
+            host_.bwtestclient(destination.address, small_options);
+
+        apps::BwtestOptions mtu_options;
+        mtu_options.cs_spec = bw_spec("MTU");
+        mtu_options.sequence = record.value().sequence;
+        Result<apps::BwtestReport> mtu =
+            host_.bwtestclient(destination.address, mtu_options);
+
+        if (small.ok()) {
+          sample.bw_up_64 = small.value().client_to_server.achieved_mbps;
+          sample.bw_down_64 = small.value().server_to_client.achieved_mbps;
+        } else {
+          ++progress_.bwtest_failures;
+        }
+        if (mtu.ok()) {
+          sample.bw_up_mtu = mtu.value().client_to_server.achieved_mbps;
+          sample.bw_down_mtu = mtu.value().server_to_client.achieved_mbps;
+        } else {
+          ++progress_.bwtest_failures;
+        }
+
+        sample.timestamp = host_.clock().now();
+        batch.push_back(stats_document(sample));
+        ++progress_.path_tests_run;
+
+        host_.clock().advance(util::sim_seconds(config_.inter_test_gap_s));
+      }
+
+      const Status stored = store_batch(std::move(batch));
+      if (!stored.ok()) {
+        util::Log::error("batch insert for server " +
+                         std::to_string(destination.server_id) +
+                         " failed: " + stored.error().message);
+        // Data for this destination+iteration is lost; keep running.
+      }
+    }
+  }
+  return Status::success();
+}
+
+Status TestSuite::run() {
+  Status init = initialize();
+  if (!init.ok()) return init;
+  if (!config_.skip_collection) {
+    const Status collected = collect_paths();
+    if (!collected.ok()) return collected;
+  }
+  return run_tests();
+}
+
+}  // namespace upin::measure

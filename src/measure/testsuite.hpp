@@ -1,0 +1,118 @@
+// testsuite.hpp — the measurement campaign engine (paper §5).
+//
+// Reimplements the paper's three-component suite as one engine:
+//
+//   * test_suite.sh      -> TestSuiteConfig {iterations, skip, some_only}
+//                           + TestSuite::run()
+//   * collect_paths.py   -> TestSuite::collect_paths(): showpaths per
+//                           destination, keep paths with hop count <=
+//                           min + 1, insert into `paths`, delete vanished
+//   * run_test.py        -> TestSuite::run_tests(): three nested loops
+//                           (iterations x destinations x paths), per path
+//                           one ping (30 x 0.1 s) and four bandwidth
+//                           numbers ({64 B, MTU} x {up, down}), then one
+//                           *batched* insert per destination (§4.2.2's
+//                           fault-tolerance trade-off)
+//
+// Faults (unreachable server, failed command) are logged and skipped —
+// the suite keeps functioning against a fallible network (§4.1.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apps/host.hpp"
+#include "docdb/database.hpp"
+#include "measure/schema.hpp"
+#include "scion/trust.hpp"
+
+namespace upin::measure {
+
+/// CLI-equivalent configuration (paper §5.1).
+struct TestSuiteConfig {
+  int iterations = 1;            ///< <iterations>
+  bool skip_collection = false;  ///< --skip
+  bool some_only = false;        ///< --some_only (first destination only)
+  /// Resume semantics: treat `iterations` as the *target* number of
+  /// samples per path and only run the missing remainder, so a campaign
+  /// interrupted by a crash (losing at most its in-flight batch, §4.2.2)
+  /// can be topped up instead of rerun.
+  bool resume = false;
+  /// Restrict the run to these server ids (paper §6 uses the featured 5).
+  std::optional<std::vector<int>> server_ids;
+
+  std::size_t showpaths_max = 40;  ///< scion showpaths -m 40
+  std::size_t hop_slack = 1;       ///< keep hop_count <= min + slack
+
+  std::size_t ping_count = 30;
+  double ping_interval_s = 0.1;
+
+  double bw_duration_s = 3.0;
+  double bw_target_mbps = 12.0;
+  double small_packet_bytes = 64.0;
+
+  /// Virtual-time pause between consecutive path tests (scheduling gap).
+  double inter_test_gap_s = 0.5;
+};
+
+/// Run counters for reporting and tests.
+struct TestSuiteProgress {
+  std::size_t destinations_visited = 0;
+  std::size_t paths_collected = 0;
+  std::size_t paths_deleted = 0;
+  std::size_t path_tests_run = 0;
+  std::size_t ping_failures = 0;
+  std::size_t bwtest_failures = 0;
+  std::size_t stats_inserted = 0;
+  std::size_t batches_inserted = 0;
+  std::size_t batches_rejected = 0;
+};
+
+/// The campaign engine.  Owns neither the host nor the database.
+class TestSuite {
+ public:
+  TestSuite(apps::ScionHost& host, docdb::Database& db,
+            TestSuiteConfig config);
+
+  /// Populate `availableServers` from the testbed registry (idempotent)
+  /// and create the indexes the selection layer expects.
+  util::Status initialize();
+
+  /// Phase 1: discover paths for every (selected) destination.
+  util::Status collect_paths();
+
+  /// Phase 2: the three nested measurement loops.
+  util::Status run_tests();
+
+  /// Phases 1+2 honoring skip_collection, i.e. `./test_suite.sh N [--skip]`.
+  util::Status run();
+
+  /// Sign each batch with a fresh one-time key certified by `trust`, and
+  /// write through the database's guarded interface.
+  void enable_signed_writes(scion::TrustStore& trust);
+
+  /// Samples already stored for every path of `server_id` (the minimum
+  /// across its paths) — what `resume` subtracts from `iterations`.
+  [[nodiscard]] std::size_t completed_iterations(int server_id) const;
+
+  [[nodiscard]] const TestSuiteProgress& progress() const noexcept {
+    return progress_;
+  }
+
+ private:
+  struct Destination {
+    int server_id = 0;
+    scion::SnetAddress address;
+  };
+  [[nodiscard]] std::vector<Destination> selected_destinations() const;
+  [[nodiscard]] util::Status store_batch(std::vector<docdb::Document> docs);
+
+  apps::ScionHost& host_;
+  docdb::Database& db_;
+  TestSuiteConfig config_;
+  TestSuiteProgress progress_;
+  scion::TrustStore* trust_ = nullptr;
+  std::uint64_t batch_counter_ = 0;
+};
+
+}  // namespace upin::measure

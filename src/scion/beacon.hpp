@@ -1,0 +1,69 @@
+// beacon.hpp — SCION control plane: beaconing and segment combination.
+//
+// SCION discovers paths with Path Construction Beacons: core ASes flood
+// beacons over core links (core segments) and down the intra-ISD
+// parent→child hierarchy (up/down segments).  An end-to-end path is a
+// combination up-segment + core-segment + down-segment, with the usual
+// degenerate forms (shared core, common-AS shortcut).  This module
+// computes all segments for a Topology and combines them on demand —
+// which is exactly what `scion showpaths` surfaces to the user (§3.3).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "scion/path.hpp"
+#include "scion/topology.hpp"
+
+namespace upin::scion {
+
+/// A path segment: an AS sequence.
+/// Up segments run leaf→core, core segments coreA→coreB, down segments
+/// core→leaf.
+struct Segment {
+  enum class Type { kUp, kCore, kDown };
+  Type type = Type::kUp;
+  std::vector<IsdAsn> ases;
+};
+
+/// Limits on segment exploration; defaults cover SCIONLab-scale graphs.
+struct BeaconConfig {
+  std::size_t max_up_segment_ases = 4;    ///< leaf..core inclusive
+  std::size_t max_core_segment_ases = 5;  ///< coreA..coreB inclusive
+  std::size_t max_paths = 256;            ///< combination cutoff per pair
+};
+
+/// Precomputed segment store for one topology.
+class Beaconing {
+ public:
+  explicit Beaconing(const Topology& topology, BeaconConfig config = {});
+
+  /// Up segments from `leaf` to any core AS of its ISD (leaf→core order).
+  /// Core ASes have a single trivial segment {leaf}.
+  [[nodiscard]] const std::vector<Segment>& up_segments(IsdAsn leaf) const;
+
+  /// Core segments from `from` to `to` (both core ASes).
+  [[nodiscard]] std::vector<Segment> core_segments(IsdAsn from, IsdAsn to) const;
+
+  /// Down segments from core `core` to `leaf` (core→leaf order).
+  [[nodiscard]] std::vector<Segment> down_segments(IsdAsn core, IsdAsn leaf) const;
+
+  /// All end-to-end paths src→dst from segment combination, deduplicated,
+  /// loop-free, sorted by (hop count, static latency) and truncated to
+  /// `config.max_paths`.  Mirrors `scion showpaths` ranking.
+  [[nodiscard]] std::vector<Path> paths(IsdAsn src, IsdAsn dst) const;
+
+ private:
+  void compute_up_segments();
+  void compute_core_paths();
+  [[nodiscard]] Path materialize(const std::vector<IsdAsn>& ases) const;
+
+  const Topology& topology_;
+  BeaconConfig config_;
+  std::unordered_map<IsdAsn, std::vector<Segment>> up_by_leaf_;
+  /// All simple core-graph paths up to the cap, keyed by endpoint pair.
+  std::unordered_map<IsdAsn, std::vector<std::vector<IsdAsn>>> core_from_;
+  std::vector<Segment> empty_;
+};
+
+}  // namespace upin::scion

@@ -1,0 +1,79 @@
+#include "scion/path.hpp"
+
+#include "util/strings.hpp"
+
+namespace upin::scion {
+
+using util::ErrorCode;
+using util::Result;
+
+std::set<std::uint16_t> Path::isd_set() const {
+  std::set<std::uint16_t> isds;
+  for (const PathHop& hop : hops_) isds.insert(hop.ia.isd());
+  return isds;
+}
+
+bool Path::traverses(IsdAsn ia) const noexcept {
+  for (const PathHop& hop : hops_) {
+    if (hop.ia == ia) return true;
+  }
+  return false;
+}
+
+std::string Path::sequence() const {
+  std::string out;
+  for (const PathHop& hop : hops_) {
+    if (!out.empty()) out.push_back(' ');
+    out += hop.ia.to_string();
+    out.push_back('#');
+    out += std::to_string(hop.ingress_if);
+    out.push_back(',');
+    out += std::to_string(hop.egress_if);
+  }
+  return out;
+}
+
+Result<Path> Path::parse_sequence(std::string_view text) {
+  std::vector<PathHop> hops;
+  for (const std::string& token : util::split(std::string(text), ' ')) {
+    if (token.empty()) continue;
+    const std::size_t hash = token.find('#');
+    if (hash == std::string::npos) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "hop predicate missing '#': " + token};
+    }
+    Result<IsdAsn> ia = IsdAsn::parse(std::string_view(token).substr(0, hash));
+    if (!ia.ok()) return Result<Path>(ia.error());
+    const std::vector<std::string> interfaces =
+        util::split(std::string_view(token).substr(hash + 1), ',');
+    if (interfaces.size() != 2) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "hop predicate needs <in>,<out>: " + token};
+    }
+    const auto ingress = util::parse_uint(interfaces[0]);
+    const auto egress = util::parse_uint(interfaces[1]);
+    if (!ingress.has_value() || !egress.has_value() || *ingress > 0xffff ||
+        *egress > 0xffff) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "bad interface id in: " + token};
+    }
+    hops.push_back(PathHop{ia.value(), static_cast<std::uint16_t>(*ingress),
+                           static_cast<std::uint16_t>(*egress)});
+  }
+  if (hops.size() < 2) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "sequence needs at least two hops"};
+  }
+  return Path(std::move(hops), 0.0, util::SimDuration::zero());
+}
+
+std::string Path::to_string() const {
+  std::string out;
+  for (const PathHop& hop : hops_) {
+    if (!out.empty()) out += " > ";
+    out += hop.ia.to_string();
+  }
+  return out;
+}
+
+}  // namespace upin::scion

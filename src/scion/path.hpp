@@ -1,0 +1,78 @@
+// path.hpp — an end-to-end SCION path.
+//
+// A path is the unit everything else in this library operates on: the
+// test-suite measures paths, the database stores one document per path,
+// and the selection layer ranks them.  A path records its AS-level hop
+// sequence with ingress/egress interface ids (the "hop predicates" the
+// paper's scripts pass via `--sequence`), the path MTU, and the static
+// (propagation-only) latency bound that `showpaths --extended` reports.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scion/isd_asn.hpp"
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace upin::scion {
+
+/// One AS on a path with the interfaces the path enters/leaves through
+/// (0 = no interface, i.e. the endpoint side).
+struct PathHop {
+  IsdAsn ia;
+  std::uint16_t ingress_if = 0;
+  std::uint16_t egress_if = 0;
+
+  friend bool operator==(const PathHop&, const PathHop&) = default;
+};
+
+/// An end-to-end path from hops().front() to hops().back().
+class Path {
+ public:
+  Path() = default;
+  Path(std::vector<PathHop> hops, double mtu, util::SimDuration static_latency)
+      : hops_(std::move(hops)), mtu_(mtu), static_latency_(static_latency) {}
+
+  [[nodiscard]] const std::vector<PathHop>& hops() const noexcept { return hops_; }
+  /// Number of ASes on the path (the paper's "hop count").
+  [[nodiscard]] std::size_t hop_count() const noexcept { return hops_.size(); }
+  [[nodiscard]] IsdAsn source() const { return hops_.front().ia; }
+  [[nodiscard]] IsdAsn destination() const { return hops_.back().ia; }
+
+  [[nodiscard]] double mtu() const noexcept { return mtu_; }
+  /// Lower-bound one-way latency from link propagation delays.
+  [[nodiscard]] util::SimDuration static_latency() const noexcept {
+    return static_latency_;
+  }
+  [[nodiscard]] const std::string& status() const noexcept { return status_; }
+  void set_status(std::string status) { status_ = std::move(status); }
+
+  /// Ordered set of ISDs the path traverses (paper §5.3 stores this per
+  /// measurement to test whether ISD membership predicts performance).
+  [[nodiscard]] std::set<std::uint16_t> isd_set() const;
+
+  /// True when `ia` appears anywhere on the path.
+  [[nodiscard]] bool traverses(IsdAsn ia) const noexcept;
+
+  /// Hop-predicate sequence string, e.g.
+  /// "17-ffaa:1:f00#0,1 17-ffaa:0:1107#2,1 16-ffaa:0:1002#3,0".
+  [[nodiscard]] std::string sequence() const;
+
+  /// Parse a sequence string back into hops (interface ids included).
+  [[nodiscard]] static util::Result<Path> parse_sequence(std::string_view text);
+
+  /// Plain AS chain, "17-ffaa:1:f00 > 17-ffaa:0:1107 > 16-ffaa:0:1002".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+
+ private:
+  std::vector<PathHop> hops_;
+  double mtu_ = 0.0;
+  util::SimDuration static_latency_{};
+  std::string status_ = "alive";
+};
+
+}  // namespace upin::scion

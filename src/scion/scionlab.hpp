@@ -1,0 +1,46 @@
+// scionlab.hpp — the embedded SCIONLab-like testbed.
+//
+// A 35-AS topology standing in for the SCIONLab deployment of paper §3.1
+// (Fig 1): seven ISDs, core / non-core / attachment-point roles, real-city
+// geography, plus the authors' own user AS attached to the ETHZ
+// attachment point (§3.2).  The 21 "availableServers" destinations match
+// the paper's reachability study (§6, Fig 4); the five featured servers
+// are in Germany, Ireland, N. Virginia, Singapore and Korea, as in §6.
+//
+// The topology is synthetic but structure-preserving: the Ireland AS has
+// parents in Frankfurt, Ohio and Singapore, so its down-segments create
+// the three latency layers of Fig 5 with Ohio/Singapore as the
+// second-last hop — exactly the paper's observation.
+#pragma once
+
+#include <vector>
+
+#include "scion/topology.hpp"
+
+namespace upin::scion {
+
+/// The assembled testbed: topology + user AS + availableServers registry.
+struct ScionlabEnv {
+  Topology topology;
+  IsdAsn user_as;                     ///< "MY_AS", 17-ffaa:1:f00
+  std::vector<SnetAddress> servers;   ///< 21 destinations, ids 1..21 in order
+};
+
+/// Well-known ASes (the paper's featured destinations).
+namespace scionlab {
+inline constexpr IsdAsn kUserAs{17, make_asn(1, 0xf00)};
+inline constexpr IsdAsn kEthzAp{17, make_asn(0, 0x1107)};
+inline constexpr IsdAsn kGermanyAp{19, make_asn(0, 0x1303)};     ///< Magdeburg
+inline constexpr IsdAsn kIreland{16, make_asn(0, 0x1002)};       ///< AWS Dublin
+inline constexpr IsdAsn kNVirginia{16, make_asn(0, 0x1003)};     ///< AWS Ashburn
+inline constexpr IsdAsn kSingapore{16, make_asn(0, 0x1007)};     ///< AWS Singapore
+inline constexpr IsdAsn kKorea{20, make_asn(0, 0x1403)};         ///< Korea Univ.
+inline constexpr IsdAsn kOhio{16, make_asn(0, 0x1004)};          ///< AWS Ohio
+inline constexpr IsdAsn kFrankfurtCore{16, make_asn(0, 0x1001)};
+}  // namespace scionlab
+
+/// Build the full testbed.  Deterministic; `validate()` holds on the
+/// returned topology.
+[[nodiscard]] ScionlabEnv scionlab_topology();
+
+}  // namespace upin::scion

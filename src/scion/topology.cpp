@@ -1,0 +1,206 @@
+#include "scion/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace upin::scion {
+
+using util::ErrorCode;
+using util::Status;
+
+const char* to_string(AsRole role) noexcept {
+  switch (role) {
+    case AsRole::kCore: return "core";
+    case AsRole::kNonCore: return "non-core";
+    case AsRole::kAttachmentPoint: return "attachment-point";
+    case AsRole::kUser: return "user";
+  }
+  return "?";
+}
+
+const char* to_string(LinkType type) noexcept {
+  switch (type) {
+    case LinkType::kCore: return "core";
+    case LinkType::kParentChild: return "parent-child";
+    case LinkType::kPeer: return "peer";
+  }
+  return "?";
+}
+
+Status Topology::add_as(AsInfo info) {
+  if (as_index_.contains(info.ia)) {
+    return Status(ErrorCode::kConflict,
+                  "duplicate AS " + info.ia.to_string());
+  }
+  as_index_.emplace(info.ia, ases_.size());
+  ases_.push_back(std::move(info));
+  return Status::success();
+}
+
+Status Topology::add_link(AsLink link) {
+  const AsInfo* a = find_as(link.a);
+  const AsInfo* b = find_as(link.b);
+  if (a == nullptr || b == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "link endpoint unknown");
+  }
+  if (link.a == link.b) {
+    return Status(ErrorCode::kInvalidArgument, "self-link not allowed");
+  }
+  if (find_link(link.a, link.b) != nullptr) {
+    return Status(ErrorCode::kConflict,
+                  "duplicate link " + link.a.to_string() + " <-> " +
+                      link.b.to_string());
+  }
+  switch (link.type) {
+    case LinkType::kCore:
+      if (a->role != AsRole::kCore || b->role != AsRole::kCore) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "core link requires two core ASes");
+      }
+      break;
+    case LinkType::kParentChild:
+      if (a->ia.isd() != b->ia.isd()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "parent-child link must stay within one ISD");
+      }
+      if (b->role == AsRole::kCore) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "a core AS cannot be a child");
+      }
+      break;
+    case LinkType::kPeer:
+      if (a->role == AsRole::kCore || b->role == AsRole::kCore) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "peering is between non-core ASes");
+      }
+      break;
+  }
+  link.interface_a = ++next_interface_[link.a];
+  link.interface_b = ++next_interface_[link.b];
+  links_.push_back(link);
+  return Status::success();
+}
+
+const AsInfo* Topology::find_as(IsdAsn ia) const {
+  const auto it = as_index_.find(ia);
+  if (it == as_index_.end()) return nullptr;
+  return &ases_[it->second];
+}
+
+const AsLink* Topology::find_link(IsdAsn a, IsdAsn b) const {
+  for (const AsLink& link : links_) {
+    if ((link.a == a && link.b == b) || (link.a == b && link.b == a)) {
+      return &link;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<IsdAsn> Topology::neighbors(IsdAsn ia, LinkType type) const {
+  std::vector<IsdAsn> result;
+  for (const AsLink& link : links_) {
+    if (link.type != type) continue;
+    if (link.a == ia) result.push_back(link.b);
+    if (link.b == ia) result.push_back(link.a);
+  }
+  return result;
+}
+
+std::vector<IsdAsn> Topology::parents_of(IsdAsn ia) const {
+  std::vector<IsdAsn> result;
+  for (const AsLink& link : links_) {
+    if (link.type == LinkType::kParentChild && link.b == ia) {
+      result.push_back(link.a);
+    }
+  }
+  return result;
+}
+
+std::vector<IsdAsn> Topology::children_of(IsdAsn ia) const {
+  std::vector<IsdAsn> result;
+  for (const AsLink& link : links_) {
+    if (link.type == LinkType::kParentChild && link.a == ia) {
+      result.push_back(link.b);
+    }
+  }
+  return result;
+}
+
+std::vector<IsdAsn> Topology::core_ases(std::uint16_t isd) const {
+  std::vector<IsdAsn> result;
+  for (const AsInfo& info : ases_) {
+    if (info.ia.isd() == isd && info.role == AsRole::kCore) {
+      result.push_back(info.ia);
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint16_t> Topology::isds() const {
+  std::vector<std::uint16_t> result;
+  for (const AsInfo& info : ases_) {
+    if (std::find(result.begin(), result.end(), info.ia.isd()) == result.end()) {
+      result.push_back(info.ia.isd());
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Status Topology::validate() const {
+  for (const std::uint16_t isd : isds()) {
+    if (core_ases(isd).empty()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "ISD " + std::to_string(isd) + " has no core AS");
+    }
+  }
+  // Every non-core AS must reach a core of its ISD by climbing parents.
+  for (const AsInfo& info : ases_) {
+    if (info.role == AsRole::kCore) continue;
+    std::unordered_set<IsdAsn> seen{info.ia};
+    std::queue<IsdAsn> frontier;
+    frontier.push(info.ia);
+    bool reached_core = false;
+    while (!frontier.empty() && !reached_core) {
+      const IsdAsn current = frontier.front();
+      frontier.pop();
+      for (const IsdAsn parent : parents_of(current)) {
+        if (!seen.insert(parent).second) continue;
+        const AsInfo* parent_info = find_as(parent);
+        if (parent_info != nullptr && parent_info->role == AsRole::kCore) {
+          reached_core = true;
+          break;
+        }
+        frontier.push(parent);
+      }
+    }
+    if (!reached_core) {
+      return Status(ErrorCode::kInvalidArgument,
+                    info.ia.to_string() + " cannot reach a core AS");
+    }
+  }
+  return Status::success();
+}
+
+Topology::Compiled Topology::compile(std::uint64_t seed,
+                                     simnet::NetworkConfig config) const {
+  Compiled compiled{simnet::Network(seed, config), {}};
+  for (const AsInfo& info : ases_) {
+    simnet::NodeSpec spec;
+    spec.name = info.ia.to_string();
+    spec.location = info.location;
+    spec.jitter_ms = info.jitter_ms;
+    compiled.node_of.emplace(info.ia, compiled.network.add_node(spec));
+  }
+  for (const AsLink& link : links_) {
+    const simnet::NodeId a = compiled.node_of.at(link.a);
+    const simnet::NodeId b = compiled.node_of.at(link.b);
+    const Status added = compiled.network.add_duplex(
+        a, b, link.capacity_ab_mbps, link.capacity_ba_mbps, link.util_base);
+    (void)added;  // add_as/add_link invariants make failures impossible
+  }
+  return compiled;
+}
+
+}  // namespace upin::scion

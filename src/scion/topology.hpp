@@ -1,0 +1,109 @@
+// topology.hpp — the AS-level SCION topology model.
+//
+// ASes carry the metadata the paper's selection layer filters on
+// (geography, country, operator — §1 "devices to exclude for geographical
+// or sovereignty reasons") plus the roles SCIONLab distinguishes (§3.1):
+// core ASes, non-core ASes, and attachment points.  Links are typed the
+// SCION way: core links between core ASes, parent→child links down the
+// ISD hierarchy, and peering links.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scion/isd_asn.hpp"
+#include "simnet/network.hpp"
+#include "util/result.hpp"
+
+namespace upin::scion {
+
+/// Role of an AS in the SCIONLab topology (§3.1).
+enum class AsRole { kCore, kNonCore, kAttachmentPoint, kUser };
+
+const char* to_string(AsRole role) noexcept;
+
+/// Static AS metadata.
+struct AsInfo {
+  IsdAsn ia;
+  std::string name;          ///< human label, e.g. "AWS Ireland"
+  AsRole role = AsRole::kNonCore;
+  simnet::GeoPoint location; ///< for distance-derived latency
+  std::string city;
+  std::string country;       ///< ISO-3166 alpha-2, e.g. "IE"
+  std::string operator_name; ///< e.g. "AWS", "ETH Zurich"
+  double jitter_ms = 0.15;   ///< queueing jitter scale (Singapore/Ohio noisy)
+};
+
+/// SCION link type.
+enum class LinkType { kCore, kParentChild, kPeer };
+
+const char* to_string(LinkType type) noexcept;
+
+/// A physical adjacency between two ASes.  For kParentChild, `a` is the
+/// parent and `b` the child.  Each side gets a stable interface id.
+struct AsLink {
+  IsdAsn a;
+  IsdAsn b;
+  LinkType type = LinkType::kCore;
+  double capacity_ab_mbps = 1000.0;  ///< a -> b direction
+  double capacity_ba_mbps = 1000.0;  ///< b -> a direction
+  double util_base = 0.25;           ///< mean background utilization
+  double mtu = 1472.0;               ///< payload MTU across this link
+  std::uint16_t interface_a = 0;     ///< assigned by Topology::add_link
+  std::uint16_t interface_b = 0;
+};
+
+/// The AS graph plus its compilation into a simnet::Network.
+class Topology {
+ public:
+  /// Register an AS.  kConflict on duplicate ISD-AS.
+  util::Status add_as(AsInfo info);
+
+  /// Register a link; kInvalidArgument on unknown endpoints, kConflict on
+  /// duplicates, and type errors (core link touching a non-core AS,
+  /// parent-child crossing ISDs).  Interface ids are assigned here.
+  util::Status add_link(AsLink link);
+
+  [[nodiscard]] const AsInfo* find_as(IsdAsn ia) const;
+  [[nodiscard]] const std::vector<AsInfo>& ases() const noexcept { return ases_; }
+  [[nodiscard]] const std::vector<AsLink>& links() const noexcept { return links_; }
+
+  /// Link between two ASes (either orientation), or nullptr.
+  [[nodiscard]] const AsLink* find_link(IsdAsn a, IsdAsn b) const;
+
+  /// All ASes adjacent to `ia` through links of `type` (any direction for
+  /// kCore/kPeer; for kParentChild, `parents_of`/`children_of` are the
+  /// directed views).
+  [[nodiscard]] std::vector<IsdAsn> neighbors(IsdAsn ia, LinkType type) const;
+  [[nodiscard]] std::vector<IsdAsn> parents_of(IsdAsn ia) const;
+  [[nodiscard]] std::vector<IsdAsn> children_of(IsdAsn ia) const;
+
+  /// Core ASes of one ISD.
+  [[nodiscard]] std::vector<IsdAsn> core_ases(std::uint16_t isd) const;
+  /// All distinct ISDs present.
+  [[nodiscard]] std::vector<std::uint16_t> isds() const;
+
+  /// Structural checks beyond what add_* enforces: every non-core AS can
+  /// reach a core of its ISD via parent links; every ISD has a core.
+  [[nodiscard]] util::Status validate() const;
+
+  /// Compile into a packet-level network.  Every AS becomes one node
+  /// (SCIONLab: one host per AS, §3.1); every AsLink becomes a duplex
+  /// link pair with the configured capacities.
+  struct Compiled {
+    simnet::Network network;
+    std::unordered_map<IsdAsn, simnet::NodeId> node_of;
+  };
+  [[nodiscard]] Compiled compile(std::uint64_t seed,
+                                 simnet::NetworkConfig config = {}) const;
+
+ private:
+  std::vector<AsInfo> ases_;
+  std::vector<AsLink> links_;
+  std::unordered_map<IsdAsn, std::size_t> as_index_;
+  std::unordered_map<IsdAsn, std::uint16_t> next_interface_;
+};
+
+}  // namespace upin::scion

@@ -1,0 +1,183 @@
+#include "scion/topology_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace upin::scion {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+Result<AsRole> parse_role(std::string_view text) {
+  if (text == "core") return AsRole::kCore;
+  if (text == "non-core") return AsRole::kNonCore;
+  if (text == "attachment-point") return AsRole::kAttachmentPoint;
+  if (text == "user") return AsRole::kUser;
+  return util::Error{ErrorCode::kInvalidArgument,
+                     "unknown role: " + std::string(text)};
+}
+
+Result<LinkType> parse_link_type(std::string_view text) {
+  if (text == "core") return LinkType::kCore;
+  if (text == "parent-child") return LinkType::kParentChild;
+  if (text == "peer") return LinkType::kPeer;
+  return util::Error{ErrorCode::kInvalidArgument,
+                     "unknown link type: " + std::string(text)};
+}
+
+Value topology_to_json(const Topology& topology) {
+  Value::Array ases;
+  for (const AsInfo& info : topology.ases()) {
+    util::JsonObject as_doc;
+    as_doc.set("ia", Value(info.ia.to_string()));
+    as_doc.set("name", Value(info.name));
+    as_doc.set("role", Value(to_string(info.role)));
+    as_doc.set("lat", Value(info.location.lat_deg));
+    as_doc.set("lon", Value(info.location.lon_deg));
+    as_doc.set("city", Value(info.city));
+    as_doc.set("country", Value(info.country));
+    as_doc.set("operator", Value(info.operator_name));
+    as_doc.set("jitter_ms", Value(info.jitter_ms));
+    ases.emplace_back(std::move(as_doc));
+  }
+  Value::Array links;
+  for (const AsLink& link : topology.links()) {
+    util::JsonObject link_doc;
+    link_doc.set("a", Value(link.a.to_string()));
+    link_doc.set("b", Value(link.b.to_string()));
+    link_doc.set("type", Value(to_string(link.type)));
+    link_doc.set("capacity_ab_mbps", Value(link.capacity_ab_mbps));
+    link_doc.set("capacity_ba_mbps", Value(link.capacity_ba_mbps));
+    link_doc.set("util_base", Value(link.util_base));
+    link_doc.set("mtu", Value(link.mtu));
+    links.emplace_back(std::move(link_doc));
+  }
+  util::JsonObject document;
+  document.set("ases", Value(std::move(ases)));
+  document.set("links", Value(std::move(links)));
+  return Value(std::move(document));
+}
+
+namespace {
+
+Result<double> number_field(const Value& doc, std::string_view name,
+                            std::optional<double> fallback = std::nullopt) {
+  const Value* value = doc.get(name);
+  if (value == nullptr || !value->is_number()) {
+    if (fallback.has_value()) return *fallback;
+    return util::Error{ErrorCode::kParseError,
+                       "missing numeric field " + std::string(name)};
+  }
+  return value->as_double();
+}
+
+Result<std::string> string_field(const Value& doc, std::string_view name,
+                                 const char* fallback = nullptr) {
+  const Value* value = doc.get(name);
+  if (value == nullptr || !value->is_string()) {
+    if (fallback != nullptr) return std::string(fallback);
+    return util::Error{ErrorCode::kParseError,
+                       "missing string field " + std::string(name)};
+  }
+  return value->as_string();
+}
+
+}  // namespace
+
+Result<Topology> topology_from_json(const Value& document) {
+  const Value* ases = document.get("ases");
+  const Value* links = document.get("links");
+  if (ases == nullptr || !ases->is_array() || links == nullptr ||
+      !links->is_array()) {
+    return util::Error{ErrorCode::kParseError,
+                       "topology needs 'ases' and 'links' arrays"};
+  }
+
+  Topology topology;
+  for (const Value& as_doc : ases->as_array()) {
+    AsInfo info;
+    Result<std::string> ia_text = string_field(as_doc, "ia");
+    if (!ia_text.ok()) return Result<Topology>(ia_text.error());
+    Result<IsdAsn> ia = IsdAsn::parse(ia_text.value());
+    if (!ia.ok()) return Result<Topology>(ia.error());
+    info.ia = ia.value();
+
+    Result<std::string> role_text = string_field(as_doc, "role", "non-core");
+    if (!role_text.ok()) return Result<Topology>(role_text.error());
+    Result<AsRole> role = parse_role(role_text.value());
+    if (!role.ok()) return Result<Topology>(role.error());
+    info.role = role.value();
+
+    Result<double> lat = number_field(as_doc, "lat");
+    if (!lat.ok()) return Result<Topology>(lat.error());
+    Result<double> lon = number_field(as_doc, "lon");
+    if (!lon.ok()) return Result<Topology>(lon.error());
+    info.location = {lat.value(), lon.value()};
+
+    info.name = string_field(as_doc, "name", "").value_or("");
+    info.city = string_field(as_doc, "city", "").value_or("");
+    info.country = string_field(as_doc, "country", "").value_or("");
+    info.operator_name = string_field(as_doc, "operator", "").value_or("");
+    info.jitter_ms = number_field(as_doc, "jitter_ms", 0.15).value_or(0.15);
+
+    const Status added = topology.add_as(std::move(info));
+    if (!added.ok()) return Result<Topology>(added.error());
+  }
+
+  for (const Value& link_doc : links->as_array()) {
+    AsLink link;
+    for (const auto& [field, slot] :
+         std::initializer_list<std::pair<const char*, IsdAsn*>>{
+             {"a", &link.a}, {"b", &link.b}}) {
+      Result<std::string> text = string_field(link_doc, field);
+      if (!text.ok()) return Result<Topology>(text.error());
+      Result<IsdAsn> ia = IsdAsn::parse(text.value());
+      if (!ia.ok()) return Result<Topology>(ia.error());
+      *slot = ia.value();
+    }
+    Result<std::string> type_text = string_field(link_doc, "type");
+    if (!type_text.ok()) return Result<Topology>(type_text.error());
+    Result<LinkType> type = parse_link_type(type_text.value());
+    if (!type.ok()) return Result<Topology>(type.error());
+    link.type = type.value();
+
+    link.capacity_ab_mbps =
+        number_field(link_doc, "capacity_ab_mbps", 1000.0).value_or(1000.0);
+    link.capacity_ba_mbps =
+        number_field(link_doc, "capacity_ba_mbps", 1000.0).value_or(1000.0);
+    link.util_base = number_field(link_doc, "util_base", 0.25).value_or(0.25);
+    link.mtu = number_field(link_doc, "mtu", 1472.0).value_or(1472.0);
+
+    const Status added = topology.add_link(link);
+    if (!added.ok()) return Result<Topology>(added.error());
+  }
+
+  const Status valid = topology.validate();
+  if (!valid.ok()) return Result<Topology>(valid.error());
+  return topology;
+}
+
+Status save_topology(const Topology& topology, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status(ErrorCode::kDataLoss, "cannot open " + path);
+  out << topology_to_json(topology).dump(2) << '\n';
+  out.flush();
+  if (!out) return Status(ErrorCode::kDataLoss, "write failed: " + path);
+  return Status::success();
+}
+
+Result<Topology> load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Error{ErrorCode::kNotFound, "cannot open " + path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Value> document = Value::parse(buffer.str());
+  if (!document.ok()) return Result<Topology>(document.error());
+  return topology_from_json(document.value());
+}
+
+}  // namespace upin::scion

@@ -1,0 +1,45 @@
+// topology_io.hpp — topology (de)serialization.
+//
+// The paper's portability requirement (§4.1.3): the software should run
+// on "all the SCION-based networks, with minimal modifications".  The
+// embedded SCIONLab testbed is one instance; this module lets users
+// describe *their* network as JSON and run the identical pipeline on it.
+//
+// Format:
+//   {"ases": [{"ia": "16-ffaa:0:1001", "name": "...", "role": "core",
+//              "lat": 50.11, "lon": 8.68, "city": "...", "country": "DE",
+//              "operator": "AWS", "jitter_ms": 0.15}, ...],
+//    "links": [{"a": "...", "b": "...", "type": "core|parent-child|peer",
+//               "capacity_ab_mbps": 1000, "capacity_ba_mbps": 1000,
+//               "util_base": 0.25, "mtu": 1472}, ...]}
+//
+// Interface ids are assigned on load (in link order), exactly as they
+// are for the built-in topology.
+#pragma once
+
+#include <string>
+
+#include "scion/topology.hpp"
+#include "util/json.hpp"
+
+namespace upin::scion {
+
+/// Serialize a topology (ases + links; interface ids are derived state
+/// and not stored).
+[[nodiscard]] util::Value topology_to_json(const Topology& topology);
+
+/// Parse a topology document.  All add_as/add_link rules are enforced;
+/// the result additionally passes validate().
+[[nodiscard]] util::Result<Topology> topology_from_json(
+    const util::Value& document);
+
+/// File convenience wrappers (JSON, pretty-printed on save).
+[[nodiscard]] util::Status save_topology(const Topology& topology,
+                                         const std::string& path);
+[[nodiscard]] util::Result<Topology> load_topology(const std::string& path);
+
+/// Parse helpers for the enum encodings used by the format.
+[[nodiscard]] util::Result<AsRole> parse_role(std::string_view text);
+[[nodiscard]] util::Result<LinkType> parse_link_type(std::string_view text);
+
+}  // namespace upin::scion

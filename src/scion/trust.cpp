@@ -1,0 +1,269 @@
+#include "scion/trust.hpp"
+
+#include <optional>
+
+#include "util/sha256.hpp"
+
+namespace upin::scion {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+namespace {
+
+std::optional<util::Digest256> digest_from_hex(std::string_view hex) {
+  if (hex.size() != 64) return std::nullopt;
+  util::Digest256 digest{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto nibble = [&](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    digest[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return digest;
+}
+
+std::string signature_to_hex(const util::LamportSignature& signature) {
+  std::string out;
+  out.reserve(256 * 64);
+  for (const util::Digest256& block : signature.revealed) {
+    out += util::to_hex(block);
+  }
+  return out;
+}
+
+std::optional<util::LamportSignature> signature_from_hex(std::string_view hex) {
+  if (hex.size() != 256 * 64) return std::nullopt;
+  util::LamportSignature signature;
+  for (std::size_t i = 0; i < 256; ++i) {
+    const auto block = digest_from_hex(hex.substr(i * 64, 64));
+    if (!block.has_value()) return std::nullopt;
+    signature.revealed[i] = *block;
+  }
+  return signature;
+}
+
+std::string public_key_to_hex(const util::LamportPublicKey& key) {
+  std::string out;
+  out.reserve(512 * 64);
+  for (const auto& pair : key.images) {
+    out += util::to_hex(pair[0]);
+    out += util::to_hex(pair[1]);
+  }
+  return out;
+}
+
+std::optional<util::LamportPublicKey> public_key_from_hex(std::string_view hex) {
+  if (hex.size() != 512 * 64) return std::nullopt;
+  util::LamportPublicKey key;
+  for (std::size_t bit = 0; bit < 256; ++bit) {
+    for (std::size_t value = 0; value < 2; ++value) {
+      const auto block =
+          digest_from_hex(hex.substr((bit * 2 + value) * 64, 64));
+      if (!block.has_value()) return std::nullopt;
+      key.images[bit][value] = *block;
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string Certificate::canonical_payload() const {
+  return "cert|" + subject.to_string() + "|" + issuer.to_string() + "|" +
+         subject_fingerprint_hex + "|" + std::to_string(serial);
+}
+
+TrustStore::TrustStore(std::uint64_t seed) : rng_(seed) {}
+
+Status TrustStore::register_core(IsdAsn core) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = cores_.try_emplace(core.isd());
+  if (!inserted) {
+    if (it->second.ia == core) return Status::success();
+    return Status(ErrorCode::kConflict,
+                  "ISD " + std::to_string(core.isd()) +
+                      " already has a registered core");
+  }
+  it->second.ia = core;
+  util::Rng key_rng = rng_.fork("core:" + core.to_string());
+  it->second.current = util::lamport_generate(key_rng);
+  return Status::success();
+}
+
+bool TrustStore::has_core_for(std::uint16_t isd) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cores_.contains(isd);
+}
+
+Result<Certificate> TrustStore::issue_certificate(
+    IsdAsn subject, const util::LamportPublicKey& subject_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cores_.find(subject.isd());
+  if (it == cores_.end()) {
+    return util::Error{ErrorCode::kNotFound,
+                       "no core registered for ISD " +
+                           std::to_string(subject.isd())};
+  }
+  CoreState& core = it->second;
+
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = core.ia;
+  cert.subject_fingerprint_hex = util::to_hex(subject_key.fingerprint());
+  cert.serial = core.next_serial++;
+  cert.issuer_signature =
+      util::lamport_sign(core.current.private_key, cert.canonical_payload());
+
+  // Remember which key signed this serial, then rotate (one-time keys).
+  core.issued_with.emplace(cert.serial, core.current.public_key);
+  util::Rng next_rng = rng_.fork("core:" + core.ia.to_string() + ":" +
+                                 std::to_string(cert.serial));
+  core.current = util::lamport_generate(next_rng);
+  return cert;
+}
+
+Status TrustStore::verify_certificate(const Certificate& cert) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cores_.find(cert.issuer.isd());
+  if (it == cores_.end() || it->second.ia != cert.issuer) {
+    return Status(ErrorCode::kPermissionDenied, "unknown issuer");
+  }
+  if (cert.subject.isd() != cert.issuer.isd()) {
+    return Status(ErrorCode::kPermissionDenied,
+                  "issuer cannot certify a foreign ISD");
+  }
+  const auto key_it = it->second.issued_with.find(cert.serial);
+  if (key_it == it->second.issued_with.end()) {
+    return Status(ErrorCode::kPermissionDenied, "unknown certificate serial");
+  }
+  if (!util::lamport_verify(key_it->second, cert.canonical_payload(),
+                            cert.issuer_signature)) {
+    return Status(ErrorCode::kPermissionDenied, "bad certificate signature");
+  }
+  return Status::success();
+}
+
+Status TrustStore::verify_credential(const WriteCredential& credential) {
+  const Status cert_ok = verify_certificate(credential.certificate);
+  if (!cert_ok.ok()) return cert_ok;
+
+  const std::string fingerprint =
+      util::to_hex(credential.subject_key.fingerprint());
+  if (fingerprint != credential.certificate.subject_fingerprint_hex) {
+    return Status(ErrorCode::kPermissionDenied,
+                  "credential key does not match certificate");
+  }
+  if (!util::lamport_verify(credential.subject_key,
+                            credential.batch_digest_hex,
+                            credential.batch_signature)) {
+    return Status(ErrorCode::kPermissionDenied, "bad batch signature");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!consumed_fingerprints_.insert(fingerprint).second) {
+      return Status(ErrorCode::kPermissionDenied,
+                    "one-time key already used");
+    }
+  }
+  return Status::success();
+}
+
+docdb::WriteGuard TrustStore::make_write_guard() {
+  return [this](const Value& credential_json) {
+    Result<WriteCredential> credential = decode_credential(credential_json);
+    if (!credential.ok()) return false;
+    return verify_credential(credential.value()).ok();
+  };
+}
+
+Value TrustStore::encode_credential(const WriteCredential& c) {
+  util::JsonObject object;
+  object.set("subject", Value(c.certificate.subject.to_string()));
+  object.set("issuer", Value(c.certificate.issuer.to_string()));
+  object.set("fingerprint", Value(c.certificate.subject_fingerprint_hex));
+  object.set("serial", Value(static_cast<std::int64_t>(c.certificate.serial)));
+  object.set("cert_sig", Value(signature_to_hex(c.certificate.issuer_signature)));
+  object.set("subject_key", Value(public_key_to_hex(c.subject_key)));
+  object.set("batch_sig", Value(signature_to_hex(c.batch_signature)));
+  object.set("batch_digest", Value(c.batch_digest_hex));
+  return Value(std::move(object));
+}
+
+Result<WriteCredential> TrustStore::decode_credential(const Value& value) {
+  const auto field = [&](std::string_view name) -> Result<std::string> {
+    const Value* found = value.get(name);
+    if (found == nullptr || !found->is_string()) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "credential missing field " + std::string(name)};
+    }
+    return found->as_string();
+  };
+
+  WriteCredential credential;
+  const auto subject = field("subject");
+  if (!subject.ok()) return Result<WriteCredential>(subject.error());
+  const auto issuer = field("issuer");
+  if (!issuer.ok()) return Result<WriteCredential>(issuer.error());
+  const Result<IsdAsn> subject_ia = IsdAsn::parse(subject.value());
+  if (!subject_ia.ok()) return Result<WriteCredential>(subject_ia.error());
+  const Result<IsdAsn> issuer_ia = IsdAsn::parse(issuer.value());
+  if (!issuer_ia.ok()) return Result<WriteCredential>(issuer_ia.error());
+  credential.certificate.subject = subject_ia.value();
+  credential.certificate.issuer = issuer_ia.value();
+
+  const auto fingerprint = field("fingerprint");
+  if (!fingerprint.ok()) return Result<WriteCredential>(fingerprint.error());
+  credential.certificate.subject_fingerprint_hex = fingerprint.value();
+
+  const Value* serial = value.get("serial");
+  if (serial == nullptr || !serial->is_int()) {
+    return util::Error{ErrorCode::kInvalidArgument, "credential missing serial"};
+  }
+  credential.certificate.serial = static_cast<std::uint64_t>(serial->as_int());
+
+  const auto cert_sig = field("cert_sig");
+  if (!cert_sig.ok()) return Result<WriteCredential>(cert_sig.error());
+  const auto parsed_cert_sig = signature_from_hex(cert_sig.value());
+  if (!parsed_cert_sig.has_value()) {
+    return util::Error{ErrorCode::kParseError, "bad cert_sig encoding"};
+  }
+  credential.certificate.issuer_signature = *parsed_cert_sig;
+
+  const auto subject_key = field("subject_key");
+  if (!subject_key.ok()) return Result<WriteCredential>(subject_key.error());
+  const auto parsed_key = public_key_from_hex(subject_key.value());
+  if (!parsed_key.has_value()) {
+    return util::Error{ErrorCode::kParseError, "bad subject_key encoding"};
+  }
+  credential.subject_key = *parsed_key;
+
+  const auto batch_sig = field("batch_sig");
+  if (!batch_sig.ok()) return Result<WriteCredential>(batch_sig.error());
+  const auto parsed_batch_sig = signature_from_hex(batch_sig.value());
+  if (!parsed_batch_sig.has_value()) {
+    return util::Error{ErrorCode::kParseError, "bad batch_sig encoding"};
+  }
+  credential.batch_signature = *parsed_batch_sig;
+
+  const auto batch_digest = field("batch_digest");
+  if (!batch_digest.ok()) return Result<WriteCredential>(batch_digest.error());
+  credential.batch_digest_hex = batch_digest.value();
+  return credential;
+}
+
+util::LamportKeyPair TrustStore::generate_client_key(std::string_view label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::Rng key_rng = rng_.fork("client:" + std::string(label));
+  return util::lamport_generate(key_rng);
+}
+
+}  // namespace upin::scion

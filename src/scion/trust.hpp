@@ -1,0 +1,109 @@
+// trust.hpp — SCIONLab-style trust: core-AS-issued certificates gating
+// database writes.
+//
+// Each ISD's core AS is a root of trust that certifies member ASes'
+// public keys (paper §3.1).  The paper *designs* PKC-protected write
+// access to the measurement database (§4.2.2) without implementing it;
+// here the design is implemented with Lamport one-time signatures:
+//
+//   1. a core AS holds a long-lived (per-epoch) signing key whose public
+//      part is pinned in the TrustStore;
+//   2. a measurement client generates a fresh one-time key per write
+//      batch and asks its ISD core for a certificate binding the key's
+//      fingerprint to the client's ISD-AS;
+//   3. the client signs the batch digest with the one-time key and
+//      presents {certificate, batch signature} as the write credential;
+//   4. the database's WriteGuard verifies the chain and rejects reuse of
+//      a one-time key.
+//
+// Because Lamport keys are strictly one-time, certificate issuance also
+// rotates the core key: every issued certificate consumes one core key
+// and pins the next one (a hash-chain of signing keys).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "docdb/database.hpp"
+#include "scion/isd_asn.hpp"
+#include "util/lamport.hpp"
+#include "util/result.hpp"
+
+namespace upin::scion {
+
+/// A certificate binding a subject's one-time public-key fingerprint to
+/// its ISD-AS, signed by the issuing core AS.
+struct Certificate {
+  IsdAsn subject;
+  IsdAsn issuer;
+  std::string subject_fingerprint_hex;  ///< fingerprint of the subject key
+  std::uint64_t serial = 0;             ///< issuer's issuance counter
+  util::LamportSignature issuer_signature;  ///< over canonical_payload()
+
+  /// The byte string the issuer signs.
+  [[nodiscard]] std::string canonical_payload() const;
+};
+
+/// A complete write credential: certificate + batch signature.
+struct WriteCredential {
+  Certificate certificate;
+  util::LamportPublicKey subject_key;
+  util::LamportSignature batch_signature;  ///< over the batch digest
+  std::string batch_digest_hex;            ///< SHA-256 of the batch payload
+};
+
+/// Trust anchors and certificate issuance for a set of ISDs.
+class TrustStore {
+ public:
+  explicit TrustStore(std::uint64_t seed = 7);
+
+  /// Register `core` as the root of trust for its ISD.  Idempotent per
+  /// ISD; a second core for the same ISD is rejected (kConflict).
+  util::Status register_core(IsdAsn core);
+
+  [[nodiscard]] bool has_core_for(std::uint16_t isd) const;
+
+  /// Issue a certificate for `subject_key` belonging to `subject`.
+  /// Fails with kNotFound when the subject's ISD has no registered core.
+  util::Result<Certificate> issue_certificate(
+      IsdAsn subject, const util::LamportPublicKey& subject_key);
+
+  /// Verify a certificate chain: known issuer key for that serial,
+  /// signature valid, subject's ISD matches the issuer's.
+  [[nodiscard]] util::Status verify_certificate(const Certificate& cert) const;
+
+  /// Verify a full write credential: certificate, fingerprint match,
+  /// batch signature, and one-time-key freshness.  A successful check
+  /// consumes the key (later reuse is kPermissionDenied).
+  util::Status verify_credential(const WriteCredential& credential);
+
+  /// Adapt this TrustStore into a docdb WriteGuard.  The credential is
+  /// encoded as a JSON document via encode_credential().
+  [[nodiscard]] docdb::WriteGuard make_write_guard();
+
+  /// JSON encoding for transporting credentials through the docdb API.
+  [[nodiscard]] static util::Value encode_credential(const WriteCredential& c);
+  [[nodiscard]] static util::Result<WriteCredential> decode_credential(
+      const util::Value& value);
+
+  /// Helper for clients: fresh one-time key pair from the store's RNG.
+  [[nodiscard]] util::LamportKeyPair generate_client_key(std::string_view label);
+
+ private:
+  struct CoreState {
+    IsdAsn ia;
+    util::LamportKeyPair current;        ///< next signing key
+    std::uint64_t next_serial = 1;
+    /// serial -> public key that signed that serial (kept for verification)
+    std::unordered_map<std::uint64_t, util::LamportPublicKey> issued_with;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint16_t, CoreState> cores_;
+  std::unordered_set<std::string> consumed_fingerprints_;
+  util::Rng rng_;
+};
+
+}  // namespace upin::scion

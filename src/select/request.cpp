@@ -1,0 +1,60 @@
+#include "select/request.hpp"
+
+#include "util/strings.hpp"
+
+namespace upin::select {
+
+const char* to_string(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::kLowestLatency: return "lowest-latency";
+    case Objective::kHighestBandwidth: return "highest-bandwidth";
+    case Objective::kLowestLoss: return "lowest-loss";
+    case Objective::kMostConsistent: return "most-consistent";
+  }
+  return "?";
+}
+
+std::string UserRequest::describe() const {
+  std::string out = util::format("server %d, objective %s", server_id,
+                                 to_string(objective));
+  if (max_latency_ms.has_value()) {
+    out += util::format(", latency <= %.1fms", *max_latency_ms);
+  }
+  if (min_bandwidth_mbps.has_value()) {
+    out += util::format(", bandwidth >= %.1fMbps (%s)", *min_bandwidth_mbps,
+                        bw_direction == BwDirection::kDownstream ? "down" : "up");
+  }
+  if (max_loss_pct.has_value()) {
+    out += util::format(", loss <= %.1f%%", *max_loss_pct);
+  }
+  if (max_jitter_ms.has_value()) {
+    out += util::format(", jitter <= %.1fms", *max_jitter_ms);
+  }
+  if (since_timestamp_ms.has_value()) {
+    out += util::format(", samples since t=%lldms",
+                        static_cast<long long>(*since_timestamp_ms));
+  }
+  if (!exclude_countries.empty()) {
+    out += ", exclude countries [" + util::join(exclude_countries, ",") + "]";
+  }
+  if (!exclude_operators.empty()) {
+    out += ", exclude operators [" + util::join(exclude_operators, ",") + "]";
+  }
+  for (const scion::IsdAsn& ia : exclude_ases) {
+    out += ", exclude AS " + ia.to_string();
+  }
+  for (const std::uint16_t isd : exclude_isds) {
+    out += ", exclude ISD " + std::to_string(isd);
+  }
+  if (!allowed_isds.empty()) {
+    std::vector<std::string> isds;
+    isds.reserve(allowed_isds.size());
+    for (const std::uint16_t isd : allowed_isds) {
+      isds.push_back(std::to_string(isd));
+    }
+    out += ", only ISDs [" + util::join(isds, ",") + "]";
+  }
+  return out;
+}
+
+}  // namespace upin::select

@@ -1,0 +1,60 @@
+// request.hpp — what a UPIN user may ask for.
+//
+// The paper's goal (§1, §6): give the user the best path to a destination
+// "following their request on performance or devices to exclude for
+// geographical or sovereignty reasons".  A UserRequest captures exactly
+// that: one performance objective, hard performance constraints, and
+// exclusion lists over countries, operators, ASes and ISDs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scion/isd_asn.hpp"
+
+namespace upin::select {
+
+/// The performance dimension the user optimizes for.
+enum class Objective {
+  kLowestLatency,     ///< e.g. gaming, interactive SSH
+  kHighestBandwidth,  ///< bulk transfer
+  kLowestLoss,        ///< reliability-sensitive transfers
+  kMostConsistent,    ///< lowest jitter: streaming / VoIP (paper §6.1)
+};
+
+const char* to_string(Objective objective) noexcept;
+
+/// Which bandwidth figure "highest bandwidth" means.
+enum class BwDirection { kDownstream, kUpstream };
+
+/// A user's path-control request.
+struct UserRequest {
+  int server_id = 0;  ///< destination (availableServers id)
+  Objective objective = Objective::kLowestLatency;
+  BwDirection bw_direction = BwDirection::kDownstream;
+
+  // Hard performance constraints (violations disqualify a path).
+  std::optional<double> max_latency_ms;
+  std::optional<double> min_bandwidth_mbps;
+  std::optional<double> max_loss_pct;
+  std::optional<double> max_jitter_ms;
+  std::size_t min_samples = 1;  ///< require this much measurement evidence
+  /// Only consider measurements taken at or after this virtual timestamp
+  /// (milliseconds).  Networks drift; stale samples mislead (§4.2.2
+  /// stores timestamps for exactly this reason).
+  std::optional<std::int64_t> since_timestamp_ms;
+
+  // Sovereignty / governance constraints over the hops of the path.
+  std::vector<std::string> exclude_countries;  ///< ISO codes, e.g. "US"
+  std::vector<std::string> exclude_operators;  ///< e.g. "AWS"
+  std::vector<scion::IsdAsn> exclude_ases;
+  std::vector<std::uint16_t> exclude_isds;
+  /// When non-empty, every traversed ISD must be in this allow-list.
+  std::vector<std::uint16_t> allowed_isds;
+
+  /// Human-readable rendering for logs and UIs.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace upin::select

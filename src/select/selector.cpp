@@ -1,0 +1,317 @@
+#include "select/selector.hpp"
+
+#include <algorithm>
+
+#include "measure/schema.hpp"
+#include "scion/path.hpp"
+#include "util/strings.hpp"
+
+namespace upin::select {
+
+using docdb::Document;
+using docdb::Filter;
+using measure::PathRecord;
+using measure::StatsSample;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+PathSelector::PathSelector(const docdb::Database& db,
+                           const scion::Topology& topology)
+    : db_(db), topology_(topology) {}
+
+Result<PathSummary> PathSelector::summarize_path(
+    const Document& path_doc, std::optional<std::int64_t> since_ms) const {
+  Result<PathRecord> record = measure::parse_path_document(path_doc);
+  if (!record.ok()) return Result<PathSummary>(record.error());
+
+  PathSummary summary;
+  summary.path_id = record.value().id;
+  summary.server_id = record.value().server_id;
+  summary.sequence = record.value().sequence;
+  summary.hop_count = record.value().hop_count;
+  summary.isds = record.value().isds;
+  summary.mtu = record.value().mtu;
+
+  Result<scion::Path> parsed =
+      scion::Path::parse_sequence(record.value().sequence);
+  if (parsed.ok()) {
+    for (const scion::PathHop& hop : parsed.value().hops()) {
+      summary.hops.push_back(hop.ia);
+    }
+  }
+
+  const docdb::Collection* stats = db_.find_collection(measure::kPathsStats);
+  if (stats == nullptr) {
+    return util::Error{ErrorCode::kNotFound, "paths_stats does not exist"};
+  }
+  util::JsonObject query;
+  query.set("path_id", Value(summary.path_id));
+  if (since_ms.has_value()) {
+    query.set("timestamp_ms", Value::object({{"$gte", Value(*since_ms)}}));
+  }
+  Result<Filter> by_path = Filter::compile(Value(std::move(query)));
+  if (!by_path.ok()) return Result<PathSummary>(by_path.error());
+
+  std::vector<double> latencies;
+  std::vector<double> losses;
+  std::vector<double> jitters;
+  std::vector<double> bw_down_mtu, bw_up_mtu, bw_down_64, bw_up_64;
+  for (const Document& doc : stats->find(by_path.value())) {
+    Result<StatsSample> sample = measure::parse_stats_document(doc);
+    if (!sample.ok()) continue;  // tolerate foreign documents
+    ++summary.samples;
+    losses.push_back(sample.value().loss_pct);
+    if (sample.value().latency_ms.has_value()) {
+      latencies.push_back(*sample.value().latency_ms);
+    }
+    if (sample.value().jitter_ms.has_value()) {
+      jitters.push_back(*sample.value().jitter_ms);
+    }
+    if (sample.value().bw_down_mtu.has_value()) {
+      bw_down_mtu.push_back(*sample.value().bw_down_mtu);
+    }
+    if (sample.value().bw_up_mtu.has_value()) {
+      bw_up_mtu.push_back(*sample.value().bw_up_mtu);
+    }
+    if (sample.value().bw_down_64.has_value()) {
+      bw_down_64.push_back(*sample.value().bw_down_64);
+    }
+    if (sample.value().bw_up_64.has_value()) {
+      bw_up_64.push_back(*sample.value().bw_up_64);
+    }
+  }
+
+  summary.latency_samples = latencies.size();
+  if (!latencies.empty()) summary.latency_ms = util::box_stats(latencies);
+  if (!losses.empty()) summary.mean_loss_pct = util::mean(losses);
+  if (!jitters.empty()) summary.mean_jitter_ms = util::mean(jitters);
+  if (!bw_down_mtu.empty()) summary.mean_bw_down_mtu = util::mean(bw_down_mtu);
+  if (!bw_up_mtu.empty()) summary.mean_bw_up_mtu = util::mean(bw_up_mtu);
+  if (!bw_down_64.empty()) summary.mean_bw_down_64 = util::mean(bw_down_64);
+  if (!bw_up_64.empty()) summary.mean_bw_up_64 = util::mean(bw_up_64);
+  return summary;
+}
+
+namespace {
+
+util::Result<std::vector<Document>> path_docs_for(const docdb::Database& db,
+                                                  int server_id) {
+  const docdb::Collection* paths = db.find_collection(measure::kPaths);
+  if (paths == nullptr) {
+    return util::Error{ErrorCode::kNotFound, "paths collection does not exist"};
+  }
+  util::JsonObject query;
+  query.set("server_id", Value(server_id));
+  Result<Filter> by_server = Filter::compile(Value(std::move(query)));
+  if (!by_server.ok()) {
+    return util::Result<std::vector<Document>>(by_server.error());
+  }
+  docdb::FindOptions in_order;
+  in_order.sort_by = "path_index";
+  return paths->find(by_server.value(), in_order);
+}
+
+}  // namespace
+
+Result<std::vector<PathSummary>> PathSelector::summarize(
+    int server_id, std::optional<std::int64_t> since_ms) const {
+  Result<std::vector<Document>> docs = path_docs_for(db_, server_id);
+  if (!docs.ok()) return Result<std::vector<PathSummary>>(docs.error());
+  std::vector<PathSummary> summaries;
+  summaries.reserve(docs.value().size());
+  for (const Document& doc : docs.value()) {
+    Result<PathSummary> summary = summarize_path(doc, since_ms);
+    if (!summary.ok()) return Result<std::vector<PathSummary>>(summary.error());
+    summaries.push_back(std::move(summary).value());
+  }
+  return summaries;
+}
+
+Result<std::vector<PathSummary>> PathSelector::summarize_parallel(
+    int server_id, util::ThreadPool& pool,
+    std::optional<std::int64_t> since_ms) const {
+  Result<std::vector<Document>> docs = path_docs_for(db_, server_id);
+  if (!docs.ok()) return Result<std::vector<PathSummary>>(docs.error());
+
+  // Each worker writes only its own slot; no shared mutable state.
+  std::vector<Result<PathSummary>> slots(
+      docs.value().size(),
+      Result<PathSummary>(util::Error{ErrorCode::kInternal, "not computed"}));
+  util::parallel_for(pool, docs.value().size(), [&](std::size_t i) {
+    slots[i] = summarize_path(docs.value()[i], since_ms);
+  });
+
+  std::vector<PathSummary> summaries;
+  summaries.reserve(slots.size());
+  for (Result<PathSummary>& slot : slots) {
+    if (!slot.ok()) return Result<std::vector<PathSummary>>(slot.error());
+    summaries.push_back(std::move(slot).value());
+  }
+  return summaries;
+}
+
+std::optional<std::string> PathSelector::rejection_reason(
+    const PathSummary& summary, const UserRequest& request) const {
+  if (summary.samples < request.min_samples) {
+    return util::format("only %zu samples (need %zu)", summary.samples,
+                        request.min_samples);
+  }
+
+  // Sovereignty / governance constraints over every hop.
+  for (const scion::IsdAsn& hop : summary.hops) {
+    const scion::AsInfo* info = topology_.find_as(hop);
+    if (info == nullptr) continue;
+    for (const std::string& country : request.exclude_countries) {
+      if (info->country == country) {
+        return "traverses excluded country " + country + " (" +
+               hop.to_string() + ")";
+      }
+    }
+    for (const std::string& op : request.exclude_operators) {
+      if (info->operator_name == op) {
+        return "traverses excluded operator " + op + " (" + hop.to_string() +
+               ")";
+      }
+    }
+    if (std::find(request.exclude_ases.begin(), request.exclude_ases.end(),
+                  hop) != request.exclude_ases.end()) {
+      return "traverses excluded AS " + hop.to_string();
+    }
+  }
+  for (const std::int64_t isd : summary.isds) {
+    if (std::find(request.exclude_isds.begin(), request.exclude_isds.end(),
+                  static_cast<std::uint16_t>(isd)) !=
+        request.exclude_isds.end()) {
+      return "traverses excluded ISD " + std::to_string(isd);
+    }
+    if (!request.allowed_isds.empty() &&
+        std::find(request.allowed_isds.begin(), request.allowed_isds.end(),
+                  static_cast<std::uint16_t>(isd)) ==
+            request.allowed_isds.end()) {
+      return "traverses ISD " + std::to_string(isd) +
+             " outside the allow-list";
+    }
+  }
+
+  // Performance constraints.
+  if (request.max_latency_ms.has_value()) {
+    if (!summary.latency_ms.has_value()) return "no latency data";
+    if (summary.latency_ms->median > *request.max_latency_ms) {
+      return util::format("median latency %.1fms exceeds %.1fms",
+                          summary.latency_ms->median, *request.max_latency_ms);
+    }
+  }
+  if (request.min_bandwidth_mbps.has_value()) {
+    const std::optional<double> bw = summary.bandwidth(request.bw_direction);
+    if (!bw.has_value()) return "no bandwidth data";
+    if (*bw < *request.min_bandwidth_mbps) {
+      return util::format("bandwidth %.1fMbps below %.1fMbps", *bw,
+                          *request.min_bandwidth_mbps);
+    }
+  }
+  if (request.max_loss_pct.has_value() &&
+      summary.mean_loss_pct > *request.max_loss_pct) {
+    return util::format("loss %.1f%% exceeds %.1f%%", summary.mean_loss_pct,
+                        *request.max_loss_pct);
+  }
+  if (request.max_jitter_ms.has_value()) {
+    if (!summary.mean_jitter_ms.has_value()) return "no jitter data";
+    if (*summary.mean_jitter_ms > *request.max_jitter_ms) {
+      return util::format("jitter %.1fms exceeds %.1fms",
+                          *summary.mean_jitter_ms, *request.max_jitter_ms);
+    }
+  }
+
+  // The objective itself needs a usable metric.
+  if (!score(summary, request).has_value()) {
+    return std::string("no data for objective ") + to_string(request.objective);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> PathSelector::score(const PathSummary& summary,
+                                          const UserRequest& request) {
+  switch (request.objective) {
+    case Objective::kLowestLatency:
+      if (!summary.latency_ms.has_value()) return std::nullopt;
+      return summary.latency_ms->median;
+    case Objective::kHighestBandwidth: {
+      const std::optional<double> bw = summary.bandwidth(request.bw_direction);
+      if (!bw.has_value()) return std::nullopt;
+      return -*bw;  // lower score = better
+    }
+    case Objective::kLowestLoss:
+      // Tie-break equal losses by latency when available.
+      return summary.mean_loss_pct * 1e6 +
+             (summary.latency_ms.has_value() ? summary.latency_ms->median : 0.0);
+    case Objective::kMostConsistent:
+      // §6.1: "latency consistency is more important than low latency
+      // values" for streaming/VoIP — rank by latency IQR.
+      if (!summary.latency_ms.has_value() || summary.latency_samples < 2) {
+        return std::nullopt;
+      }
+      return summary.latency_ms->iqr;
+  }
+  return std::nullopt;
+}
+
+Result<Selection> PathSelector::select(const UserRequest& request) const {
+  Result<std::vector<PathSummary>> summaries =
+      summarize(request.server_id, request.since_timestamp_ms);
+  if (!summaries.ok()) return Result<Selection>(summaries.error());
+
+  Selection selection;
+  for (PathSummary& summary : summaries.value()) {
+    const std::optional<std::string> rejection =
+        rejection_reason(summary, request);
+    if (rejection.has_value()) {
+      selection.rejected.emplace_back(summary.path_id, *rejection);
+      continue;
+    }
+    RankedPath ranked;
+    ranked.score = *score(summary, request);
+    switch (request.objective) {
+      case Objective::kLowestLatency:
+        ranked.rationale = util::format("median latency %.2fms over %zu samples",
+                                        summary.latency_ms->median,
+                                        summary.latency_samples);
+        break;
+      case Objective::kHighestBandwidth:
+        ranked.rationale = util::format(
+            "mean %s bandwidth %.2fMbps",
+            request.bw_direction == BwDirection::kDownstream ? "downstream"
+                                                             : "upstream",
+            -ranked.score);
+        break;
+      case Objective::kLowestLoss:
+        ranked.rationale =
+            util::format("mean loss %.2f%%", summary.mean_loss_pct);
+        break;
+      case Objective::kMostConsistent:
+        ranked.rationale =
+            util::format("latency IQR %.2fms", summary.latency_ms->iqr);
+        break;
+    }
+    ranked.summary = std::move(summary);
+    selection.ranked.push_back(std::move(ranked));
+  }
+
+  std::stable_sort(selection.ranked.begin(), selection.ranked.end(),
+                   [](const RankedPath& a, const RankedPath& b) {
+                     return a.score < b.score;
+                   });
+  return selection;
+}
+
+Result<RankedPath> PathSelector::best(const UserRequest& request) const {
+  Result<Selection> selection = select(request);
+  if (!selection.ok()) return Result<RankedPath>(selection.error());
+  if (selection.value().ranked.empty()) {
+    return util::Error{ErrorCode::kNotFound,
+                       "no path satisfies: " + request.describe()};
+  }
+  return selection.value().ranked.front();
+}
+
+}  // namespace upin::select

@@ -1,0 +1,105 @@
+// selector.hpp — query the measurement database and pick paths.
+//
+// The selection pipeline of paper §6: aggregate paths_stats per path into
+// summaries (box statistics over latency, mean loss, mean bandwidths),
+// drop paths violating the user's constraints (performance + sovereignty),
+// rank the survivors under the chosen objective, and return them with a
+// rationale.  Aggregation over many paths is parallelized with the shared
+// thread pool — each path's samples are independent.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "docdb/database.hpp"
+#include "scion/topology.hpp"
+#include "select/request.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace upin::select {
+
+/// Aggregated view of one path's measurement history.
+struct PathSummary {
+  std::string path_id;
+  int server_id = 0;
+  std::string sequence;
+  std::vector<scion::IsdAsn> hops;
+  std::size_t hop_count = 0;
+  std::vector<std::int64_t> isds;
+  double mtu = 0.0;
+
+  std::size_t samples = 0;          ///< total paths_stats documents
+  std::size_t latency_samples = 0;  ///< documents with a latency reading
+  std::optional<util::BoxStats> latency_ms;  ///< set when any probe answered
+  double mean_loss_pct = 0.0;
+  std::optional<double> mean_jitter_ms;
+  std::optional<double> mean_bw_down_mtu;
+  std::optional<double> mean_bw_up_mtu;
+  std::optional<double> mean_bw_down_64;
+  std::optional<double> mean_bw_up_64;
+
+  /// The bandwidth figure a request's direction refers to (MTU packets).
+  [[nodiscard]] std::optional<double> bandwidth(BwDirection direction) const {
+    return direction == BwDirection::kDownstream ? mean_bw_down_mtu
+                                                 : mean_bw_up_mtu;
+  }
+};
+
+/// A selected path with its score (lower = better) and the explanation.
+struct RankedPath {
+  PathSummary summary;
+  double score = 0.0;
+  std::string rationale;
+};
+
+/// Outcome of a selection: ranked admissible paths plus the reasons the
+/// inadmissible ones were rejected (transparency requirement of UPIN).
+struct Selection {
+  std::vector<RankedPath> ranked;
+  std::vector<std::pair<std::string, std::string>> rejected;  ///< path_id, why
+};
+
+/// Read-side engine over the measurement database.
+class PathSelector {
+ public:
+  /// `topology` supplies the AS metadata for sovereignty filters.
+  PathSelector(const docdb::Database& db, const scion::Topology& topology);
+
+  /// Aggregate every measured path of `server_id`.  When `since_ms` is
+  /// set, only measurements taken at or after that virtual timestamp
+  /// contribute (freshness window).
+  [[nodiscard]] util::Result<std::vector<PathSummary>> summarize(
+      int server_id, std::optional<std::int64_t> since_ms = std::nullopt) const;
+
+  /// As `summarize`, but aggregating paths in parallel on `pool`.
+  [[nodiscard]] util::Result<std::vector<PathSummary>> summarize_parallel(
+      int server_id, util::ThreadPool& pool,
+      std::optional<std::int64_t> since_ms = std::nullopt) const;
+
+  /// Full selection under a request.
+  [[nodiscard]] util::Result<Selection> select(const UserRequest& request) const;
+
+  /// The single best path, or kNotFound when nothing qualifies.
+  [[nodiscard]] util::Result<RankedPath> best(const UserRequest& request) const;
+
+  /// Constraint check used by select(); exposed for tests.  Returns the
+  /// rejection reason or nullopt when admissible.
+  [[nodiscard]] std::optional<std::string> rejection_reason(
+      const PathSummary& summary, const UserRequest& request) const;
+
+  /// Objective score (lower = better); exposed for tests.
+  [[nodiscard]] static std::optional<double> score(const PathSummary& summary,
+                                                   const UserRequest& request);
+
+ private:
+  [[nodiscard]] util::Result<PathSummary> summarize_path(
+      const docdb::Document& path_doc,
+      std::optional<std::int64_t> since_ms) const;
+
+  const docdb::Database& db_;
+  const scion::Topology& topology_;
+};
+
+}  // namespace upin::select

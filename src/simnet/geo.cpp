@@ -1,0 +1,30 @@
+#include "simnet/geo.hpp"
+
+#include <cmath>
+
+namespace upin::simnet {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kFibreSpeedKmPerMs = 299792.458 / 1000.0 * (2.0 / 3.0);
+constexpr double kRouteStretch = 1.2;  // cable routes exceed great circles
+}  // namespace
+
+double haversine_km(GeoPoint a, GeoPoint b) noexcept {
+  const double lat1 = a.lat_deg * kPi / 180.0;
+  const double lat2 = b.lat_deg * kPi / 180.0;
+  const double dlat = lat2 - lat1;
+  const double dlon = (b.lon_deg - a.lon_deg) * kPi / 180.0;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+util::SimDuration propagation_delay(double km) noexcept {
+  const double ms = km * kRouteStretch / kFibreSpeedKmPerMs;
+  return util::sim_millis(ms);
+}
+
+}  // namespace upin::simnet

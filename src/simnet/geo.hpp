@@ -1,0 +1,26 @@
+// geo.hpp — geography for latency modelling.
+//
+// The paper's central latency finding (§6.1) is that physical distance
+// between hops, not hop count or ISD membership, dominates path latency.
+// We therefore derive link propagation delays from real great-circle
+// distances between AS locations.
+#pragma once
+
+#include "util/clock.hpp"
+
+namespace upin::simnet {
+
+/// A point on Earth in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine).
+[[nodiscard]] double haversine_km(GeoPoint a, GeoPoint b) noexcept;
+
+/// One-way propagation delay over `km` of fibre: light travels at roughly
+/// 2/3 c in glass, and real routes are ~20% longer than the great circle.
+[[nodiscard]] util::SimDuration propagation_delay(double km) noexcept;
+
+}  // namespace upin::simnet

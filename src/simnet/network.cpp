@@ -1,0 +1,413 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace upin::simnet {
+
+using util::ErrorCode;
+using util::Result;
+using util::Rng;
+using util::SimDuration;
+using util::SimTime;
+using util::Status;
+
+// ----------------------------------------------------------------- PingStats
+
+std::size_t PingStats::lost() const noexcept {
+  std::size_t lost_count = 0;
+  for (const auto& rtt : rtt_ms) {
+    if (!rtt.has_value()) ++lost_count;
+  }
+  return lost_count;
+}
+
+double PingStats::loss_pct() const noexcept {
+  if (rtt_ms.empty()) return 0.0;
+  return 100.0 * static_cast<double>(lost()) /
+         static_cast<double>(rtt_ms.size());
+}
+
+namespace {
+
+std::vector<double> delivered(const PingStats& stats) {
+  std::vector<double> values;
+  values.reserve(stats.rtt_ms.size());
+  for (const auto& rtt : stats.rtt_ms) {
+    if (rtt.has_value()) values.push_back(*rtt);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::optional<double> PingStats::avg_ms() const noexcept {
+  const std::vector<double> values = delivered(*this);
+  if (values.empty()) return std::nullopt;
+  return util::mean(values);
+}
+
+std::optional<double> PingStats::min_ms() const noexcept {
+  const std::vector<double> values = delivered(*this);
+  if (values.empty()) return std::nullopt;
+  return *std::min_element(values.begin(), values.end());
+}
+
+std::optional<double> PingStats::max_ms() const noexcept {
+  const std::vector<double> values = delivered(*this);
+  if (values.empty()) return std::nullopt;
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::optional<double> PingStats::stddev_ms() const noexcept {
+  const std::vector<double> values = delivered(*this);
+  if (values.size() < 2) return std::nullopt;
+  return util::stddev(values);
+}
+
+// ------------------------------------------------------------------- Network
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+std::uint64_t endpoint_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+Network::Network(std::uint64_t seed, NetworkConfig config)
+    : config_(config), master_(seed) {}
+
+NodeId Network::add_node(NodeSpec spec) {
+  nodes_.push_back(std::move(spec));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Result<LinkId> Network::add_link(LinkSpec spec) {
+  if (spec.from >= nodes_.size() || spec.to >= nodes_.size()) {
+    return util::Error{ErrorCode::kInvalidArgument, "link endpoint unknown"};
+  }
+  if (spec.from == spec.to) {
+    return util::Error{ErrorCode::kInvalidArgument, "self-link not allowed"};
+  }
+  const std::uint64_t key = endpoint_key(spec.from, spec.to);
+  if (by_endpoints_.contains(key)) {
+    return util::Error{ErrorCode::kConflict, "duplicate link"};
+  }
+  if (!spec.propagation.has_value()) {
+    const double km =
+        haversine_km(nodes_[spec.from].location, nodes_[spec.to].location);
+    spec.propagation = propagation_delay(km);
+  }
+  links_.push_back(spec);
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  by_endpoints_.emplace(key, id);
+  return id;
+}
+
+Status Network::add_duplex(NodeId a, NodeId b, double capacity_ab_mbps,
+                           double capacity_ba_mbps, double util_base) {
+  LinkSpec forward;
+  forward.from = a;
+  forward.to = b;
+  forward.capacity_mbps = capacity_ab_mbps;
+  forward.util_base = util_base;
+  LinkSpec backward = forward;
+  backward.from = b;
+  backward.to = a;
+  backward.capacity_mbps = capacity_ba_mbps;
+
+  const Result<LinkId> first = add_link(forward);
+  if (!first.ok()) return Status(first.error());
+  const Result<LinkId> second = add_link(backward);
+  if (!second.ok()) return Status(second.error());
+  return Status::success();
+}
+
+void Network::add_outage(OutageWindow window) {
+  outages_.push_back(window);
+}
+
+std::optional<NodeId> Network::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+const LinkSpec* Network::find_link(NodeId from, NodeId to) const {
+  const auto it = by_endpoints_.find(endpoint_key(from, to));
+  if (it == by_endpoints_.end()) return nullptr;
+  return &links_[it->second];
+}
+
+SimDuration Network::link_propagation(NodeId from, NodeId to) const {
+  const LinkSpec* link = find_link(from, to);
+  if (link == nullptr || !link->propagation.has_value()) return SimDuration::zero();
+  return *link->propagation;
+}
+
+std::string Network::route_label(const std::vector<NodeId>& route) {
+  std::string label;
+  for (const NodeId node : route) {
+    label += std::to_string(node);
+    label.push_back('-');
+  }
+  return label;
+}
+
+double Network::utilization(NodeId from, NodeId to, SimTime t) const {
+  const LinkSpec* link = find_link(from, to);
+  if (link == nullptr) return 0.0;
+  const std::string label =
+      std::to_string(from) + ">" + std::to_string(to);
+  const double phase =
+      static_cast<double>(util::fnv1a64(label) % 10'000) / 10'000.0 * kTwoPi;
+  const double seconds = util::to_seconds(t);
+  const double wave =
+      link->util_amplitude * std::sin(kTwoPi * seconds / link->util_period_s + phase);
+  // Per-minute noise bucket, stable across repeated queries.
+  const auto bucket = static_cast<std::int64_t>(seconds / 60.0);
+  Rng noise_rng = master_.fork("util:" + label + ":" + std::to_string(bucket));
+  const double noise = noise_rng.normal(0.0, 0.05);
+  return std::clamp(link->util_base + wave + noise, 0.0, 0.97);
+}
+
+double Network::frame_loss(NodeId from, NodeId to, SimTime t) const {
+  const LinkSpec* link = find_link(from, to);
+  if (link == nullptr) return 1.0;
+  double loss = link->base_loss;
+
+  // Micro-congestion: some 10-second windows on some links lose a visible
+  // fraction of frames (the paper's occasional ~10% loss readings, §6.3).
+  const std::string label = std::to_string(from) + ">" + std::to_string(to);
+  const auto bucket = static_cast<std::int64_t>(util::to_seconds(t) / 10.0);
+  Rng bucket_rng = master_.fork("cong:" + label + ":" + std::to_string(bucket));
+  if (bucket_rng.bernoulli(config_.micro_congestion_prob)) {
+    loss += bucket_rng.uniform(config_.micro_congestion_loss_min,
+                               config_.micro_congestion_loss_max);
+  }
+
+  // Heavily utilized links shed additional frames.
+  const double util = utilization(from, to, t);
+  if (util > config_.congested_util_threshold) {
+    loss += (util - config_.congested_util_threshold) * 2.0;
+  }
+  return std::clamp(loss, 0.0, 1.0);
+}
+
+double Network::outage_drop(NodeId node, SimTime t) const {
+  double drop = 0.0;
+  for (const OutageWindow& window : outages_) {
+    if (window.node == node && t >= window.start && t < window.end) {
+      drop = std::max(drop, window.drop_prob);
+    }
+  }
+  return drop;
+}
+
+Result<Network::RouteLinks> Network::resolve(
+    const std::vector<NodeId>& route) const {
+  if (route.size() < 2) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "route needs at least two nodes"};
+  }
+  RouteLinks resolved;
+  resolved.links.reserve(route.size() - 1);
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    if (route[i] >= nodes_.size() || route[i + 1] >= nodes_.size()) {
+      return util::Error{ErrorCode::kInvalidArgument, "route node unknown"};
+    }
+    const LinkSpec* link = find_link(route[i], route[i + 1]);
+    if (link == nullptr) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "no link " + nodes_[route[i]].name + " -> " +
+                             nodes_[route[i + 1]].name};
+    }
+    resolved.links.push_back(link);
+  }
+  return resolved;
+}
+
+double Network::one_way_ms(const RouteLinks& route_links,
+                           const std::vector<NodeId>& route, SimTime t,
+                           Rng& rng) const {
+  double total_ms = 0.0;
+  for (std::size_t i = 0; i < route_links.links.size(); ++i) {
+    const LinkSpec& link = *route_links.links[i];
+    total_ms += util::to_millis(link.propagation.value_or(SimDuration::zero()));
+    // Forwarding cost and queueing jitter at the receiving node.
+    const NodeSpec& hop = nodes_[route[i + 1]];
+    total_ms += hop.process_ms;
+    total_ms += hop.jitter_ms * rng.lognormal(0.0, 0.6);
+    // Queueing delay on the link, superlinear in background utilization.
+    const double util = utilization(route[i], route[i + 1], t);
+    total_ms += util * util * util * 4.0 * rng.lognormal(0.0, 0.8);
+  }
+  return total_ms;
+}
+
+bool Network::frame_survives(const RouteLinks& route_links,
+                             const std::vector<NodeId>& route, SimTime t,
+                             Rng& rng) const {
+  for (std::size_t i = 0; i < route_links.links.size(); ++i) {
+    const NodeId from = route[i];
+    const NodeId to = route[i + 1];
+    if (rng.bernoulli(frame_loss(from, to, t))) return false;
+    if (rng.bernoulli(outage_drop(to, t))) return false;
+  }
+  return true;
+}
+
+Result<PingStats> Network::ping(const std::vector<NodeId>& route,
+                                const PingOptions& options,
+                                SimTime start) const {
+  const Result<RouteLinks> forward = resolve(route);
+  if (!forward.ok()) return Result<PingStats>(forward.error());
+
+  std::vector<NodeId> reverse_route(route.rbegin(), route.rend());
+  const Result<RouteLinks> backward = resolve(reverse_route);
+  if (!backward.ok()) return Result<PingStats>(backward.error());
+
+  PingStats stats;
+  stats.rtt_ms.reserve(options.count);
+  const std::string label = route_label(route);
+  for (std::size_t i = 0; i < options.count; ++i) {
+    const SimTime t = start + options.interval * static_cast<std::int64_t>(i);
+    Rng rng = master_.fork("ping:" + label + ":" + std::to_string(t.count()));
+    const bool delivered_fwd = frame_survives(forward.value(), route, t, rng);
+    const bool delivered_bwd =
+        delivered_fwd && frame_survives(backward.value(), reverse_route, t, rng);
+    if (!delivered_fwd || !delivered_bwd) {
+      stats.rtt_ms.push_back(std::nullopt);
+      continue;
+    }
+    const double rtt = one_way_ms(forward.value(), route, t, rng) +
+                       one_way_ms(backward.value(), reverse_route, t, rng);
+    stats.rtt_ms.push_back(rtt);
+  }
+  return stats;
+}
+
+Result<TraceResult> Network::traceroute(const std::vector<NodeId>& route,
+                                        SimTime start) const {
+  const Result<RouteLinks> resolved = resolve(route);
+  if (!resolved.ok()) return Result<TraceResult>(resolved.error());
+
+  TraceResult result;
+  const std::string label = route_label(route);
+  for (std::size_t hop = 1; hop < route.size(); ++hop) {
+    const std::vector<NodeId> prefix(route.begin(),
+                                     route.begin() + static_cast<std::ptrdiff_t>(hop) + 1);
+    const std::vector<NodeId> reverse_prefix(prefix.rbegin(), prefix.rend());
+    const Result<RouteLinks> fwd = resolve(prefix);
+    const Result<RouteLinks> bwd = resolve(reverse_prefix);
+    TraceHop trace_hop;
+    trace_hop.node = route[hop];
+    if (fwd.ok() && bwd.ok()) {
+      const SimTime t =
+          start + util::sim_millis(static_cast<double>(hop) * 50.0);
+      Rng rng = master_.fork("trace:" + label + ":" + std::to_string(hop) +
+                             ":" + std::to_string(t.count()));
+      if (frame_survives(fwd.value(), prefix, t, rng) &&
+          frame_survives(bwd.value(), reverse_prefix, t, rng)) {
+        trace_hop.rtt_ms = one_way_ms(fwd.value(), prefix, t, rng) +
+                           one_way_ms(bwd.value(), reverse_prefix, t, rng);
+      }
+    }
+    result.hops.push_back(trace_hop);
+  }
+  return result;
+}
+
+Result<BwtestResult> Network::bwtest(const std::vector<NodeId>& route,
+                                     const BwtestOptions& options,
+                                     SimTime start) const {
+  const Result<RouteLinks> resolved = resolve(route);
+  if (!resolved.ok()) return Result<BwtestResult>(resolved.error());
+  if (options.packet_bytes < 4.0) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "bwtest packet size must be >= 4 bytes"};
+  }
+  if (options.duration_s <= 0.0 || options.duration_s > 10.0) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "bwtest duration must be in (0, 10] seconds"};
+  }
+
+  // Server-side failure (§4.1.2 "Error Messages"): the responder is up
+  // but replies with an error; the caller must tolerate it.
+  {
+    Rng error_rng = master_.fork("bwerr:" + route_label(route) + ":" +
+                                 std::to_string(start.count()));
+    if (error_rng.bernoulli(config_.server_error_prob)) {
+      return util::Error{ErrorCode::kBadResponse,
+                         "bwtestserver returned an error"};
+    }
+  }
+
+  BwtestResult result;
+
+  // Wire footprint of one application packet.
+  const double scion_packet_bytes =
+      options.packet_bytes + config_.scion_header_bytes;
+  const double frame_capacity =
+      config_.underlay_mtu - config_.underlay_header_bytes;
+  int frames = 1;
+  if (config_.fragmentation_enabled) {
+    frames = static_cast<int>(std::ceil(scion_packet_bytes / frame_capacity));
+    frames = std::max(frames, 1);
+  }
+  const double wire_bytes =
+      scion_packet_bytes + static_cast<double>(frames) * config_.underlay_header_bytes;
+
+  // Sender pacing: the VM cannot exceed its packets-per-second budget.
+  const double pps_target =
+      options.target_mbps * 1e6 / 8.0 / options.packet_bytes;
+  const double pps_effective = std::min(pps_target, config_.sender_pps_cap);
+  result.attempted_mbps = pps_effective * options.packet_bytes * 8.0 / 1e6;
+  const double wire_mbps = pps_effective * wire_bytes * 8.0 / 1e6;
+
+  // Per-link frame survival: byte-share under overload plus ambient loss
+  // plus outage drops at the receiving node.
+  double frame_survival = 1.0;
+  double bottleneck_available = std::numeric_limits<double>::infinity();
+  const SimTime mid = start + util::sim_seconds(options.duration_s / 2.0);
+  for (std::size_t i = 0; i < resolved.value().links.size(); ++i) {
+    const LinkSpec& link = *resolved.value().links[i];
+    const NodeId from = route[i];
+    const NodeId to = route[i + 1];
+    const double available =
+        link.capacity_mbps * (1.0 - utilization(from, to, mid));
+    bottleneck_available = std::min(bottleneck_available, available);
+    const double share = std::min(1.0, available / wire_mbps);
+    frame_survival *= share;
+    frame_survival *= 1.0 - frame_loss(from, to, mid);
+    frame_survival *= 1.0 - outage_drop(to, mid);
+  }
+  frame_survival = std::clamp(frame_survival, 0.0, 1.0);
+
+  // A fragmented packet is delivered only when every frame survives.
+  const double packet_survival = std::pow(frame_survival, frames);
+
+  Rng rng = master_.fork("bwtest:" + route_label(route) + ":" +
+                         std::to_string(start.count()) + ":" +
+                         std::to_string(options.packet_bytes) + ":" +
+                         std::to_string(options.target_mbps));
+  const double measurement_noise = rng.lognormal(0.0, 0.03);
+  result.achieved_mbps = std::min(
+      result.attempted_mbps,
+      result.attempted_mbps * packet_survival * measurement_noise);
+  result.frames_per_packet = frames;
+  result.packets_sent =
+      static_cast<std::uint64_t>(pps_effective * options.duration_s);
+  result.packets_lost = static_cast<std::uint64_t>(
+      static_cast<double>(result.packets_sent) * (1.0 - packet_survival));
+  result.bottleneck_available_mbps = bottleneck_available;
+  return result;
+}
+
+}  // namespace upin::simnet

@@ -1,0 +1,213 @@
+// network.hpp — stochastic time-indexed network model.
+//
+// The substrate standing in for the live SCIONLab data plane.  Nodes and
+// directed links form a graph; measurements (SCMP-like probes, bwtester-
+// like constant-rate flows) are evaluated against time-varying link state:
+//
+//  * latency    = geography-derived propagation + per-hop processing +
+//                 lognormal queueing jitter (per-node jitter scale lets
+//                 specific ASes — the paper's Singapore/Ohio — be noisy);
+//  * loss       = per-frame base loss + time-bucketed micro-congestion +
+//                 injected outage windows (Fig 9's 100 %-loss episode);
+//  * bandwidth  = wire-overhead-aware saturation model: a constant-rate
+//                 flow of S-byte packets occupies S + header bytes per
+//                 packet on the wire, is paced at most `sender_pps_cap`
+//                 packets/s, and fragments into multiple underlay frames
+//                 when it exceeds the underlay MTU.  Every frame must
+//                 survive the bottleneck's byte-share under overload, so
+//                 fragmented (MTU-sized) flows collapse quadratically —
+//                 reproducing the paper's Fig 7 ordering *and* Fig 8
+//                 inversion with one mechanism.
+//
+// All stochastic draws are forked deterministically from the network seed,
+// the route, and the virtual time, so any measurement is reproducible in
+// isolation regardless of what ran before it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/geo.hpp"
+#include "util/clock.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace upin::simnet {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+/// A network element (an AS host / border router in the SCION layer).
+struct NodeSpec {
+  std::string name;
+  GeoPoint location;
+  double process_ms = 0.05;  ///< per-hop forwarding latency
+  double jitter_ms = 0.15;   ///< queueing jitter scale at this node
+};
+
+/// A directed link.  Propagation delay defaults to the geography of its
+/// endpoints but can be pinned explicitly (e.g. for tests).
+struct LinkSpec {
+  NodeId from = 0;
+  NodeId to = 0;
+  double capacity_mbps = 1000.0;  ///< wire capacity in this direction
+  double base_loss = 5e-4;        ///< per-frame loss floor
+  double util_base = 0.25;        ///< mean background utilization
+  double util_amplitude = 0.15;   ///< diurnal swing of utilization
+  double util_period_s = 3600.0;  ///< period of the swing
+  std::optional<util::SimDuration> propagation;  ///< override geo delay
+};
+
+/// A scheduled degradation: packets crossing `node` between `start` and
+/// `end` are dropped with probability `drop_prob` (1.0 = hard outage).
+/// This is how benches stage the Fig 9 congestion episode.
+struct OutageWindow {
+  NodeId node = 0;
+  util::SimTime start{};
+  util::SimTime end{};
+  double drop_prob = 1.0;
+};
+
+/// Model-wide constants (tunable for ablations).
+struct NetworkConfig {
+  double scion_header_bytes = 88.0;    ///< SCION common+address+path headers
+  double underlay_header_bytes = 28.0; ///< IP+UDP overlay encapsulation
+  double underlay_mtu = 1500.0;        ///< bytes per underlay frame
+  double sender_pps_cap = 60'000.0;    ///< end-host packet pacing limit
+  bool fragmentation_enabled = true;   ///< ablation: no frag loss coupling
+  double micro_congestion_prob = 0.01;    ///< chance a 10 s bucket is congested
+  double micro_congestion_loss_min = 0.03;
+  double micro_congestion_loss_max = 0.12;
+  double congested_util_threshold = 0.92; ///< util above this adds loss
+  /// Probability a bwtest server answers with an error instead of running
+  /// the test (paper §4.1.2's "Error Messages" fault class: "a server is
+  /// not down but it provides a bad response").
+  double server_error_prob = 0.003;
+};
+
+/// Result of an SCMP-echo-like probe train.
+struct PingStats {
+  std::vector<std::optional<double>> rtt_ms;  ///< per probe; nullopt = lost
+
+  [[nodiscard]] std::size_t sent() const noexcept { return rtt_ms.size(); }
+  [[nodiscard]] std::size_t lost() const noexcept;
+  [[nodiscard]] double loss_pct() const noexcept;
+  /// Mean RTT over the delivered probes; nullopt when all were lost.
+  [[nodiscard]] std::optional<double> avg_ms() const noexcept;
+  [[nodiscard]] std::optional<double> min_ms() const noexcept;
+  [[nodiscard]] std::optional<double> max_ms() const noexcept;
+  /// Sample standard deviation of delivered RTTs (jitter proxy).
+  [[nodiscard]] std::optional<double> stddev_ms() const noexcept;
+};
+
+struct PingOptions {
+  std::size_t count = 30;
+  util::SimDuration interval = util::sim_millis(100);
+  double payload_bytes = 64.0;
+};
+
+/// Per-hop RTTs of a traceroute probe.
+struct TraceHop {
+  NodeId node = 0;
+  std::optional<double> rtt_ms;  ///< nullopt when the hop did not answer
+};
+
+struct TraceResult {
+  std::vector<TraceHop> hops;
+};
+
+struct BwtestOptions {
+  double duration_s = 3.0;
+  double packet_bytes = 1000.0;  ///< application payload per packet
+  double target_mbps = 12.0;
+};
+
+struct BwtestResult {
+  double attempted_mbps = 0.0;  ///< offered after sender pacing limits
+  double achieved_mbps = 0.0;   ///< payload delivered / duration
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  int frames_per_packet = 1;
+  double bottleneck_available_mbps = 0.0;  ///< diagnosis: min wire headroom
+};
+
+/// The network model.  Thread-safe for concurrent measurements after the
+/// topology is frozen (all mutation happens during construction).
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 42, NetworkConfig config = {});
+
+  // ---- construction ----------------------------------------------------
+  NodeId add_node(NodeSpec spec);
+  /// Add a directed link; kInvalidArgument on unknown endpoints or a
+  /// duplicate (from,to) pair.
+  util::Result<LinkId> add_link(LinkSpec spec);
+  /// Convenience: two directed links with per-direction capacities.
+  util::Status add_duplex(NodeId a, NodeId b, double capacity_ab_mbps,
+                          double capacity_ba_mbps, double util_base = 0.25);
+  void add_outage(OutageWindow window);
+
+  // ---- introspection ---------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const NodeSpec& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
+  [[nodiscard]] const LinkSpec* find_link(NodeId from, NodeId to) const;
+  [[nodiscard]] util::SimDuration link_propagation(NodeId from, NodeId to) const;
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  // ---- measurements ----------------------------------------------------
+  /// Probe `route` (node sequence source..destination) with `options.count`
+  /// echo packets starting at virtual time `start`.
+  /// kInvalidArgument when the route skips a missing link.
+  [[nodiscard]] util::Result<PingStats> ping(const std::vector<NodeId>& route,
+                                             const PingOptions& options,
+                                             util::SimTime start) const;
+
+  [[nodiscard]] util::Result<TraceResult> traceroute(
+      const std::vector<NodeId>& route, util::SimTime start) const;
+
+  /// Constant-rate flow along `route` (in the direction of data).
+  [[nodiscard]] util::Result<BwtestResult> bwtest(
+      const std::vector<NodeId>& route, const BwtestOptions& options,
+      util::SimTime start) const;
+
+  /// Background utilization of the (from,to) link at time `t` — exposed
+  /// for tests and the ablation benches.
+  [[nodiscard]] double utilization(NodeId from, NodeId to, util::SimTime t) const;
+
+  /// Effective per-frame loss probability on a link at `t` (base +
+  /// micro-congestion + utilization penalty), before outages.
+  [[nodiscard]] double frame_loss(NodeId from, NodeId to, util::SimTime t) const;
+
+  /// Drop probability due to outage windows covering `node` at `t`.
+  [[nodiscard]] double outage_drop(NodeId node, util::SimTime t) const;
+
+ private:
+  struct RouteLinks {
+    std::vector<const LinkSpec*> links;  // per consecutive pair
+  };
+  [[nodiscard]] util::Result<RouteLinks> resolve(
+      const std::vector<NodeId>& route) const;
+  [[nodiscard]] double one_way_ms(const RouteLinks& route_links,
+                                  const std::vector<NodeId>& route,
+                                  util::SimTime t, util::Rng& rng) const;
+  /// Whether a single frame crossing the route at `t` survives.
+  [[nodiscard]] bool frame_survives(const RouteLinks& route_links,
+                                    const std::vector<NodeId>& route,
+                                    util::SimTime t, util::Rng& rng) const;
+
+  [[nodiscard]] static std::string route_label(const std::vector<NodeId>& route);
+
+  std::vector<NodeSpec> nodes_;
+  std::vector<LinkSpec> links_;
+  std::unordered_map<std::uint64_t, LinkId> by_endpoints_;
+  std::vector<OutageWindow> outages_;
+  NetworkConfig config_;
+  util::Rng master_;
+};
+
+}  // namespace upin::simnet

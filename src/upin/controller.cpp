@@ -1,0 +1,66 @@
+#include "upin/controller.hpp"
+
+namespace upin::upinfw {
+
+using util::ErrorCode;
+using util::Result;
+
+PathController::PathController(apps::ScionHost& host,
+                               const select::PathSelector& selector)
+    : host_(host), selector_(selector) {}
+
+Result<scion::SnetAddress> PathController::address_of(int server_id) const {
+  const auto& servers = host_.env().servers;
+  if (server_id < 1 || static_cast<std::size_t>(server_id) > servers.size()) {
+    return util::Error{ErrorCode::kNotFound,
+                       "unknown server id " + std::to_string(server_id)};
+  }
+  return servers[static_cast<std::size_t>(server_id) - 1];
+}
+
+Result<ActiveIntent> PathController::apply(
+    const select::UserRequest& request) {
+  Result<select::RankedPath> best = selector_.best(request);
+  if (!best.ok()) return Result<ActiveIntent>(best.error());
+  ActiveIntent intent{request, std::move(best).value()};
+  active_[request.server_id] = intent;
+  return intent;
+}
+
+std::optional<ActiveIntent> PathController::active(int server_id) const {
+  const auto it = active_.find(server_id);
+  if (it == active_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool PathController::release(int server_id) {
+  return active_.erase(server_id) > 0;
+}
+
+Result<apps::PingReport> PathController::ping(
+    int server_id, const apps::PingOptions& options) {
+  Result<scion::SnetAddress> address = address_of(server_id);
+  if (!address.ok()) return Result<apps::PingReport>(address.error());
+
+  apps::PingOptions pinned = options;
+  const auto it = active_.find(server_id);
+  if (it != active_.end()) {
+    pinned.sequence = it->second.chosen.summary.sequence;
+  }
+  return host_.ping(address.value(), pinned);
+}
+
+Result<std::vector<int>> PathController::reresolve_all() {
+  std::vector<int> changed;
+  for (auto& [server_id, intent] : active_) {
+    Result<select::RankedPath> best = selector_.best(intent.request);
+    if (!best.ok()) continue;  // keep the old pin when nothing qualifies
+    if (best.value().summary.path_id != intent.chosen.summary.path_id) {
+      changed.push_back(server_id);
+    }
+    intent.chosen = std::move(best).value();
+  }
+  return changed;
+}
+
+}  // namespace upin::upinfw

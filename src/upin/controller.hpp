@@ -1,0 +1,60 @@
+// controller.hpp — the UPIN Path Controller (paper §2.1).
+//
+// "The Path Controller is in charge of setting the forwarding rules
+// based on the desires of the user.  The Controller is only able to
+// influence the nodes in its own domain."
+//
+// On a SCION network the user's domain controls the *path choice* (that
+// is the paper's whole point): the controller resolves a UserRequest
+// through the selection engine and pins the winning path for the
+// destination.  Subsequent traffic from this host session uses the
+// pinned path; intents can be re-resolved as fresh measurements arrive.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "apps/host.hpp"
+#include "select/selector.hpp"
+
+namespace upin::upinfw {
+
+/// An applied intent: the request and the path it resolved to.
+struct ActiveIntent {
+  select::UserRequest request;
+  select::RankedPath chosen;
+};
+
+class PathController {
+ public:
+  PathController(apps::ScionHost& host, const select::PathSelector& selector);
+
+  /// Resolve `request` and pin the winning path for its destination.
+  /// kNotFound when nothing satisfies the request (nothing is pinned and
+  /// any previous pin for that destination is kept).
+  util::Result<ActiveIntent> apply(const select::UserRequest& request);
+
+  /// Currently pinned intent for a destination, if any.
+  [[nodiscard]] std::optional<ActiveIntent> active(int server_id) const;
+
+  /// Drop the pin for a destination; returns whether one existed.
+  bool release(int server_id);
+
+  /// Ping the destination over its pinned path (falls back to the best
+  /// discovered path when nothing is pinned — the SCION default).
+  util::Result<apps::PingReport> ping(int server_id,
+                                      const apps::PingOptions& options = {});
+
+  /// Re-resolve every active intent against current data; returns the
+  /// destinations whose pinned path changed.
+  util::Result<std::vector<int>> reresolve_all();
+
+ private:
+  [[nodiscard]] util::Result<scion::SnetAddress> address_of(int server_id) const;
+
+  apps::ScionHost& host_;
+  const select::PathSelector& selector_;
+  std::map<int, ActiveIntent> active_;
+};
+
+}  // namespace upin::upinfw

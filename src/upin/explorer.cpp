@@ -1,0 +1,75 @@
+#include "upin/explorer.hpp"
+
+namespace upin::upinfw {
+
+using util::Result;
+using util::Status;
+using util::Value;
+
+DomainExplorer::DomainExplorer(docdb::Database& db,
+                               const scion::Topology& topology)
+    : db_(db), topology_(topology) {}
+
+Status DomainExplorer::refresh() {
+  docdb::Collection& nodes = db_.collection(kNodes);
+  nodes.create_index("country");
+  nodes.create_index("operator");
+  for (const scion::AsInfo& info : topology_.ases()) {
+    const std::size_t degree =
+        topology_.neighbors(info.ia, scion::LinkType::kCore).size() +
+        topology_.parents_of(info.ia).size() +
+        topology_.children_of(info.ia).size() +
+        topology_.neighbors(info.ia, scion::LinkType::kPeer).size();
+    util::JsonObject doc;
+    doc.set("_id", Value(info.ia.to_string()));
+    doc.set("name", Value(info.name));
+    doc.set("role", Value(to_string(info.role)));
+    doc.set("isd", Value(static_cast<std::int64_t>(info.ia.isd())));
+    doc.set("city", Value(info.city));
+    doc.set("country", Value(info.country));
+    doc.set("operator", Value(info.operator_name));
+    doc.set("lat", Value(info.location.lat_deg));
+    doc.set("lon", Value(info.location.lon_deg));
+    doc.set("degree", Value(degree));
+
+    nodes.delete_by_id(info.ia.to_string());  // refresh semantics
+    Result<std::string> inserted = nodes.insert_one(Value(std::move(doc)));
+    if (!inserted.ok()) return Status(inserted.error());
+  }
+  return Status::success();
+}
+
+Result<docdb::Document> DomainExplorer::describe(scion::IsdAsn ia) const {
+  const docdb::Collection* nodes = db_.find_collection(kNodes);
+  if (nodes == nullptr) {
+    return util::Error{util::ErrorCode::kNotFound, "nodes not published"};
+  }
+  return nodes->find_by_id(ia.to_string());
+}
+
+Result<std::vector<scion::IsdAsn>> DomainExplorer::find_nodes(
+    const Value& query) const {
+  const docdb::Collection* nodes = db_.find_collection(kNodes);
+  if (nodes == nullptr) {
+    return util::Error{util::ErrorCode::kNotFound, "nodes not published"};
+  }
+  Result<docdb::Filter> filter = docdb::Filter::compile(query);
+  if (!filter.ok()) {
+    return Result<std::vector<scion::IsdAsn>>(filter.error());
+  }
+  std::vector<scion::IsdAsn> result;
+  for (const docdb::Document& doc : nodes->find(filter.value())) {
+    const auto id = docdb::document_id(doc);
+    if (!id.has_value()) continue;
+    Result<scion::IsdAsn> ia = scion::IsdAsn::parse(*id);
+    if (ia.ok()) result.push_back(ia.value());
+  }
+  return result;
+}
+
+std::size_t DomainExplorer::published_count() const {
+  const docdb::Collection* nodes = db_.find_collection(kNodes);
+  return nodes == nullptr ? 0 : nodes->size();
+}
+
+}  // namespace upin::upinfw

@@ -1,0 +1,47 @@
+// explorer.hpp — the UPIN Domain Explorer (paper §2.1).
+//
+// "The Domain Explorer obtains metadata about properties of the network,
+// including security and environmental details.  It stores detailed
+// knowledge on the nodes in the network."
+//
+// Here it publishes the testbed's AS metadata (role, city, country,
+// operator, coordinates, ISD) into a `nodes` collection of the
+// measurement database, so the selection and verification layers can
+// answer sovereignty questions from stored knowledge rather than from
+// compiled-in structures.
+#pragma once
+
+#include "docdb/database.hpp"
+#include "scion/topology.hpp"
+
+namespace upin::upinfw {
+
+/// Collection the explorer maintains.
+inline constexpr const char* kNodes = "nodes";
+
+/// Publishes and refreshes node knowledge.
+class DomainExplorer {
+ public:
+  DomainExplorer(docdb::Database& db, const scion::Topology& topology);
+
+  /// (Re)publish every AS as a node document (idempotent upsert).
+  /// Document: {_id: "<isd-as>", name, role, isd, city, country,
+  ///            operator, lat, lon, degree}.
+  util::Status refresh();
+
+  /// Stored knowledge for one AS; kNotFound when never published.
+  [[nodiscard]] util::Result<docdb::Document> describe(scion::IsdAsn ia) const;
+
+  /// All ASes matching a Mongo-style query over node documents,
+  /// e.g. {"country": "US"} or {"role": "core"}.
+  [[nodiscard]] util::Result<std::vector<scion::IsdAsn>> find_nodes(
+      const util::Value& query) const;
+
+  [[nodiscard]] std::size_t published_count() const;
+
+ private:
+  docdb::Database& db_;
+  const scion::Topology& topology_;
+};
+
+}  // namespace upin::upinfw

@@ -1,0 +1,82 @@
+#include "upin/recommend.hpp"
+
+#include "util/strings.hpp"
+
+namespace upin::upinfw {
+
+using util::Result;
+
+const char* to_string(IntentProfile profile) noexcept {
+  switch (profile) {
+    case IntentProfile::kVideoCall: return "video-call";
+    case IntentProfile::kGaming: return "gaming";
+    case IntentProfile::kBulkTransfer: return "bulk-transfer";
+    case IntentProfile::kUpload: return "upload";
+    case IntentProfile::kReliableSync: return "reliable-sync";
+  }
+  return "?";
+}
+
+select::UserRequest make_request(IntentProfile profile, int server_id,
+                                 const select::UserRequest& base) {
+  select::UserRequest request = base;  // keep sovereignty lists & samples
+  request.server_id = server_id;
+  switch (profile) {
+    case IntentProfile::kVideoCall:
+      // §6.1: consistency over raw latency for streaming/VoIP.
+      request.objective = select::Objective::kMostConsistent;
+      request.max_latency_ms = request.max_latency_ms.value_or(250.0);
+      request.max_loss_pct = request.max_loss_pct.value_or(2.0);
+      break;
+    case IntentProfile::kGaming:
+      request.objective = select::Objective::kLowestLatency;
+      request.max_loss_pct = request.max_loss_pct.value_or(5.0);
+      break;
+    case IntentProfile::kBulkTransfer:
+      request.objective = select::Objective::kHighestBandwidth;
+      request.bw_direction = select::BwDirection::kDownstream;
+      break;
+    case IntentProfile::kUpload:
+      request.objective = select::Objective::kHighestBandwidth;
+      request.bw_direction = select::BwDirection::kUpstream;
+      break;
+    case IntentProfile::kReliableSync:
+      request.objective = select::Objective::kLowestLoss;
+      break;
+  }
+  return request;
+}
+
+Recommender::Recommender(const select::PathSelector& selector)
+    : selector_(selector) {}
+
+Result<Recommendation> Recommender::recommend(
+    IntentProfile profile, int server_id, std::size_t top_n,
+    const select::UserRequest& base) const {
+  Recommendation recommendation;
+  recommendation.profile = profile;
+  recommendation.request = make_request(profile, server_id, base);
+
+  Result<select::Selection> selection =
+      selector_.select(recommendation.request);
+  if (!selection.ok()) return Result<Recommendation>(selection.error());
+
+  recommendation.rejected = std::move(selection.value().rejected);
+  auto& ranked = selection.value().ranked;
+  if (ranked.empty()) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       std::string("no path qualifies for ") +
+                           to_string(profile) + " to server " +
+                           std::to_string(server_id)};
+  }
+  if (ranked.size() > top_n) ranked.resize(top_n);
+  recommendation.summary = util::format(
+      "%s: take %s (%s); %zu alternatives, %zu rejected", to_string(profile),
+      ranked.front().summary.path_id.c_str(),
+      ranked.front().rationale.c_str(), ranked.size() - 1,
+      recommendation.rejected.size());
+  recommendation.ranked = std::move(ranked);
+  return recommendation;
+}
+
+}  // namespace upin::upinfw

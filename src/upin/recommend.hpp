@@ -1,0 +1,60 @@
+// recommend.hpp — the path recommendation feature (paper §7 future work).
+//
+// "We intend to proceed ... by providing a user interface and a path
+// recommendation feature, that remains our main direction for future
+// research."
+//
+// Users rarely think in request objects; they think "video call" or
+// "nightly backup".  The recommender maps named intent profiles onto
+// UserRequests, resolves them through the selector, and explains each
+// recommendation (path, rationale, what was rejected and why).
+#pragma once
+
+#include "select/selector.hpp"
+
+namespace upin::upinfw {
+
+/// Built-in intent profiles.
+enum class IntentProfile {
+  kVideoCall,      ///< low jitter first, bounded latency and loss (§6.1)
+  kGaming,         ///< lowest latency, bounded loss
+  kBulkTransfer,   ///< highest downstream bandwidth
+  kUpload,         ///< highest upstream bandwidth
+  kReliableSync,   ///< lowest loss
+};
+
+const char* to_string(IntentProfile profile) noexcept;
+
+/// Translate a profile into a concrete request for a destination.
+/// Sovereignty lists are copied from `base` (which may also preset
+/// min_samples etc.); objective and performance bounds come from the
+/// profile.
+[[nodiscard]] select::UserRequest make_request(
+    IntentProfile profile, int server_id,
+    const select::UserRequest& base = {});
+
+/// A recommendation: ranked paths with human-readable reasoning.
+struct Recommendation {
+  IntentProfile profile = IntentProfile::kVideoCall;
+  select::UserRequest request;
+  std::vector<select::RankedPath> ranked;  ///< best first, at most `top_n`
+  std::vector<std::pair<std::string, std::string>> rejected;
+  std::string summary;  ///< one-line explanation of the top pick
+};
+
+class Recommender {
+ public:
+  explicit Recommender(const select::PathSelector& selector);
+
+  /// Recommend paths for a profile; kNotFound when nothing qualifies
+  /// (the report of rejections is still returned inside the error path
+  /// via `recommend_or_explain`).
+  util::Result<Recommendation> recommend(IntentProfile profile, int server_id,
+                                         std::size_t top_n = 3,
+                                         const select::UserRequest& base = {}) const;
+
+ private:
+  const select::PathSelector& selector_;
+};
+
+}  // namespace upin::upinfw

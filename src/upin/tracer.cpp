@@ -1,0 +1,98 @@
+#include "upin/tracer.hpp"
+
+namespace upin::upinfw {
+
+using util::Result;
+using util::Value;
+
+PathTracer::PathTracer(apps::ScionHost& host, docdb::Database& db)
+    : host_(host), db_(db) {}
+
+Result<TraceRecord> PathTracer::trace_and_store(
+    int server_id, const std::string& path_id,
+    const scion::SnetAddress& address, const std::string& sequence) {
+  Result<apps::TracerouteReport> report = host_.traceroute(address, sequence);
+  if (!report.ok()) return Result<TraceRecord>(report.error());
+
+  TraceRecord record;
+  record.path_id = path_id;
+  record.server_id = server_id;
+  record.timestamp = host_.clock().now();
+  record.complete = true;
+
+  Value::Array hops;
+  for (std::size_t i = 0; i < report.value().trace.hops.size(); ++i) {
+    const simnet::TraceHop& hop = report.value().trace.hops[i];
+    // Hop i of the trace is hop i+1 of the path (the source answers 0).
+    const scion::IsdAsn ia = report.value().path.hops()[i + 1].ia;
+    record.hops.emplace_back(ia, hop.rtt_ms);
+    if (!hop.rtt_ms.has_value()) record.complete = false;
+
+    util::JsonObject hop_doc;
+    hop_doc.set("ia", Value(ia.to_string()));
+    if (hop.rtt_ms.has_value()) hop_doc.set("rtt_ms", Value(*hop.rtt_ms));
+    hops.emplace_back(std::move(hop_doc));
+  }
+
+  util::JsonObject doc;
+  doc.set("_id", Value(path_id + "_" + util::timestamp_token(record.timestamp)));
+  doc.set("path_id", Value(path_id));
+  doc.set("server_id", Value(server_id));
+  doc.set("timestamp_ms", Value(static_cast<std::int64_t>(
+                              record.timestamp.count() / 1'000'000)));
+  doc.set("hops", Value(std::move(hops)));
+  doc.set("complete", Value(record.complete));
+
+  docdb::Collection& traces = db_.collection(kPathTraces);
+  traces.create_index("path_id");
+  Result<std::string> inserted = traces.insert_one(Value(std::move(doc)));
+  if (!inserted.ok()) return Result<TraceRecord>(inserted.error());
+  return record;
+}
+
+Result<std::vector<TraceRecord>> PathTracer::traces_for(
+    const std::string& path_id) const {
+  const docdb::Collection* traces = db_.find_collection(kPathTraces);
+  if (traces == nullptr) return std::vector<TraceRecord>{};  // nothing yet
+  util::JsonObject query;
+  query.set("path_id", Value(path_id));
+  Result<docdb::Filter> filter =
+      docdb::Filter::compile(Value(std::move(query)));
+  if (!filter.ok()) return Result<std::vector<TraceRecord>>(filter.error());
+
+  docdb::FindOptions by_time;
+  by_time.sort_by = "timestamp_ms";
+
+  std::vector<TraceRecord> records;
+  for (const docdb::Document& doc : traces->find(filter.value(), by_time)) {
+    TraceRecord record;
+    record.path_id = path_id;
+    if (const Value* server = doc.get("server_id"); server && server->is_int()) {
+      record.server_id = static_cast<int>(server->as_int());
+    }
+    if (const Value* ts = doc.get("timestamp_ms"); ts && ts->is_int()) {
+      record.timestamp = util::SimTime(ts->as_int() * 1'000'000);
+    }
+    record.complete = true;
+    if (const Value* hops = doc.get("hops"); hops && hops->is_array()) {
+      for (const Value& hop : hops->as_array()) {
+        const Value* ia_text = hop.get("ia");
+        if (ia_text == nullptr || !ia_text->is_string()) continue;
+        Result<scion::IsdAsn> ia = scion::IsdAsn::parse(ia_text->as_string());
+        if (!ia.ok()) continue;
+        std::optional<double> rtt;
+        if (const Value* rtt_value = hop.get("rtt_ms");
+            rtt_value != nullptr && rtt_value->is_number()) {
+          rtt = rtt_value->as_double();
+        } else {
+          record.complete = false;
+        }
+        record.hops.emplace_back(ia.value(), rtt);
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace upin::upinfw

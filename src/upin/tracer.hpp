@@ -1,0 +1,50 @@
+// tracer.hpp — the UPIN Path Tracer (paper §2.1).
+//
+// "The Path Tracer gathers measurements on the traffic in the UPIN
+// domain.  The goal is to store important details for the possible
+// verification."
+//
+// Traces the active path of an intent with SCMP traceroute and stores
+// one document per trace in the `path_traces` collection:
+//   {_id: "<path_id>_<ts>", path_id, server_id, timestamp_ms,
+//    hops: [{ia, rtt_ms|null}, ...], complete}
+#pragma once
+
+#include "apps/host.hpp"
+#include "docdb/database.hpp"
+
+namespace upin::upinfw {
+
+inline constexpr const char* kPathTraces = "path_traces";
+
+/// One recorded trace (decoded form).
+struct TraceRecord {
+  std::string path_id;
+  int server_id = 0;
+  util::SimTime timestamp{};
+  /// (AS, RTT) per hop; nullopt RTT = hop did not answer.
+  std::vector<std::pair<scion::IsdAsn, std::optional<double>>> hops;
+  bool complete = false;  ///< every hop answered
+};
+
+class PathTracer {
+ public:
+  PathTracer(apps::ScionHost& host, docdb::Database& db);
+
+  /// Trace `sequence` towards `address` and store the result under
+  /// `path_id` for `server_id`.  Returns the stored record.
+  util::Result<TraceRecord> trace_and_store(int server_id,
+                                            const std::string& path_id,
+                                            const scion::SnetAddress& address,
+                                            const std::string& sequence);
+
+  /// All stored traces for one path, oldest first.
+  [[nodiscard]] util::Result<std::vector<TraceRecord>> traces_for(
+      const std::string& path_id) const;
+
+ private:
+  apps::ScionHost& host_;
+  docdb::Database& db_;
+};
+
+}  // namespace upin::upinfw

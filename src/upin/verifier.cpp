@@ -1,0 +1,122 @@
+#include "upin/verifier.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace upin::upinfw {
+
+const char* to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kSatisfied: return "satisfied";
+    case Verdict::kUncertain: return "uncertain";
+    case Verdict::kViolated: return "violated";
+  }
+  return "?";
+}
+
+PathVerifier::PathVerifier(const scion::Topology& topology)
+    : topology_(topology) {}
+
+void PathVerifier::enable_isd(std::uint16_t isd) { enabled_isds_.insert(isd); }
+
+bool PathVerifier::is_enabled(std::uint16_t isd) const {
+  return enabled_isds_.contains(isd);
+}
+
+VerificationReport PathVerifier::verify(
+    const select::UserRequest& request, const TraceRecord& trace,
+    const simnet::PingStats& fresh_ping) const {
+  VerificationReport report;
+
+  // --- trace evidence ---------------------------------------------------
+  {
+    Check completeness;
+    completeness.name = "trace-complete";
+    completeness.passed = trace.complete && !trace.hops.empty();
+    completeness.detail = completeness.passed
+                              ? util::format("%zu hops answered", trace.hops.size())
+                              : "trace has unanswered hops";
+    report.checks.push_back(completeness);
+  }
+
+  Check sovereignty;
+  sovereignty.name = "sovereignty";
+  sovereignty.passed = true;
+  for (const auto& [ia, rtt] : trace.hops) {
+    const scion::AsInfo* info = topology_.find_as(ia);
+    if (info == nullptr) continue;
+    const bool excluded_country =
+        std::find(request.exclude_countries.begin(),
+                  request.exclude_countries.end(),
+                  info->country) != request.exclude_countries.end();
+    const bool excluded_operator =
+        std::find(request.exclude_operators.begin(),
+                  request.exclude_operators.end(),
+                  info->operator_name) != request.exclude_operators.end();
+    const bool excluded_as =
+        std::find(request.exclude_ases.begin(), request.exclude_ases.end(),
+                  ia) != request.exclude_ases.end();
+    const bool excluded_isd =
+        std::find(request.exclude_isds.begin(), request.exclude_isds.end(),
+                  ia.isd()) != request.exclude_isds.end();
+    const bool outside_allow_list =
+        !request.allowed_isds.empty() &&
+        std::find(request.allowed_isds.begin(), request.allowed_isds.end(),
+                  ia.isd()) == request.allowed_isds.end();
+    if (excluded_country || excluded_operator || excluded_as || excluded_isd ||
+        outside_allow_list) {
+      sovereignty.passed = false;
+      sovereignty.detail = "traffic crossed excluded " + ia.to_string();
+      break;
+    }
+    if (!is_enabled(ia.isd())) report.unverifiable_hops.push_back(ia);
+  }
+  if (sovereignty.passed && sovereignty.detail.empty()) {
+    sovereignty.detail = "no excluded hop observed";
+  }
+  report.checks.push_back(sovereignty);
+
+  // --- performance evidence ----------------------------------------------
+  if (request.max_latency_ms.has_value()) {
+    Check latency;
+    latency.name = "latency";
+    const auto avg = fresh_ping.avg_ms();
+    latency.passed = avg.has_value() && *avg <= *request.max_latency_ms;
+    latency.detail = avg.has_value()
+                         ? util::format("avg %.2fms vs bound %.2fms", *avg,
+                                        *request.max_latency_ms)
+                         : "no latency measurement";
+    report.checks.push_back(latency);
+  }
+  if (request.max_loss_pct.has_value()) {
+    Check loss;
+    loss.name = "loss";
+    loss.passed = fresh_ping.loss_pct() <= *request.max_loss_pct;
+    loss.detail = util::format("%.1f%% vs bound %.1f%%", fresh_ping.loss_pct(),
+                               *request.max_loss_pct);
+    report.checks.push_back(loss);
+  }
+  if (request.max_jitter_ms.has_value()) {
+    Check jitter;
+    jitter.name = "jitter";
+    const auto stddev = fresh_ping.stddev_ms();
+    jitter.passed = stddev.has_value() && *stddev <= *request.max_jitter_ms;
+    jitter.detail = stddev.has_value()
+                        ? util::format("%.2fms vs bound %.2fms", *stddev,
+                                       *request.max_jitter_ms)
+                        : "no jitter measurement";
+    report.checks.push_back(jitter);
+  }
+
+  if (!report.all_passed()) {
+    report.verdict = Verdict::kViolated;
+  } else if (report.unverifiable_hops.empty()) {
+    report.verdict = Verdict::kSatisfied;
+  } else {
+    report.verdict = Verdict::kUncertain;  // paper §2.1's caveat
+  }
+  return report;
+}
+
+}  // namespace upin::upinfw

@@ -1,0 +1,75 @@
+// verifier.hpp — the UPIN Path Verifier (paper §2.1).
+//
+// "The Path Verifier examines whether the desires of the user are
+// satisfied.  However, if the path traverses a non-UPIN enabled domain,
+// the Path Verifier cannot be certain whether the intent is satisfied
+// over the full path."
+//
+// Verification combines the stored trace (which ASes did traffic
+// actually cross?) with fresh measurements (is the promised performance
+// delivered?).  ISDs can be registered as UPIN-enabled; hops in other
+// ISDs degrade a passing verdict to kUncertain, exactly as the paper
+// qualifies it.
+#pragma once
+
+#include <set>
+
+#include "select/request.hpp"
+#include "upin/tracer.hpp"
+
+namespace upin::upinfw {
+
+enum class Verdict {
+  kSatisfied,   ///< every check passed on UPIN-enabled territory
+  kUncertain,   ///< checks passed, but hops traverse non-UPIN domains
+  kViolated,    ///< at least one check failed
+};
+
+const char* to_string(Verdict verdict) noexcept;
+
+/// One verification check with its outcome.
+struct Check {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+struct VerificationReport {
+  Verdict verdict = Verdict::kUncertain;
+  std::vector<Check> checks;
+  std::vector<scion::IsdAsn> unverifiable_hops;  ///< outside UPIN domains
+
+  [[nodiscard]] bool all_passed() const noexcept {
+    for (const Check& check : checks) {
+      if (!check.passed) return false;
+    }
+    return true;
+  }
+};
+
+class PathVerifier {
+ public:
+  /// `topology` supplies AS metadata for sovereignty checks.
+  explicit PathVerifier(const scion::Topology& topology);
+
+  /// Declare an ISD UPIN-enabled (verifiable end to end).
+  void enable_isd(std::uint16_t isd);
+  [[nodiscard]] bool is_enabled(std::uint16_t isd) const;
+
+  /// Verify an intent against the evidence:
+  ///  * trace evidence — every traced hop honors the exclusion lists and
+  ///    the trace is complete;
+  ///  * performance evidence — the ping's latency/loss/jitter meet the
+  ///    request's bounds.
+  /// The verdict is kViolated on any failed check, otherwise kSatisfied
+  /// when every traced hop is in an enabled ISD and kUncertain when not.
+  [[nodiscard]] VerificationReport verify(
+      const select::UserRequest& request, const TraceRecord& trace,
+      const simnet::PingStats& fresh_ping) const;
+
+ private:
+  const scion::Topology& topology_;
+  std::set<std::uint16_t> enabled_isds_;
+};
+
+}  // namespace upin::upinfw

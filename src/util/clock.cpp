@@ -1,0 +1,15 @@
+#include "util/clock.hpp"
+
+#include <cstdio>
+
+namespace upin::util {
+
+std::string timestamp_token(SimTime t) {
+  // Milliseconds since experiment start, zero-padded to sort lexically.
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%012lld",
+                static_cast<long long>(t.count() / 1'000'000));
+  return buffer;
+}
+
+}  // namespace upin::util

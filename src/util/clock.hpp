@@ -1,0 +1,58 @@
+// clock.hpp — virtual time for deterministic measurement campaigns.
+//
+// The paper's measurements were taken over wall-clock hours on a live
+// testbed; consecutive path tests share a timeline, which matters for the
+// Fig 9 congestion-episode result.  We reproduce that timeline in virtual
+// time so a full survey is instantaneous yet ordering-faithful.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace upin::util {
+
+/// Virtual time point: nanoseconds since the start of the experiment.
+using SimTime = std::chrono::nanoseconds;
+using SimDuration = std::chrono::nanoseconds;
+
+[[nodiscard]] constexpr SimTime sim_seconds(double seconds) noexcept {
+  return SimTime(static_cast<std::int64_t>(seconds * 1e9));
+}
+[[nodiscard]] constexpr SimTime sim_millis(double millis) noexcept {
+  return SimTime(static_cast<std::int64_t>(millis * 1e6));
+}
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t.count()) / 1e9;
+}
+[[nodiscard]] constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t.count()) / 1e6;
+}
+
+/// A monotonically advancing virtual clock.  All components of one
+/// experiment share a single VirtualClock instance.
+class VirtualClock {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Advance the clock; `delta` must be non-negative.
+  void advance(SimDuration delta) noexcept {
+    if (delta.count() > 0) now_ += delta;
+  }
+
+  /// Jump forward to `target` if it is in the future.
+  void advance_to(SimTime target) noexcept {
+    if (target > now_) now_ = target;
+  }
+
+  void reset() noexcept { now_ = SimTime::zero(); }
+
+ private:
+  SimTime now_ = SimTime::zero();
+};
+
+/// Render a virtual timestamp as a compact sortable token, used in
+/// paths_stats document ids (`<path_id>_<timestamp>` per paper Fig 3).
+[[nodiscard]] std::string timestamp_token(SimTime t);
+
+}  // namespace upin::util

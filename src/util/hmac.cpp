@@ -1,0 +1,55 @@
+#include "util/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace upin::util {
+
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> message) noexcept {
+  constexpr std::size_t kBlockSize = 64;
+  std::array<std::uint8_t, kBlockSize> key_block{};
+
+  if (key.size() > kBlockSize) {
+    const Digest256 hashed = Sha256::hash(key);
+    std::memcpy(key_block.data(), hashed.data(), hashed.size());
+  } else if (!key.empty()) {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlockSize> inner_pad{};
+  std::array<std::uint8_t, kBlockSize> outer_pad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner_pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    outer_pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(inner_pad);
+  inner.update(message);
+  const Digest256 inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(outer_pad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Digest256 hmac_sha256(std::string_view key, std::string_view message) noexcept {
+  return hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(message.data()),
+          message.size()));
+}
+
+bool digest_equal(const Digest256& a, const Digest256& b) noexcept {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff = static_cast<std::uint8_t>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
+}
+
+}  // namespace upin::util

@@ -1,0 +1,24 @@
+// hmac.hpp — HMAC-SHA256 (RFC 2104) for authenticating measurement batches.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/sha256.hpp"
+
+namespace upin::util {
+
+/// HMAC-SHA256 over `message` with `key`.
+[[nodiscard]] Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> message) noexcept;
+
+/// Convenience overload for text keys/messages.
+[[nodiscard]] Digest256 hmac_sha256(std::string_view key,
+                                    std::string_view message) noexcept;
+
+/// Constant-time digest comparison (avoids timing side channels in the
+/// write-access check).
+[[nodiscard]] bool digest_equal(const Digest256& a, const Digest256& b) noexcept;
+
+}  // namespace upin::util

@@ -1,0 +1,68 @@
+#include "util/lamport.hpp"
+
+namespace upin::util {
+
+namespace {
+
+Digest256 random_block(Rng& rng) noexcept {
+  Digest256 block;
+  for (std::size_t i = 0; i < block.size(); i += 8) {
+    const std::uint64_t word = rng.next();
+    for (std::size_t j = 0; j < 8; ++j) {
+      block[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+  return block;
+}
+
+/// Bit `i` (0 = most significant bit of byte 0) of a digest.
+bool digest_bit(const Digest256& digest, std::size_t i) noexcept {
+  return (digest[i / 8] >> (7 - (i % 8))) & 1;
+}
+
+}  // namespace
+
+Digest256 LamportPublicKey::fingerprint() const noexcept {
+  Sha256 hasher;
+  for (const auto& pair : images) {
+    hasher.update(pair[0]);
+    hasher.update(pair[1]);
+  }
+  return hasher.finish();
+}
+
+LamportKeyPair lamport_generate(Rng& rng) noexcept {
+  LamportKeyPair pair;
+  for (std::size_t bit = 0; bit < 256; ++bit) {
+    for (std::size_t value = 0; value < 2; ++value) {
+      pair.private_key.preimages[bit][value] = random_block(rng);
+      pair.public_key.images[bit][value] =
+          Sha256::hash(pair.private_key.preimages[bit][value]);
+    }
+  }
+  return pair;
+}
+
+LamportSignature lamport_sign(const LamportPrivateKey& key,
+                              std::string_view message) noexcept {
+  const Digest256 digest = Sha256::hash(message);
+  LamportSignature signature;
+  for (std::size_t bit = 0; bit < 256; ++bit) {
+    signature.revealed[bit] = key.preimages[bit][digest_bit(digest, bit) ? 1 : 0];
+  }
+  return signature;
+}
+
+bool lamport_verify(const LamportPublicKey& key, std::string_view message,
+                    const LamportSignature& signature) noexcept {
+  const Digest256 digest = Sha256::hash(message);
+  for (std::size_t bit = 0; bit < 256; ++bit) {
+    const std::size_t value = digest_bit(digest, bit) ? 1 : 0;
+    if (Sha256::hash(signature.revealed[bit]) != key.images[bit][value]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace upin::util

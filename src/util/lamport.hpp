@@ -1,0 +1,62 @@
+// lamport.hpp — Lamport one-time signatures over SHA-256.
+//
+// The paper (§4.2.2) designs, but does not implement, public-key-certified
+// write access to the measurement database.  We implement that design with
+// a hash-based scheme that needs no external crypto library: Lamport OTS.
+//
+// A key pair is 2×256 random 32-byte preimages (private) and their hashes
+// (public).  Signing a message reveals, per digest bit, one of the two
+// preimages.  Each key must sign at most once; the trust layer in
+// `upin::scion` issues fresh certified keys per measurement session.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace upin::util {
+
+/// 256 pairs of 32-byte blocks: block[bit][value-of-bit].
+struct LamportPrivateKey {
+  std::array<std::array<Digest256, 2>, 256> preimages;
+};
+
+/// Hashes of the private preimages, in the same layout.
+struct LamportPublicKey {
+  std::array<std::array<Digest256, 2>, 256> images;
+
+  /// A short fingerprint identifying this key (hash of all images).
+  [[nodiscard]] Digest256 fingerprint() const noexcept;
+
+  friend bool operator==(const LamportPublicKey&, const LamportPublicKey&) = default;
+};
+
+/// One revealed preimage per message-digest bit.
+struct LamportSignature {
+  std::array<Digest256, 256> revealed;
+};
+
+struct LamportKeyPair {
+  LamportPrivateKey private_key;
+  LamportPublicKey public_key;
+};
+
+/// Deterministically generate a key pair from `rng` (callers fork a
+/// labelled substream per key).
+[[nodiscard]] LamportKeyPair lamport_generate(Rng& rng) noexcept;
+
+/// Sign the SHA-256 digest of `message`.  One-time: reusing a private key
+/// for two different messages leaks enough preimages to forge.
+[[nodiscard]] LamportSignature lamport_sign(const LamportPrivateKey& key,
+                                            std::string_view message) noexcept;
+
+/// Verify a signature against a public key and message.
+[[nodiscard]] bool lamport_verify(const LamportPublicKey& key,
+                                  std::string_view message,
+                                  const LamportSignature& signature) noexcept;
+
+}  // namespace upin::util

@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace upin::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+Log::Sink g_sink;  // guarded by g_sink_mutex
+
+void default_sink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", to_string(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel Log::level() noexcept { return g_level.load(); }
+
+void Log::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, std::string_view message) {
+  if (level < g_level.load()) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace upin::util

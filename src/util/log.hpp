@@ -1,0 +1,38 @@
+// log.hpp — minimal leveled, thread-safe logger.
+//
+// The test-suite logs progress and fault-handling decisions (retries,
+// skipped servers) the way the paper's bash wrapper reported them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace upin::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* to_string(LogLevel level) noexcept;
+
+/// Process-wide logger.  Defaults to kWarn on stderr so tests stay quiet;
+/// examples and benches raise it to kInfo.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Replace the output sink (used by tests to capture messages).
+  /// Passing nullptr restores the default stderr sink.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view message);
+
+  static void debug(std::string_view message) { write(LogLevel::kDebug, message); }
+  static void info(std::string_view message) { write(LogLevel::kInfo, message); }
+  static void warn(std::string_view message) { write(LogLevel::kWarn, message); }
+  static void error(std::string_view message) { write(LogLevel::kError, message); }
+};
+
+}  // namespace upin::util

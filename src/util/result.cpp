@@ -1,0 +1,21 @@
+#include "util/result.hpp"
+
+namespace upin::util {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kUnreachable: return "unreachable";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kBadResponse: return "bad_response";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kDataLoss: return "data_loss";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace upin::util

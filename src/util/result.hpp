@@ -1,0 +1,102 @@
+// result.hpp — lightweight error handling for fallible operations.
+//
+// The measurement pipeline talks to a dynamic, fallible network (paper
+// §4.1.2: data loss, server failure, error messages).  We propagate those
+// conditions as values, not exceptions, so callers must acknowledge them.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace upin::util {
+
+/// Category of a failure, mirroring the fault classes of paper §4.1.2.
+enum class ErrorCode {
+  kInvalidArgument,   ///< malformed input (bad address, bad predicate, ...)
+  kNotFound,          ///< entity does not exist (collection, path, AS, ...)
+  kUnreachable,       ///< destination down / no path (server failure)
+  kTimeout,           ///< measurement produced no answer in time
+  kBadResponse,       ///< server answered, but with garbage (error message)
+  kPermissionDenied,  ///< PKC write-access check failed
+  kDataLoss,          ///< storage or transfer lost data
+  kParseError,        ///< serialization / deserialization failure
+  kConflict,          ///< duplicate _id or conflicting update
+  kInternal,          ///< invariant violation inside this library
+};
+
+/// Human-readable name of an ErrorCode (stable, for logs and tests).
+const char* to_string(ErrorCode code) noexcept;
+
+/// A failure: a coarse code plus a free-form human-readable message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Minimal expected-like type: either a value or an Error.
+///
+/// `Result<void>` is spelled `Status` below.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message)
+      : state_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result carrying no value: success or an Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+  Status(ErrorCode code, std::string message)
+      : error_{code, std::move(message)}, failed_(true) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+  static Status success() { return {}; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace upin::util

@@ -1,0 +1,90 @@
+// stats.hpp — descriptive statistics for measurement analysis.
+//
+// The paper presents its results as whisker (box) plots, histograms and
+// averages (§6).  This module computes exactly those summaries: Tukey box
+// statistics (quartiles, IQR fences, outliers), quantiles with linear
+// interpolation, streaming moments (Welford), and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace upin::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm) — numerically
+/// stable for long measurement campaigns.
+class RunningMoments {
+ public:
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile with linear interpolation between order statistics
+/// (the "linear"/type-7 definition used by numpy and matplotlib).
+/// `q` in [0,1].  Asserts on an empty sample.
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+[[nodiscard]] double mean(std::span<const double> samples);
+[[nodiscard]] double stddev(std::span<const double> samples);
+[[nodiscard]] double median(std::span<const double> samples);
+
+/// Tukey box-plot statistics: quartiles, whiskers at the most extreme
+/// samples within 1.5×IQR of the box, and the outliers beyond them.
+struct BoxStats {
+  std::size_t count = 0;
+  double minimum = 0.0;
+  double maximum = 0.0;
+  double mean = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double iqr = 0.0;
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  std::vector<double> outliers;
+};
+
+/// Compute box statistics.  Asserts on an empty sample.
+[[nodiscard]] BoxStats box_stats(std::span<const double> samples);
+
+/// Fixed-width histogram over [lo, hi) with `bins` bins; samples outside
+/// the range are clamped into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Inclusive lower edge of a bin.
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation of two equally sized samples; 0 when degenerate.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+}  // namespace upin::util

@@ -1,0 +1,57 @@
+// thread_pool.hpp — explicit, bounded parallelism.
+//
+// Measurement post-processing (aggregating thousands of paths_stats
+// documents into per-path summaries) and the benchmark parameter sweeps
+// are embarrassingly parallel.  Per the Core Guidelines (CP.*) we keep
+// shared mutable state out of worker tasks: `parallel_for` hands each
+// worker a disjoint index range and the caller owns the output slots.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace upin::util {
+
+/// Fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Block until every queued task has run.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run `body(i)` for every i in [0, count) across `pool`'s workers in
+/// contiguous chunks.  Blocks until all iterations complete.  Exceptions
+/// from the body propagate (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace upin::util

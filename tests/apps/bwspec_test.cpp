@@ -1,0 +1,155 @@
+// Tests for apps/bwspec: the bwtester parameter mini-language (§3.3).
+#include "apps/bwspec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::apps {
+namespace {
+
+TEST(BwSpec, ParsesFullyConstrained) {
+  const auto spec = BwSpec::parse("3,64,7031,12Mbps");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(*spec.value().duration_s, 3.0);
+  EXPECT_DOUBLE_EQ(*spec.value().packet_bytes, 64.0);
+  EXPECT_DOUBLE_EQ(*spec.value().packet_count, 7031.0);
+  EXPECT_DOUBLE_EQ(*spec.value().target_mbps, 12.0);
+}
+
+TEST(BwSpec, ParsesThePaperExample) {
+  // "5,100,?,150Mbps specifies that the packet size is 100 bytes, sent
+  // over 5 seconds, resulting in a bandwidth of 150Mbps" (§3.3).
+  const auto spec = BwSpec::parse("5,100,?,150Mbps");
+  ASSERT_TRUE(spec.ok());
+  const auto resolved = spec.value().resolve(1452.0);
+  ASSERT_TRUE(resolved.ok());
+  // count = 150e6 * 5 / (8 * 100) = 937500.
+  EXPECT_DOUBLE_EQ(*resolved.value().packet_count, 937500.0);
+}
+
+TEST(BwSpec, WildcardBandwidthResolved) {
+  const auto spec = BwSpec::parse("3,1000,4500,?");
+  ASSERT_TRUE(spec.ok());
+  const auto resolved = spec.value().resolve(1452.0);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_DOUBLE_EQ(*resolved.value().target_mbps, 12.0);
+}
+
+TEST(BwSpec, WildcardDurationResolved) {
+  const auto spec = BwSpec::parse("?,1000,4500,12Mbps");
+  ASSERT_TRUE(spec.ok());
+  const auto resolved = spec.value().resolve(1452.0);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_DOUBLE_EQ(*resolved.value().duration_s, 3.0);
+}
+
+TEST(BwSpec, WildcardSizeResolved) {
+  const auto spec = BwSpec::parse("3,?,4500,12Mbps");
+  ASSERT_TRUE(spec.ok());
+  const auto resolved = spec.value().resolve(1452.0);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_DOUBLE_EQ(*resolved.value().packet_bytes, 1000.0);
+}
+
+TEST(BwSpec, MtuLiteralResolvesToPathMtu) {
+  const auto spec = BwSpec::parse("3,MTU,?,12Mbps");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().packet_is_mtu);
+  const auto resolved = spec.value().resolve(1452.0);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_DOUBLE_EQ(*resolved.value().packet_bytes, 1452.0);
+}
+
+TEST(BwSpec, LowercaseMtuAccepted) {
+  const auto spec = BwSpec::parse("3,mtu,?,12Mbps");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().packet_is_mtu);
+}
+
+TEST(BwSpec, BandwidthUnits) {
+  EXPECT_DOUBLE_EQ(*BwSpec::parse("3,64,?,12000kbps").value().target_mbps, 12.0);
+  EXPECT_DOUBLE_EQ(*BwSpec::parse("3,64,?,12000000bps").value().target_mbps, 12.0);
+  EXPECT_DOUBLE_EQ(*BwSpec::parse("3,64,?,12").value().target_mbps, 12.0);
+}
+
+TEST(BwSpec, RejectsTwoWildcards) {
+  EXPECT_FALSE(BwSpec::parse("3,?,?,12Mbps").ok());
+  EXPECT_FALSE(BwSpec::parse("?,64,?,12Mbps").ok());
+}
+
+TEST(BwSpec, RejectsWrongFieldCount) {
+  EXPECT_FALSE(BwSpec::parse("3,64,12Mbps").ok());
+  EXPECT_FALSE(BwSpec::parse("3,64,?,12Mbps,extra").ok());
+  EXPECT_FALSE(BwSpec::parse("").ok());
+}
+
+TEST(BwSpec, RejectsGarbageFields) {
+  EXPECT_FALSE(BwSpec::parse("x,64,?,12Mbps").ok());
+  EXPECT_FALSE(BwSpec::parse("3,64,?,fastMbps").ok());
+}
+
+TEST(BwSpec, ResolveEnforcesDurationCap) {
+  // Duration must be in (0, 10] seconds (§3.3 "up to 10 seconds").
+  EXPECT_FALSE(BwSpec::parse("11,64,?,12Mbps").value().resolve(1452).ok());
+  EXPECT_FALSE(BwSpec::parse("0,64,?,12Mbps").value().resolve(1452).ok());
+  EXPECT_TRUE(BwSpec::parse("10,64,?,12Mbps").value().resolve(1452).ok());
+}
+
+TEST(BwSpec, ResolveEnforcesMinimumPacketSize) {
+  // "at least 4 bytes" (§3.3).
+  EXPECT_FALSE(BwSpec::parse("3,3,?,12Mbps").value().resolve(1452).ok());
+  EXPECT_TRUE(BwSpec::parse("3,4,?,12Mbps").value().resolve(1452).ok());
+}
+
+TEST(BwSpec, ResolveRejectsNonPositiveBandwidth) {
+  EXPECT_FALSE(BwSpec::parse("3,64,?,0Mbps").value().resolve(1452).ok());
+}
+
+TEST(BwSpec, ResolvedAlgebraIsConsistent) {
+  // After resolution, bandwidth == count * size * 8 / duration (±1 packet
+  // of rounding).
+  const auto resolved = BwSpec::parse("3,64,?,12Mbps").value().resolve(1452.0);
+  ASSERT_TRUE(resolved.ok());
+  const BwSpec& s = resolved.value();
+  const double implied_mbps =
+      *s.packet_count * *s.packet_bytes * 8.0 / *s.duration_s / 1e6;
+  EXPECT_NEAR(implied_mbps, *s.target_mbps, 0.01);
+}
+
+TEST(BwSpec, ToStringRoundTrips) {
+  const auto spec = BwSpec::parse("3,64,?,12Mbps");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().to_string(), "3,64,?,12Mbps");
+  const auto mtu = BwSpec::parse("3,MTU,?,150Mbps");
+  ASSERT_TRUE(mtu.ok());
+  EXPECT_EQ(mtu.value().to_string(), "3,MTU,?,150Mbps");
+}
+
+TEST(BwSpec, ResolveRejectsUnderConstrainedStruct) {
+  // Unreachable through parse() (which caps wildcards at one), but the
+  // struct is public API: two unknowns cannot be resolved.
+  BwSpec spec;
+  spec.duration_s = 3.0;
+  spec.packet_bytes = 64.0;
+  EXPECT_FALSE(spec.resolve(1452.0).ok());
+}
+
+TEST(BwSpec, ResolveKeepsFullyConstrainedSpecUntouched) {
+  BwSpec spec;
+  spec.duration_s = 3.0;
+  spec.packet_bytes = 64.0;
+  spec.packet_count = 1000.0;
+  spec.target_mbps = 12.0;  // inconsistent with count, but all given
+  const auto resolved = spec.resolve(1452.0);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_DOUBLE_EQ(*resolved.value().packet_count, 1000.0);
+  EXPECT_DOUBLE_EQ(*resolved.value().target_mbps, 12.0);
+}
+
+TEST(BwSpec, WhitespaceTolerated) {
+  const auto spec = BwSpec::parse(" 3 , 64 , ? , 12Mbps ");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(*spec.value().target_mbps, 12.0);
+}
+
+}  // namespace
+}  // namespace upin::apps

@@ -1,0 +1,285 @@
+// Tests for apps/host: the scion command surface (§3.3).
+#include "apps/host.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::apps {
+namespace {
+
+using scion::scionlab::kEthzAp;
+using scion::scionlab::kGermanyAp;
+using scion::scionlab::kIreland;
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest() : env_(scion::scionlab_topology()),
+               host_(env_, 42, env_.user_as, "10.0.8.1") {}
+  scion::ScionlabEnv env_;
+  ScionHost host_;
+  const scion::SnetAddress ireland_{kIreland, "172.31.43.7"};
+};
+
+TEST_F(HostTest, AddressReportsLocalAs) {
+  const AddressInfo info = host_.address();
+  EXPECT_EQ(info.local.to_string(), "17-ffaa:1:f00,[10.0.8.1]");
+  EXPECT_EQ(info.role, scion::AsRole::kUser);
+  EXPECT_FALSE(info.as_name.empty());
+}
+
+TEST_F(HostTest, ShowpathsHonorsMaxPaths) {
+  ShowpathsOptions options;
+  options.max_paths = 10;  // the command's default
+  const auto listings = host_.showpaths(kIreland, options);
+  ASSERT_TRUE(listings.ok());
+  EXPECT_EQ(listings.value().size(), 10u);
+  options.max_paths = 40;
+  const auto more = host_.showpaths(kIreland, options);
+  ASSERT_TRUE(more.ok());
+  EXPECT_GT(more.value().size(), 10u);
+}
+
+TEST_F(HostTest, ShowpathsRankedByHopCount) {
+  ShowpathsOptions options;
+  options.max_paths = 40;
+  const auto listings = host_.showpaths(kIreland, options);
+  ASSERT_TRUE(listings.ok());
+  std::size_t previous = 0;
+  for (const PathListing& listing : listings.value()) {
+    EXPECT_GE(listing.path.hop_count(), previous);
+    previous = listing.path.hop_count();
+  }
+}
+
+TEST_F(HostTest, ShowpathsExtendedRendersMetadata) {
+  ShowpathsOptions extended;
+  extended.extended = true;
+  const auto listings = host_.showpaths(kIreland, extended);
+  ASSERT_TRUE(listings.ok());
+  EXPECT_NE(listings.value().front().render.find("MTU:"), std::string::npos);
+  EXPECT_NE(listings.value().front().render.find("Latency:"), std::string::npos);
+
+  ShowpathsOptions plain;
+  const auto bare = host_.showpaths(kIreland, plain);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value().front().render.find("MTU:"), std::string::npos);
+}
+
+TEST_F(HostTest, ShowpathsUnknownDestination) {
+  EXPECT_EQ(host_.showpaths(scion::IsdAsn(99, 1), {}).error().code,
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(HostTest, PingDefaultsToBestPath) {
+  const auto report = host_.ping(ireland_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().stats.sent(), 30u);
+  EXPECT_EQ(report.value().path.destination(), kIreland);
+  ASSERT_TRUE(report.value().stats.avg_ms().has_value());
+}
+
+TEST_F(HostTest, PingHonorsSequence) {
+  ShowpathsOptions options;
+  options.max_paths = 40;
+  const auto listings = host_.showpaths(kIreland, options);
+  ASSERT_TRUE(listings.ok());
+  // Pick a Singapore-detour path: much higher RTT than the best path.
+  const PathListing* detour = nullptr;
+  for (const PathListing& listing : listings.value()) {
+    if (listing.path.traverses(scion::scionlab::kSingapore)) {
+      detour = &listing;
+      break;
+    }
+  }
+  ASSERT_NE(detour, nullptr);
+  PingOptions ping_options;
+  ping_options.sequence = detour->path.sequence();
+  const auto via_detour = host_.ping(ireland_, ping_options);
+  const auto via_best = host_.ping(ireland_, {});
+  ASSERT_TRUE(via_detour.ok());
+  ASSERT_TRUE(via_best.ok());
+  EXPECT_EQ(via_detour.value().path.sequence(), detour->path.sequence());
+  EXPECT_GT(*via_detour.value().stats.avg_ms(),
+            3.0 * *via_best.value().stats.avg_ms());
+}
+
+TEST_F(HostTest, PingRejectsForeignSequence) {
+  PingOptions options;
+  options.sequence = "17-ffaa:1:f00#0,1 19-ffaa:0:1301#1,0";  // not a path
+  EXPECT_EQ(host_.ping(ireland_, options).error().code,
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(HostTest, PingAdvancesVirtualClock) {
+  const util::SimTime before = host_.clock().now();
+  PingOptions options;
+  options.count = 30;
+  options.interval_s = 0.1;
+  ASSERT_TRUE(host_.ping(ireland_, options).ok());
+  EXPECT_DOUBLE_EQ(util::to_seconds(host_.clock().now() - before), 3.0);
+}
+
+TEST_F(HostTest, PingSummaryIsHumanReadable) {
+  const auto report = host_.ping(ireland_, {});
+  ASSERT_TRUE(report.ok());
+  const std::string summary = report.value().summary();
+  EXPECT_NE(summary.find("30 packets sent"), std::string::npos);
+  EXPECT_NE(summary.find("avg RTT"), std::string::npos);
+}
+
+TEST_F(HostTest, TracerouteReportsEveryHop) {
+  const auto report = host_.traceroute(ireland_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().trace.hops.size(),
+            report.value().path.hop_count() - 1);
+  // RTTs grow along the path (strictly here: geography dominates).
+  double previous = 0.0;
+  for (const simnet::TraceHop& hop : report.value().trace.hops) {
+    ASSERT_TRUE(hop.rtt_ms.has_value());
+    EXPECT_GT(*hop.rtt_ms, previous * 0.8);
+    previous = *hop.rtt_ms;
+  }
+}
+
+TEST_F(HostTest, TracerouteHonorsSequence) {
+  ShowpathsOptions options;
+  options.max_paths = 40;
+  const auto listings = host_.showpaths(kIreland, options);
+  ASSERT_TRUE(listings.ok());
+  const PathListing* detour = nullptr;
+  for (const PathListing& listing : listings.value()) {
+    if (listing.path.traverses(scion::scionlab::kSingapore)) {
+      detour = &listing;
+      break;
+    }
+  }
+  ASSERT_NE(detour, nullptr);
+  const auto report =
+      host_.traceroute(ireland_, detour->path.sequence());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path.sequence(), detour->path.sequence());
+  // The Singapore hop appears in the per-hop output.
+  bool saw_singapore = false;
+  for (std::size_t i = 1; i < report.value().path.hops().size(); ++i) {
+    if (report.value().path.hops()[i].ia == scion::scionlab::kSingapore) {
+      saw_singapore = true;
+    }
+  }
+  EXPECT_TRUE(saw_singapore);
+}
+
+TEST_F(HostTest, BwtestDefaultsScToCs) {
+  BwtestOptions options;
+  options.cs_spec = "3,1000,?,12Mbps";
+  const auto report = host_.bwtestclient(ireland_, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(*report.value().sc_resolved.target_mbps, 12.0);
+  EXPECT_DOUBLE_EQ(*report.value().sc_resolved.packet_bytes, 1000.0);
+  EXPECT_GT(report.value().client_to_server.achieved_mbps, 0.0);
+  EXPECT_GT(report.value().server_to_client.achieved_mbps, 0.0);
+}
+
+TEST_F(HostTest, BwtestSeparateScSpec) {
+  BwtestOptions options;
+  options.cs_spec = "3,1000,?,12Mbps";
+  options.sc_spec = "3,64,?,5Mbps";
+  const auto report = host_.bwtestclient(ireland_, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(*report.value().sc_resolved.target_mbps, 5.0);
+  EXPECT_DOUBLE_EQ(*report.value().sc_resolved.packet_bytes, 64.0);
+}
+
+TEST_F(HostTest, BwtestMtuSpecUsesPathMtu) {
+  BwtestOptions options;
+  options.cs_spec = "3,MTU,?,12Mbps";
+  const auto report = host_.bwtestclient(ireland_, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(*report.value().cs_resolved.packet_bytes,
+                   report.value().path.mtu());
+}
+
+TEST_F(HostTest, BwtestUpstreamBelowDownstream) {
+  BwtestOptions options;
+  options.cs_spec = "3,MTU,?,12Mbps";
+  const auto report = host_.bwtestclient(ireland_, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().client_to_server.achieved_mbps,
+            report.value().server_to_client.achieved_mbps)
+      << "access link is asymmetric (paper §6.2)";
+}
+
+TEST_F(HostTest, BwtestAdvancesClockByBothDirections) {
+  const util::SimTime before = host_.clock().now();
+  BwtestOptions options;
+  options.cs_spec = "3,1000,?,12Mbps";
+  ASSERT_TRUE(host_.bwtestclient(ireland_, options).ok());
+  EXPECT_DOUBLE_EQ(util::to_seconds(host_.clock().now() - before), 6.0);
+}
+
+TEST_F(HostTest, BwtestRejectsBadSpec) {
+  BwtestOptions options;
+  options.cs_spec = "3,?,?,12Mbps";
+  EXPECT_FALSE(host_.bwtestclient(ireland_, options).ok());
+}
+
+TEST_F(HostTest, InjectedOutageIsObservable) {
+  host_.inject_outage(kEthzAp, util::SimTime::zero(),
+                      util::sim_seconds(1000.0));
+  const auto report = host_.ping(ireland_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().stats.loss_pct(), 100.0);
+}
+
+TEST_F(HostTest, ShowpathsStatusReflectsOutage) {
+  host_.inject_outage(scion::scionlab::kSingapore, util::SimTime::zero(),
+                      util::sim_seconds(1000.0));
+  ShowpathsOptions options;
+  options.max_paths = 40;
+  options.extended = true;
+  const auto listings = host_.showpaths(kIreland, options);
+  ASSERT_TRUE(listings.ok());
+  bool saw_timeout = false;
+  for (const PathListing& listing : listings.value()) {
+    if (listing.path.traverses(scion::scionlab::kSingapore)) {
+      EXPECT_EQ(listing.path.status(), "timeout");
+      EXPECT_NE(listing.render.find("Status: timeout"), std::string::npos);
+      saw_timeout = true;
+    } else {
+      EXPECT_EQ(listing.path.status(), "alive");
+    }
+  }
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST_F(HostTest, ShowpathsStatusRecoversAfterOutage) {
+  host_.inject_outage(scion::scionlab::kSingapore, util::SimTime::zero(),
+                      util::sim_seconds(10.0));
+  host_.clock().advance(util::sim_seconds(20.0));  // outage over
+  ShowpathsOptions options;
+  options.max_paths = 40;
+  const auto listings = host_.showpaths(kIreland, options);
+  ASSERT_TRUE(listings.ok());
+  for (const PathListing& listing : listings.value()) {
+    EXPECT_EQ(listing.path.status(), "alive");
+  }
+}
+
+TEST_F(HostTest, RouteOfMapsEveryHop) {
+  ShowpathsOptions options;
+  const auto listings = host_.showpaths(kGermanyAp, options);
+  ASSERT_TRUE(listings.ok());
+  const auto route = host_.route_of(listings.value().front().path);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value().size(), listings.value().front().path.hop_count());
+}
+
+TEST_F(HostTest, DeterministicAcrossIdenticalHosts) {
+  ScionHost other(env_, 42, env_.user_as, "10.0.8.1");
+  const auto a = host_.ping(ireland_, {});
+  const auto b = other.ping(ireland_, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a.value().stats.avg_ms(), *b.value().stats.avg_ms());
+}
+
+}  // namespace
+}  // namespace upin::apps

@@ -1,0 +1,210 @@
+// Tests for docdb/aggregate: the Mongo-style pipeline.
+#include "docdb/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::docdb {
+namespace {
+
+using util::Value;
+
+/// Measurement-shaped fixture data: (server, hops, latency, isd-set tag).
+void fill_stats(Collection& coll) {
+  const struct Row {
+    const char* id;
+    int server;
+    int hops;
+    double latency;
+    const char* region;
+  } rows[] = {
+      {"1_0", 1, 5, 16.0, "eu"},  {"1_1", 1, 5, 18.0, "eu"},
+      {"1_2", 1, 6, 20.0, "eu"},  {"2_0", 2, 5, 92.0, "us"},
+      {"2_1", 2, 6, 95.0, "us"},  {"3_0", 3, 5, 27.0, "eu"},
+      {"3_1", 3, 6, 170.0, "us"}, {"3_2", 3, 6, 275.0, "asia"},
+  };
+  for (const Row& row : rows) {
+    util::JsonObject doc;
+    doc.set("_id", Value(row.id));
+    doc.set("server_id", Value(row.server));
+    doc.set("hop_count", Value(row.hops));
+    doc.set("latency_ms", Value(row.latency));
+    doc.set("region", Value(row.region));
+    EXPECT_TRUE(coll.insert_one(Value(std::move(doc))).ok());
+  }
+}
+
+/// Test fixture owning a populated stats collection.
+class AggregateStats : public ::testing::Test {
+ protected:
+  AggregateStats() : coll_("paths_stats") { fill_stats(coll_); }
+  Collection coll_;
+};
+
+Value pipeline(const char* json) {
+  auto parsed = Value::parse(json);
+  EXPECT_TRUE(parsed.ok()) << json;
+  return std::move(parsed).value();
+}
+
+TEST_F(AggregateStats, EmptyPipelineReturnsEverything) {
+  const auto result = aggregate(coll_, pipeline("[]"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 8u);
+}
+
+TEST_F(AggregateStats, MatchFilters) {
+  const auto result =
+      aggregate(coll_, pipeline(R"([{"$match": {"server_id": 3}}])"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+TEST_F(AggregateStats, GroupAvgByKey) {
+  const auto result = aggregate(coll_, pipeline(R"([
+    {"$group": {"_id": "$server_id",
+                "avg_latency": {"$avg": "$latency_ms"},
+                "n": {"$count": {}}}},
+    {"$sort": {"_id": 1}}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);
+  EXPECT_EQ(result.value()[0].get("_id")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(result.value()[0].get("avg_latency")->as_double(), 18.0);
+  EXPECT_EQ(result.value()[0].get("n")->as_int(), 3);
+  EXPECT_DOUBLE_EQ(result.value()[1].get("avg_latency")->as_double(), 93.5);
+}
+
+TEST_F(AggregateStats, GroupByNullCollapsesAll) {
+  const auto result = aggregate(coll_, pipeline(R"([
+    {"$group": {"_id": null, "total": {"$sum": "$latency_ms"},
+                "min": {"$min": "$latency_ms"},
+                "max": {"$max": "$latency_ms"}}}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(result.value()[0].get("total")->as_double(), 713.0);
+  EXPECT_DOUBLE_EQ(result.value()[0].get("min")->as_double(), 16.0);
+  EXPECT_DOUBLE_EQ(result.value()[0].get("max")->as_double(), 275.0);
+}
+
+TEST_F(AggregateStats, GroupFirstAndPush) {
+  const auto result = aggregate(coll_, pipeline(R"([
+    {"$group": {"_id": "$region", "first_id": {"$first": "$_id"},
+                "ids": {"$push": "$_id"}}},
+    {"$sort": {"_id": 1}}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);  // asia, eu, us
+  const Document& eu = result.value()[1];
+  EXPECT_EQ(eu.get("_id")->as_string(), "eu");
+  EXPECT_EQ(eu.get("first_id")->as_string(), "1_0");
+  EXPECT_EQ(eu.get("ids")->as_array().size(), 4u);
+}
+
+TEST_F(AggregateStats, Fig6ShapedGrouping) {
+  // The Fig 6 question: average latency per (hop_count) group.
+  const auto result = aggregate(coll_, pipeline(R"([
+    {"$match": {"server_id": 3}},
+    {"$group": {"_id": "$hop_count", "avg": {"$avg": "$latency_ms"}}},
+    {"$sort": {"_id": 1}}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(result.value()[0].get("avg")->as_double(), 27.0);
+  EXPECT_DOUBLE_EQ(result.value()[1].get("avg")->as_double(), 222.5);
+}
+
+TEST(Aggregate, AvgSkipsNonNumericAndMissing) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(Value::object({{"_id", "a"}, {"v", 10}})).ok());
+  ASSERT_TRUE(coll.insert_one(Value::object({{"_id", "b"}, {"v", "text"}})).ok());
+  ASSERT_TRUE(coll.insert_one(Value::object({{"_id", "c"}})).ok());
+  const auto result = aggregate(coll, pipeline(R"([
+    {"$group": {"_id": null, "avg": {"$avg": "$v"}}}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value()[0].get("avg")->as_double(), 10.0);
+}
+
+TEST(Aggregate, AvgOfNothingIsNull) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(Value::object({{"_id", "a"}})).ok());
+  const auto result = aggregate(coll, pipeline(R"([
+    {"$group": {"_id": null, "avg": {"$avg": "$missing"}}}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value()[0].get("avg")->is_null());
+}
+
+TEST_F(AggregateStats, SortSkipLimit) {
+  const auto result = aggregate(coll_, pipeline(R"([
+    {"$sort": {"latency_ms": -1}},
+    {"$skip": 1},
+    {"$limit": 2}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(result.value()[0].get("latency_ms")->as_double(), 170.0);
+  EXPECT_DOUBLE_EQ(result.value()[1].get("latency_ms")->as_double(), 95.0);
+}
+
+TEST_F(AggregateStats, SkipPastEndAndZeroLimit) {
+  EXPECT_TRUE(
+      aggregate(coll_, pipeline(R"([{"$skip": 100}])")).value().empty());
+  EXPECT_TRUE(
+      aggregate(coll_, pipeline(R"([{"$limit": 0}])")).value().empty());
+}
+
+TEST_F(AggregateStats, ProjectKeepAndRename) {
+  const auto result = aggregate(coll_, pipeline(R"([
+    {"$match": {"_id": "1_0"}},
+    {"$project": {"latency_ms": 1, "where": "$region"}}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  const Document& doc = result.value()[0];
+  EXPECT_EQ(doc.as_object().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.get("latency_ms")->as_double(), 16.0);
+  EXPECT_EQ(doc.get("where")->as_string(), "eu");
+}
+
+TEST_F(AggregateStats, StagesChainMatchGroupSort) {
+  const auto result = aggregate(coll_, pipeline(R"([
+    {"$match": {"latency_ms": {"$lt": 100}}},
+    {"$group": {"_id": "$region", "n": {"$count": {}}}},
+    {"$sort": {"n": -1}},
+    {"$limit": 1}
+  ])"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].get("_id")->as_string(), "eu");
+  EXPECT_EQ(result.value()[0].get("n")->as_int(), 4);
+}
+
+TEST_F(AggregateStats, RejectsMalformedPipelines) {
+  EXPECT_FALSE(aggregate(coll_, Value(3)).ok());
+  EXPECT_FALSE(aggregate(coll_, pipeline(R"([{"$frobnicate": {}}])")).ok());
+  EXPECT_FALSE(aggregate(coll_, pipeline(R"([{"$group": {}}])")).ok());
+  EXPECT_FALSE(aggregate(coll_, pipeline(
+      R"([{"$group": {"_id": null, "x": {"$median": "$v"}}}])")).ok());
+  EXPECT_FALSE(aggregate(coll_, pipeline(R"([{"$sort": {"a": 2}}])")).ok());
+  EXPECT_FALSE(aggregate(coll_, pipeline(R"([{"$limit": -1}])")).ok());
+  EXPECT_FALSE(aggregate(coll_, pipeline(R"([{"$match": 5}])")).ok());
+  EXPECT_FALSE(aggregate(coll_, pipeline(
+      R"([{"$match": {}, "$sort": {"a": 1}}])")).ok())
+      << "two operators in one stage";
+}
+
+TEST(AggregateDocuments, WorksWithoutACollection) {
+  std::vector<Document> docs;
+  docs.push_back(Value::object({{"v", 1}}));
+  docs.push_back(Value::object({{"v", 2}}));
+  const auto result = aggregate_documents(
+      std::move(docs),
+      pipeline(R"([{"$group": {"_id": null, "sum": {"$sum": "$v"}}}])"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value()[0].get("sum")->as_double(), 3.0);
+}
+
+}  // namespace
+}  // namespace upin::docdb

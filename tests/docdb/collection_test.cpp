@@ -1,0 +1,382 @@
+// Tests for docdb/collection: CRUD, batching, planner, sort/limit.
+#include "docdb/collection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace upin::docdb {
+namespace {
+
+using util::ErrorCode;
+using util::Value;
+
+Document doc(const char* json) {
+  auto parsed = Value::parse(json);
+  EXPECT_TRUE(parsed.ok()) << json;
+  return std::move(parsed).value();
+}
+
+Filter filter(const char* json) {
+  return Filter::compile(Value::parse(json).value()).value();
+}
+
+TEST(Collection, InsertAndFindById) {
+  Collection coll("paths");
+  const auto id = coll.insert_one(doc(R"({"_id": "2_15", "server_id": 2})"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), "2_15");
+  const auto found = coll.find_by_id("2_15");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().get("server_id")->as_int(), 2);
+}
+
+TEST(Collection, AutoAssignsIds) {
+  Collection coll("c");
+  const auto first = coll.insert_one(doc(R"({"v": 1})"));
+  const auto second = coll.insert_one(doc(R"({"v": 2})"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first.value(), second.value());
+  EXPECT_TRUE(coll.find_by_id(first.value()).ok());
+}
+
+TEST(Collection, RejectsDuplicateId) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "x"})")).ok());
+  const auto dup = coll.insert_one(doc(R"({"_id": "x"})"));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, ErrorCode::kConflict);
+  EXPECT_EQ(coll.size(), 1u);
+}
+
+TEST(Collection, RejectsNonObjectAndNonStringId) {
+  Collection coll("c");
+  EXPECT_EQ(coll.insert_one(Value(5)).error().code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(coll.insert_one(doc(R"({"_id": 7})")).error().code,
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Collection, FindByIdMissing) {
+  Collection coll("c");
+  EXPECT_EQ(coll.find_by_id("nope").error().code, ErrorCode::kNotFound);
+}
+
+TEST(Collection, InsertManyAtomicOnInternalDuplicate) {
+  Collection coll("c");
+  std::vector<Document> batch;
+  batch.push_back(doc(R"({"_id": "a"})"));
+  batch.push_back(doc(R"({"_id": "b"})"));
+  batch.push_back(doc(R"({"_id": "a"})"));  // duplicate within batch
+  const auto result = coll.insert_many(std::move(batch));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kConflict);
+  EXPECT_EQ(coll.size(), 0u) << "batch must be all-or-nothing";
+}
+
+TEST(Collection, InsertManyAtomicOnExistingDuplicate) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b"})")).ok());
+  std::vector<Document> batch;
+  batch.push_back(doc(R"({"_id": "a"})"));
+  batch.push_back(doc(R"({"_id": "b"})"));
+  ASSERT_FALSE(coll.insert_many(std::move(batch)).ok());
+  EXPECT_EQ(coll.size(), 1u);
+}
+
+TEST(Collection, InsertManyReturnsIdsInOrder) {
+  Collection coll("c");
+  std::vector<Document> batch;
+  batch.push_back(doc(R"({"_id": "one"})"));
+  batch.push_back(doc(R"({"v": 2})"));  // auto id
+  const auto ids = coll.insert_many(std::move(batch));
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids.value().size(), 2u);
+  EXPECT_EQ(ids.value()[0], "one");
+  EXPECT_FALSE(ids.value()[1].empty());
+}
+
+TEST(Collection, InsertManyEmptyBatch) {
+  Collection coll("c");
+  const auto ids = coll.insert_many({});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids.value().empty());
+}
+
+TEST(Collection, FindWithFilter) {
+  Collection coll("c");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(coll.insert_one(doc(util::Value::object(
+        {{"_id", std::to_string(i)}, {"v", i}}).dump().c_str())).ok());
+  }
+  const auto results = coll.find(filter(R"({"v": {"$gte": 7}})"));
+  EXPECT_EQ(results.size(), 3u);
+}
+
+TEST(Collection, FindPreservesInsertionOrderByDefault) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "z", "v": 3})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "v": 1})")).ok());
+  const auto results = coll.find(Filter::match_all());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(*document_id(results[0]), "z");
+}
+
+TEST(Collection, FindSortAscendingDescending) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "v": 2})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b", "v": 1})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "c", "v": 3})")).ok());
+
+  FindOptions ascending;
+  ascending.sort_by = "v";
+  auto results = coll.find(Filter::match_all(), ascending);
+  EXPECT_EQ(results.front().get("v")->as_int(), 1);
+  EXPECT_EQ(results.back().get("v")->as_int(), 3);
+
+  FindOptions descending;
+  descending.sort_by = "v";
+  descending.descending = true;
+  results = coll.find(Filter::match_all(), descending);
+  EXPECT_EQ(results.front().get("v")->as_int(), 3);
+}
+
+TEST(Collection, SortMissingFieldSortsFirst) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "v": 2})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b"})")).ok());
+  FindOptions by_v;
+  by_v.sort_by = "v";
+  const auto results = coll.find(Filter::match_all(), by_v);
+  EXPECT_EQ(*document_id(results.front()), "b");  // null sorts before numbers
+}
+
+TEST(Collection, SkipAndLimit) {
+  Collection coll("c");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(coll.insert_one(doc(util::Value::object(
+        {{"_id", std::to_string(i)}, {"v", i}}).dump().c_str())).ok());
+  }
+  FindOptions options;
+  options.sort_by = "v";
+  options.skip = 3;
+  options.limit = 4;
+  const auto results = coll.find(Filter::match_all(), options);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results.front().get("v")->as_int(), 3);
+  EXPECT_EQ(results.back().get("v")->as_int(), 6);
+}
+
+TEST(Collection, SkipBeyondEnd) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a"})")).ok());
+  FindOptions options;
+  options.skip = 10;
+  EXPECT_TRUE(coll.find(Filter::match_all(), options).empty());
+}
+
+TEST(Collection, FindOneFirstMatch) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "v": 1})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b", "v": 1})")).ok());
+  const auto one = coll.find_one(filter(R"({"v": 1})"));
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*document_id(one.value()), "a");
+  EXPECT_EQ(coll.find_one(filter(R"({"v": 9})")).error().code,
+            ErrorCode::kNotFound);
+}
+
+TEST(Collection, Count) {
+  Collection coll("c");
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(coll.insert_one(doc(util::Value::object(
+        {{"_id", std::to_string(i)}, {"even", i % 2 == 0}}).dump().c_str())).ok());
+  }
+  EXPECT_EQ(coll.count(filter(R"({"even": true})")), 3u);
+  EXPECT_EQ(coll.count_all(), 6u);
+}
+
+TEST(Collection, UpdateManySetsFields) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "status": "alive"})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b", "status": "alive"})")).ok());
+  const auto modified = coll.update_many(
+      Filter::match_all(), Value::parse(R"({"$set": {"status": "dead"}})").value());
+  ASSERT_TRUE(modified.ok());
+  EXPECT_EQ(modified.value(), 2u);
+  EXPECT_EQ(coll.count(filter(R"({"status": "dead"})")), 2u);
+}
+
+TEST(Collection, UpdateManySkipsNoopChanges) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "v": 1})")).ok());
+  const auto modified = coll.update_many(
+      Filter::match_all(), Value::parse(R"({"$set": {"v": 1}})").value());
+  ASSERT_TRUE(modified.ok());
+  EXPECT_EQ(modified.value(), 0u);
+}
+
+TEST(Collection, UpdateKeepsIndexConsistent) {
+  Collection coll("c");
+  coll.create_index("v");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "v": 1})")).ok());
+  ASSERT_TRUE(coll.update_many(filter(R"({"_id": "a"})"),
+                               Value::parse(R"({"$set": {"v": 2}})").value())
+                  .ok());
+  EXPECT_EQ(coll.count(filter(R"({"v": 2})")), 1u);
+  EXPECT_EQ(coll.count(filter(R"({"v": 1})")), 0u);
+}
+
+TEST(Collection, DeleteMany) {
+  Collection coll("c");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(coll.insert_one(doc(util::Value::object(
+        {{"_id", std::to_string(i)}, {"v", i}}).dump().c_str())).ok());
+  }
+  EXPECT_EQ(coll.delete_many(filter(R"({"v": {"$lt": 3}})")), 3u);
+  EXPECT_EQ(coll.size(), 2u);
+  EXPECT_FALSE(coll.find_by_id("0").ok());
+}
+
+TEST(Collection, DeleteByIdThenReinsert) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "x", "v": 1})")).ok());
+  EXPECT_TRUE(coll.delete_by_id("x"));
+  EXPECT_FALSE(coll.delete_by_id("x"));
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "x", "v": 2})")).ok());
+  EXPECT_EQ(coll.find_by_id("x").value().get("v")->as_int(), 2);
+}
+
+TEST(Collection, IndexedEqualityReturnsSameAsScan) {
+  Collection indexed("a");
+  Collection scanned("b");
+  indexed.create_index("server_id");
+  for (int i = 0; i < 50; ++i) {
+    const Document d = doc(util::Value::object(
+        {{"_id", std::to_string(i)}, {"server_id", i % 5}}).dump().c_str());
+    ASSERT_TRUE(indexed.insert_one(d).ok());
+    ASSERT_TRUE(scanned.insert_one(d).ok());
+  }
+  const Filter by_server = filter(R"({"server_id": 3})");
+  const auto via_index = indexed.find(by_server);
+  const auto via_scan = scanned.find(by_server);
+  ASSERT_EQ(via_index.size(), via_scan.size());
+  for (std::size_t i = 0; i < via_index.size(); ++i) {
+    EXPECT_EQ(via_index[i], via_scan[i]);
+  }
+}
+
+TEST(Collection, IndexCreatedAfterInsertsIsBackfilled) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "k": 7})")).ok());
+  coll.create_index("k");
+  EXPECT_EQ(coll.count(filter(R"({"k": 7})")), 1u);
+  EXPECT_EQ(coll.indexed_fields(), std::vector<std::string>{"k"});
+}
+
+TEST(Collection, CreateIndexIsIdempotent) {
+  Collection coll("c");
+  coll.create_index("k");
+  coll.create_index("k");
+  EXPECT_EQ(coll.indexed_fields().size(), 1u);
+}
+
+TEST(Collection, DistinctScalarsAndArrays) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "isds": [16, 17]})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b", "isds": [17, 19]})")).ok());
+  const auto values = coll.distinct("isds", Filter::match_all());
+  EXPECT_EQ(values.size(), 3u);  // 16, 17, 19
+}
+
+TEST(Collection, DistinctHonorsFilter) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "v": 1, "g": "x"})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b", "v": 2, "g": "y"})")).ok());
+  const auto values = coll.distinct("v", filter(R"({"g": "x"})"));
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].as_int(), 1);
+}
+
+TEST(Collection, ForEachVisitsOnlyLiveDocuments) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a"})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b"})")).ok());
+  coll.delete_by_id("a");
+  int visits = 0;
+  coll.for_each([&](const Document&) { ++visits; });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Collection, ObserverSeesMutationsAndSyncs) {
+  Collection coll("c");
+  std::vector<MutationEvent::Kind> kinds;
+  coll.set_observer([&](const MutationEvent& e) { kinds.push_back(e.kind); });
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a"})")).ok());
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], MutationEvent::Kind::kInsert);
+  EXPECT_EQ(kinds[1], MutationEvent::Kind::kSync);
+
+  kinds.clear();
+  std::vector<Document> batch;
+  batch.push_back(doc(R"({"_id": "b"})"));
+  batch.push_back(doc(R"({"_id": "c"})"));
+  ASSERT_TRUE(coll.insert_many(std::move(batch)).ok());
+  ASSERT_EQ(kinds.size(), 3u) << "batch: N inserts + one sync";
+  EXPECT_EQ(kinds[2], MutationEvent::Kind::kSync);
+}
+
+TEST(Collection, MultikeyIndexAnswersArrayContainsQueries) {
+  Collection indexed("a");
+  Collection scanned("b");
+  indexed.create_index("isds");
+  const char* docs_json[] = {
+      R"({"_id": "p0", "isds": [16, 17]})",
+      R"({"_id": "p1", "isds": [17, 19]})",
+      R"({"_id": "p2", "isds": [20]})",
+  };
+  for (const char* json : docs_json) {
+    ASSERT_TRUE(indexed.insert_one(doc(json)).ok());
+    ASSERT_TRUE(scanned.insert_one(doc(json)).ok());
+  }
+  // {"isds": 17} = array-contains; the multikey index must agree with the
+  // scan (paths traversing ISD 17, the paper's grouping query).
+  const Filter by_isd = filter(R"({"isds": 17})");
+  EXPECT_EQ(indexed.count(by_isd), 2u);
+  EXPECT_EQ(indexed.count(by_isd), scanned.count(by_isd));
+  const Filter exact = filter(R"({"isds": [16, 17]})");
+  EXPECT_EQ(indexed.count(exact), 1u);
+}
+
+TEST(Collection, IndexStaysConsistentAfterDeleteAndReinsert) {
+  Collection coll("c");
+  coll.create_index("k");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "k": 1})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "b", "k": 1})")).ok());
+  coll.delete_by_id("a");
+  EXPECT_EQ(coll.count(filter(R"({"k": 1})")), 1u);
+  ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "a", "k": 1})")).ok());
+  EXPECT_EQ(coll.count(filter(R"({"k": 1})")), 2u);
+}
+
+TEST(Collection, ConcurrentReadersAndWriters) {
+  Collection coll("c");
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&coll, w] {
+      for (int i = 0; i < 100; ++i) {
+        const std::string id = std::to_string(w) + "_" + std::to_string(i);
+        auto inserted = coll.insert_one(
+            Value::object({{"_id", id}, {"w", w}}));
+        ASSERT_TRUE(inserted.ok());
+        (void)coll.count(Filter::match_all());
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(coll.size(), 400u);
+}
+
+}  // namespace
+}  // namespace upin::docdb

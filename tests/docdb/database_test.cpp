@@ -1,0 +1,211 @@
+// Tests for docdb/database: collections, durability, write guard.
+#include "docdb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace upin::docdb {
+namespace {
+
+using util::ErrorCode;
+using util::Value;
+
+Document doc(const char* json) { return Value::parse(json).value(); }
+
+TEST(Database, CollectionIsCreatedOnDemandAndStable) {
+  Database db;
+  Collection& a = db.collection("paths");
+  Collection& b = db.collection("paths");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(db.collection_names(), std::vector<std::string>{"paths"});
+}
+
+TEST(Database, FindCollectionWithoutCreating) {
+  Database db;
+  EXPECT_EQ(db.find_collection("nope"), nullptr);
+  db.collection("real");
+  EXPECT_NE(db.find_collection("real"), nullptr);
+  EXPECT_EQ(db.collection_names().size(), 1u);
+}
+
+TEST(Database, DropCollection) {
+  Database db;
+  db.collection("tmp");
+  EXPECT_TRUE(db.drop_collection("tmp"));
+  EXPECT_FALSE(db.drop_collection("tmp"));
+  EXPECT_EQ(db.find_collection("tmp"), nullptr);
+}
+
+TEST(Database, NamesAreSorted) {
+  Database db;
+  db.collection("zeta");
+  db.collection("alpha");
+  EXPECT_EQ(db.collection_names(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+class DurableDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("db_test_" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+              ".jsonl"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(DurableDatabaseTest, InsertSurvivesReopen) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE(db.value()->is_durable());
+    ASSERT_TRUE(db.value()
+                    ->collection("paths")
+                    .insert_one(doc(R"({"_id": "2_1", "hop_count": 5})"))
+                    .ok());
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  const auto found = reopened.value()->collection("paths").find_by_id("2_1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().get("hop_count")->as_int(), 5);
+}
+
+TEST_F(DurableDatabaseTest, DeleteSurvivesReopen) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()->collection("c").insert_one(doc(R"({"_id": "a"})")).ok());
+    ASSERT_TRUE(db.value()->collection("c").insert_one(doc(R"({"_id": "b"})")).ok());
+    EXPECT_TRUE(db.value()->collection("c").delete_by_id("a"));
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE(reopened.value()->collection("c").find_by_id("a").ok());
+  EXPECT_TRUE(reopened.value()->collection("c").find_by_id("b").ok());
+}
+
+TEST_F(DurableDatabaseTest, UpdateSurvivesReopen) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()
+                    ->collection("c")
+                    .insert_one(doc(R"({"_id": "a", "v": 1})"))
+                    .ok());
+    const auto filter =
+        Filter::compile(Value::parse(R"({"_id": "a"})").value()).value();
+    ASSERT_TRUE(db.value()
+                    ->collection("c")
+                    .update_many(filter,
+                                 Value::parse(R"({"$set": {"v": 9}})").value())
+                    .ok());
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(
+      reopened.value()->collection("c").find_by_id("a").value().get("v")->as_int(),
+      9);
+}
+
+TEST_F(DurableDatabaseTest, CompactPreservesStateAndShrinksHistory) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    Collection& coll = db.value()->collection("c");
+    coll.create_index("v");
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          coll.insert_one(Value::object({{"_id", std::to_string(i)}, {"v", i}}))
+              .ok());
+    }
+    ASSERT_EQ(coll.delete_many(Filter::match_all()), 20u);
+    ASSERT_TRUE(coll.insert_one(doc(R"({"_id": "only", "v": 1})")).ok());
+    const auto size_before = std::filesystem::file_size(path_);
+    ASSERT_TRUE(db.value()->compact().ok());
+    EXPECT_LT(std::filesystem::file_size(path_), size_before);
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->collection("c").size(), 1u);
+}
+
+TEST_F(DurableDatabaseTest, CompactRestoresIndexesOnReplay) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    db.value()->collection("c").create_index("k");
+    ASSERT_TRUE(db.value()->collection("c").insert_one(doc(R"({"_id": "a", "k": 1})")).ok());
+    ASSERT_TRUE(db.value()->compact().ok());
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->collection("c").indexed_fields(),
+            std::vector<std::string>{"k"});
+}
+
+TEST(Database, CompactOnInMemoryIsNoop) {
+  Database db;
+  EXPECT_TRUE(db.compact().ok());
+  EXPECT_FALSE(db.is_durable());
+}
+
+TEST(WriteGuard, RejectsWithoutCredentialWhenGuarded) {
+  Database db;
+  db.set_write_guard([](const Value& credential) {
+    const Value* token = credential.get("token");
+    return token != nullptr && token->is_string() &&
+           token->as_string() == "secret";
+  });
+  EXPECT_TRUE(db.has_write_guard());
+
+  const auto denied = db.guarded_insert("c", doc(R"({"_id": "a"})"), Value());
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(db.collection("c").size(), 0u);
+
+  const auto allowed = db.guarded_insert(
+      "c", doc(R"({"_id": "a"})"), Value::object({{"token", "secret"}}));
+  EXPECT_TRUE(allowed.ok());
+  EXPECT_EQ(db.collection("c").size(), 1u);
+}
+
+TEST(WriteGuard, GuardedInsertManyChecksOnce) {
+  Database db;
+  int guard_calls = 0;
+  db.set_write_guard([&](const Value&) {
+    ++guard_calls;
+    return true;
+  });
+  std::vector<Document> batch;
+  batch.push_back(doc(R"({"_id": "a"})"));
+  batch.push_back(doc(R"({"_id": "b"})"));
+  ASSERT_TRUE(db.guarded_insert_many("c", std::move(batch), Value()).ok());
+  EXPECT_EQ(guard_calls, 1);
+  EXPECT_EQ(db.collection("c").size(), 2u);
+}
+
+TEST(WriteGuard, PassingGuardStillEnforcesIdConflicts) {
+  Database db;
+  db.set_write_guard([](const Value&) { return true; });
+  ASSERT_TRUE(db.guarded_insert("c", doc(R"({"_id": "a"})"), Value()).ok());
+  const auto conflict =
+      db.guarded_insert_many("c", {doc(R"({"_id": "a"})")}, Value());
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.error().code, ErrorCode::kConflict);
+  EXPECT_EQ(db.collection("c").size(), 1u);
+}
+
+TEST(WriteGuard, UnguardedDatabaseAcceptsAnything) {
+  Database db;
+  EXPECT_FALSE(db.has_write_guard());
+  EXPECT_TRUE(db.guarded_insert("c", doc(R"({"_id": "a"})"), Value()).ok());
+}
+
+}  // namespace
+}  // namespace upin::docdb

@@ -1,0 +1,94 @@
+// Tests for docdb/index.
+#include "docdb/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace upin::docdb {
+namespace {
+
+using util::Value;
+
+Document doc(const char* json) { return Value::parse(json).value(); }
+
+TEST(FieldIndex, LookupAfterAdd) {
+  FieldIndex index("server_id");
+  index.add(doc(R"({"server_id": 2})"), 0);
+  index.add(doc(R"({"server_id": 2})"), 1);
+  index.add(doc(R"({"server_id": 3})"), 2);
+  auto hits = index.lookup(Value(2));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(index.lookup(Value(9)).size(), 0u);
+}
+
+TEST(FieldIndex, RemoveDropsPosition) {
+  FieldIndex index("k");
+  const Document d = doc(R"({"k": "x"})");
+  index.add(d, 0);
+  index.add(d, 1);
+  index.remove(d, 0);
+  EXPECT_EQ(index.lookup(Value("x")), std::vector<std::size_t>{1});
+  index.remove(d, 1);
+  EXPECT_TRUE(index.lookup(Value("x")).empty());
+  EXPECT_EQ(index.distinct_keys(), 0u);
+}
+
+TEST(FieldIndex, MissingFieldNotIndexed) {
+  FieldIndex index("k");
+  index.add(doc(R"({"other": 1})"), 0);
+  EXPECT_EQ(index.distinct_keys(), 0u);
+}
+
+TEST(FieldIndex, DottedFieldPath) {
+  FieldIndex index("bw.up_64");
+  index.add(doc(R"({"bw": {"up_64": 4.5}})"), 3);
+  EXPECT_EQ(index.lookup(Value(4.5)), std::vector<std::size_t>{3});
+}
+
+TEST(FieldIndex, MultikeyArrayIndexing) {
+  FieldIndex index("isds");
+  index.add(doc(R"({"isds": [16, 17]})"), 0);
+  EXPECT_EQ(index.lookup(Value(16)), std::vector<std::size_t>{0});
+  EXPECT_EQ(index.lookup(Value(17)), std::vector<std::size_t>{0});
+  // Whole-array key also present.
+  EXPECT_EQ(index.lookup(Value::array({16, 17})), std::vector<std::size_t>{0});
+}
+
+TEST(FieldIndex, NumericKeysCollideAcrossIntDouble) {
+  FieldIndex index("v");
+  index.add(doc(R"({"v": 2})"), 0);
+  EXPECT_EQ(index.lookup(Value(2.0)), std::vector<std::size_t>{0});
+}
+
+TEST(FieldIndex, StringAndNumberKeysDoNotCollide) {
+  FieldIndex index("v");
+  index.add(doc(R"({"v": "2"})"), 0);
+  EXPECT_TRUE(index.lookup(Value(2)).empty());
+}
+
+TEST(FieldIndex, BoolAndNullKeys) {
+  FieldIndex index("v");
+  index.add(doc(R"({"v": true})"), 0);
+  index.add(doc(R"({"v": null})"), 1);
+  EXPECT_EQ(index.lookup(Value(true)), std::vector<std::size_t>{0});
+  EXPECT_EQ(index.lookup(Value(nullptr)), std::vector<std::size_t>{1});
+  EXPECT_TRUE(index.lookup(Value(false)).empty());
+}
+
+TEST(FieldIndex, ClearEmptiesEverything) {
+  FieldIndex index("k");
+  index.add(doc(R"({"k": 1})"), 0);
+  index.clear();
+  EXPECT_EQ(index.distinct_keys(), 0u);
+}
+
+TEST(FieldIndex, EncodeKeyDistinguishesTypes) {
+  EXPECT_NE(FieldIndex::encode_key(Value(1)), FieldIndex::encode_key(Value("1")));
+  EXPECT_NE(FieldIndex::encode_key(Value(true)), FieldIndex::encode_key(Value(1)));
+  EXPECT_EQ(FieldIndex::encode_key(Value(1)), FieldIndex::encode_key(Value(1.0)));
+}
+
+}  // namespace
+}  // namespace upin::docdb

@@ -1,0 +1,174 @@
+// Tests for docdb/journal: append, replay, corruption, rewrite.
+#include "docdb/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace upin::docdb {
+namespace {
+
+using util::Value;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("journal_test_" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+              ".jsonl"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  JournalRecord insert_record(const std::string& id) {
+    JournalRecord record;
+    record.op = "insert";
+    record.collection = "paths";
+    record.id = id;
+    record.document = Value::object({{"_id", id}, {"v", 1}});
+    return record;
+  }
+
+  std::string path_;
+};
+
+TEST_F(JournalTest, AppendAndReplayRoundTrip) {
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.append(insert_record("b")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  std::vector<std::string> ids;
+  ASSERT_TRUE(Journal::replay(path_, [&](const JournalRecord& record) {
+                ids.push_back(record.id);
+                return util::Status::success();
+              }).ok());
+  EXPECT_EQ(ids, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(JournalTest, ReplayMissingFileIsEmptySuccess) {
+  int calls = 0;
+  ASSERT_TRUE(Journal::replay("/nonexistent/journal.jsonl",
+                              [&](const JournalRecord&) {
+                                ++calls;
+                                return util::Status::success();
+                              })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(JournalTest, ReplaySkipsEmptyLines) {
+  {
+    std::ofstream out(path_);
+    out << R"({"op":"insert","coll":"c","id":"a","doc":{"_id":"a"}})" << "\n\n";
+  }
+  int calls = 0;
+  ASSERT_TRUE(Journal::replay(path_, [&](const JournalRecord&) {
+                ++calls;
+                return util::Status::success();
+              }).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(JournalTest, ReplayStopsAtCorruptLine) {
+  {
+    std::ofstream out(path_);
+    out << R"({"op":"insert","coll":"c","id":"a","doc":{"_id":"a"}})" << "\n";
+    out << "{corrupt\n";
+  }
+  int calls = 0;
+  const auto status = Journal::replay(path_, [&](const JournalRecord&) {
+    ++calls;
+    return util::Status::success();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kParseError);
+  EXPECT_EQ(calls, 1) << "records before the corruption stand";
+}
+
+TEST_F(JournalTest, ReplayRejectsRecordsMissingOpOrColl) {
+  {
+    std::ofstream out(path_);
+    out << R"({"id":"a"})" << "\n";
+  }
+  EXPECT_FALSE(Journal::replay(path_, [](const JournalRecord&) {
+                 return util::Status::success();
+               }).ok());
+}
+
+TEST_F(JournalTest, ReplayPropagatesCallbackError) {
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  const auto status = Journal::replay(path_, [](const JournalRecord&) {
+    return util::Status(util::ErrorCode::kConflict, "boom");
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kConflict);
+}
+
+TEST_F(JournalTest, AppendWithoutOpenFails) {
+  Journal journal;
+  EXPECT_FALSE(journal.append(insert_record("a")).ok());
+  EXPECT_FALSE(journal.flush().ok());
+}
+
+TEST_F(JournalTest, RewriteReplacesContents) {
+  Journal journal;
+  ASSERT_TRUE(journal.open(path_).ok());
+  ASSERT_TRUE(journal.append(insert_record("old")).ok());
+  ASSERT_TRUE(journal.flush().ok());
+
+  ASSERT_TRUE(journal.rewrite({insert_record("fresh")}).ok());
+
+  std::vector<std::string> ids;
+  ASSERT_TRUE(Journal::replay(path_, [&](const JournalRecord& record) {
+                ids.push_back(record.id);
+                return util::Status::success();
+              }).ok());
+  EXPECT_EQ(ids, std::vector<std::string>{"fresh"});
+}
+
+TEST_F(JournalTest, AppendsAfterRewriteLand) {
+  Journal journal;
+  ASSERT_TRUE(journal.open(path_).ok());
+  ASSERT_TRUE(journal.rewrite({insert_record("a")}).ok());
+  ASSERT_TRUE(journal.append(insert_record("b")).ok());
+  ASSERT_TRUE(journal.flush().ok());
+  int calls = 0;
+  ASSERT_TRUE(Journal::replay(path_, [&](const JournalRecord&) {
+                ++calls;
+                return util::Status::success();
+              }).ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(JournalTest, RecordFieldsSurviveRoundTrip) {
+  JournalRecord record;
+  record.op = "create_index";
+  record.collection = "paths_stats";
+  record.field = "path_id";
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(record).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  ASSERT_TRUE(Journal::replay(path_, [&](const JournalRecord& replayed) {
+                EXPECT_EQ(replayed.op, "create_index");
+                EXPECT_EQ(replayed.collection, "paths_stats");
+                EXPECT_EQ(replayed.field, "path_id");
+                return util::Status::success();
+              }).ok());
+}
+
+}  // namespace
+}  // namespace upin::docdb

@@ -1,0 +1,150 @@
+// Tests for docdb/update: $set/$unset/$inc/$push/$pull/$rename + replace.
+#include "docdb/update.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::docdb {
+namespace {
+
+using util::ErrorCode;
+using util::Value;
+
+Document doc(const char* json) { return Value::parse(json).value(); }
+
+Value update_of(const char* json) { return Value::parse(json).value(); }
+
+TEST(Update, SetTopLevelField) {
+  Document d = doc(R"({"_id": "a", "status": "alive"})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$set": {"status": "dead"}})")).ok());
+  EXPECT_EQ(d.get("status")->as_string(), "dead");
+}
+
+TEST(Update, SetCreatesNestedPath) {
+  Document d = doc(R"({"_id": "a"})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$set": {"bw.up_64": 4.2}})")).ok());
+  EXPECT_DOUBLE_EQ(d.get_path("bw.up_64")->as_double(), 4.2);
+}
+
+TEST(Update, SetThroughNonObjectFails) {
+  Document d = doc(R"({"_id": "a", "bw": 3})");
+  const auto status = apply_update(d, update_of(R"({"$set": {"bw.up": 1}})"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(d.get("bw")->as_int(), 3) << "failed update must not mutate";
+}
+
+TEST(Update, IdIsImmutableUnderSet) {
+  Document d = doc(R"({"_id": "a", "v": 1})");
+  ASSERT_FALSE(apply_update(d, update_of(R"({"$set": {"_id": "b"}})")).ok());
+  EXPECT_EQ(d.get("_id")->as_string(), "a");
+}
+
+TEST(Update, UnsetRemovesField) {
+  Document d = doc(R"({"_id": "a", "x": 1, "y": 2})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$unset": {"x": ""}})")).ok());
+  EXPECT_EQ(d.get("x"), nullptr);
+  EXPECT_NE(d.get("y"), nullptr);
+}
+
+TEST(Update, UnsetMissingFieldIsNoop) {
+  Document d = doc(R"({"_id": "a"})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$unset": {"zz": ""}})")).ok());
+}
+
+TEST(Update, IncIntegerAndDouble) {
+  Document d = doc(R"({"_id": "a", "n": 5, "x": 1.5})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$inc": {"n": 2, "x": 0.25}})")).ok());
+  EXPECT_EQ(d.get("n")->as_int(), 7);
+  EXPECT_TRUE(d.get("n")->is_int()) << "int += int stays int";
+  EXPECT_DOUBLE_EQ(d.get("x")->as_double(), 1.75);
+}
+
+TEST(Update, IncCreatesMissingField) {
+  Document d = doc(R"({"_id": "a"})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$inc": {"count": 1}})")).ok());
+  EXPECT_EQ(d.get("count")->as_int(), 1);
+}
+
+TEST(Update, IncRejectsNonNumericTargetOrDelta) {
+  Document d = doc(R"({"_id": "a", "s": "text"})");
+  EXPECT_FALSE(apply_update(d, update_of(R"({"$inc": {"s": 1}})")).ok());
+  EXPECT_FALSE(apply_update(d, update_of(R"({"$inc": {"n": "x"}})")).ok());
+}
+
+TEST(Update, PushAppendsAndCreates) {
+  Document d = doc(R"({"_id": "a", "tags": [1]})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$push": {"tags": 2, "fresh": "x"}})")).ok());
+  EXPECT_EQ(d.get("tags")->as_array().size(), 2u);
+  EXPECT_EQ(d.get("fresh")->as_array().size(), 1u);
+}
+
+TEST(Update, PushRejectsNonArrayTarget) {
+  Document d = doc(R"({"_id": "a", "n": 5})");
+  EXPECT_FALSE(apply_update(d, update_of(R"({"$push": {"n": 1}})")).ok());
+}
+
+TEST(Update, PullRemovesMatchingElements) {
+  Document d = doc(R"({"_id": "a", "isds": [16, 17, 16]})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$pull": {"isds": 16}})")).ok());
+  ASSERT_EQ(d.get("isds")->as_array().size(), 1u);
+  EXPECT_EQ(d.get("isds")->as_array()[0].as_int(), 17);
+}
+
+TEST(Update, RenameMovesValue) {
+  Document d = doc(R"({"_id": "a", "old": 9})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"$rename": {"old": "fresh"}})")).ok());
+  EXPECT_EQ(d.get("old"), nullptr);
+  EXPECT_EQ(d.get("fresh")->as_int(), 9);
+}
+
+TEST(Update, RenameRejectsIdEitherSide) {
+  Document d = doc(R"({"_id": "a", "x": 1})");
+  EXPECT_FALSE(apply_update(d, update_of(R"({"$rename": {"_id": "y"}})")).ok());
+  EXPECT_FALSE(apply_update(d, update_of(R"({"$rename": {"x": "_id"}})")).ok());
+}
+
+TEST(Update, ReplacementKeepsId) {
+  Document d = doc(R"({"_id": "a", "old_field": 1})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"fresh_field": 2})")).ok());
+  EXPECT_EQ(d.get("_id")->as_string(), "a");
+  EXPECT_EQ(d.get("old_field"), nullptr);
+  EXPECT_EQ(d.get("fresh_field")->as_int(), 2);
+}
+
+TEST(Update, ReplacementWithMatchingIdAllowed) {
+  Document d = doc(R"({"_id": "a", "v": 1})");
+  ASSERT_TRUE(apply_update(d, update_of(R"({"_id": "a", "v": 2})")).ok());
+  EXPECT_EQ(d.get("v")->as_int(), 2);
+}
+
+TEST(Update, ReplacementWithDifferentIdRejected) {
+  Document d = doc(R"({"_id": "a", "v": 1})");
+  EXPECT_FALSE(apply_update(d, update_of(R"({"_id": "b", "v": 2})")).ok());
+  EXPECT_EQ(d.get("v")->as_int(), 1);
+}
+
+TEST(Update, UnknownOperatorRejectedAtomically) {
+  Document d = doc(R"({"_id": "a", "v": 1})");
+  const auto status =
+      apply_update(d, update_of(R"({"$set": {"v": 9}, "$frob": {"v": 1}})"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(d.get("v")->as_int(), 1) << "partial operator list must not apply";
+}
+
+TEST(Update, NonObjectUpdateRejected) {
+  Document d = doc(R"({"_id": "a"})");
+  EXPECT_FALSE(apply_update(d, Value(3)).ok());
+  EXPECT_FALSE(apply_update(d, update_of(R"({"$set": 3})")).ok());
+}
+
+TEST(Update, MultipleOperatorsComposeInOrder) {
+  Document d = doc(R"({"_id": "a", "n": 1, "junk": true})");
+  ASSERT_TRUE(apply_update(d, update_of(
+      R"({"$inc": {"n": 1}, "$unset": {"junk": ""}, "$set": {"tag": "ok"}})")).ok());
+  EXPECT_EQ(d.get("n")->as_int(), 2);
+  EXPECT_EQ(d.get("junk"), nullptr);
+  EXPECT_EQ(d.get("tag")->as_string(), "ok");
+}
+
+}  // namespace
+}  // namespace upin::docdb

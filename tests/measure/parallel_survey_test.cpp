@@ -1,0 +1,105 @@
+// Tests for measure/parallel_survey: scale-out correctness (paper §4.1.1).
+#include "measure/parallel_survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/host.hpp"
+#include "select/selector.hpp"
+
+namespace upin::measure {
+namespace {
+
+TEST(ParallelSurvey, CoversEveryRequestedDestination) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  docdb::Database db;
+  ParallelSurveyConfig config;
+  config.suite.iterations = 2;
+  config.suite.server_ids = {{1, 2, 3, 4, 5}};
+  config.threads = 4;
+  const auto result = run_parallel_survey(env, db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().destinations_failed, 0u);
+  EXPECT_EQ(result.value().progress.destinations_visited, 5u);
+  EXPECT_EQ(result.value().progress.batches_inserted, 10u);  // 5 dests x 2
+  for (int server_id = 1; server_id <= 5; ++server_id) {
+    util::JsonObject query;
+    query.set("server_id", util::Value(server_id));
+    const auto filter =
+        docdb::Filter::compile(util::Value(std::move(query))).value();
+    EXPECT_GT(db.collection(kPathsStats).count(filter), 0u)
+        << "server " << server_id;
+  }
+}
+
+TEST(ParallelSurvey, DefaultsToAllServers) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  docdb::Database db;
+  ParallelSurveyConfig config;
+  config.suite.iterations = 1;
+  config.threads = 8;
+  const auto result = run_parallel_survey(env, db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().progress.destinations_visited, 21u);
+  EXPECT_EQ(db.collection(kAvailableServers).size(), 21u);
+}
+
+TEST(ParallelSurvey, MatchesSequentialPerDestinationResults) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+
+  // Sequential single-destination campaign.
+  docdb::Database sequential_db;
+  apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
+  TestSuiteConfig seq_config;
+  seq_config.iterations = 3;
+  seq_config.server_ids = {{3}};
+  TestSuite suite(host, sequential_db, seq_config);
+  ASSERT_TRUE(suite.run().ok());
+
+  // Parallel survey covering destination 3 among others.
+  docdb::Database parallel_db;
+  ParallelSurveyConfig par_config;
+  par_config.suite.iterations = 3;
+  par_config.suite.server_ids = {{1, 3, 5}};
+  par_config.threads = 3;
+  ASSERT_TRUE(run_parallel_survey(env, parallel_db, par_config).ok());
+
+  // Destination 3's documents must be identical (same seed, own replica
+  // timeline starting at zero).
+  util::JsonObject query;
+  query.set("server_id", util::Value(3));
+  const auto filter =
+      docdb::Filter::compile(util::Value(std::move(query))).value();
+  docdb::FindOptions by_id;
+  by_id.sort_by = "_id";
+  const auto sequential_docs =
+      sequential_db.collection(kPathsStats).find(filter, by_id);
+  const auto parallel_docs =
+      parallel_db.collection(kPathsStats).find(filter, by_id);
+  ASSERT_EQ(sequential_docs.size(), parallel_docs.size());
+  for (std::size_t i = 0; i < sequential_docs.size(); ++i) {
+    EXPECT_EQ(sequential_docs[i], parallel_docs[i]);
+  }
+}
+
+TEST(ParallelSurvey, RejectsEmptySelection) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  docdb::Database db;
+  ParallelSurveyConfig config;
+  config.suite.server_ids = std::vector<int>{};
+  EXPECT_FALSE(run_parallel_survey(env, db, config).ok());
+}
+
+TEST(ParallelSurvey, SingleThreadStillWorks) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  docdb::Database db;
+  ParallelSurveyConfig config;
+  config.suite.iterations = 1;
+  config.suite.server_ids = {{1, 3}};
+  config.threads = 1;
+  const auto result = run_parallel_survey(env, db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().progress.destinations_visited, 2u);
+}
+
+}  // namespace
+}  // namespace upin::measure

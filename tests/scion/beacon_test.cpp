@@ -1,0 +1,313 @@
+// Tests for scion/beacon: segment computation and path combination.
+#include "scion/beacon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scion/scionlab.hpp"
+
+namespace upin::scion {
+namespace {
+
+AsInfo make_as(IsdAsn ia, AsRole role) {
+  AsInfo info;
+  info.ia = ia;
+  info.name = ia.to_string();
+  info.role = role;
+  info.location = {50.0, 8.0};
+  return info;
+}
+
+// Two ISDs:
+//   ISD 1: core C1a, C1b; AP below both; leaf L1 below AP.
+//   ISD 2: core C2; leaf L2 below C2.
+// Core mesh: C1a-C1b, C1a-C2, C1b-C2.
+struct TwoIsdTopo {
+  const IsdAsn c1a{1, 10}, c1b{1, 11}, ap{1, 20}, l1{1, 30};
+  const IsdAsn c2{2, 10}, l2{2, 30};
+  Topology topo;
+
+  TwoIsdTopo() {
+    for (const auto& [ia, role] :
+         std::vector<std::pair<IsdAsn, AsRole>>{
+             {c1a, AsRole::kCore},
+             {c1b, AsRole::kCore},
+             {ap, AsRole::kAttachmentPoint},
+             {l1, AsRole::kUser},
+             {c2, AsRole::kCore},
+             {l2, AsRole::kNonCore}}) {
+      EXPECT_TRUE(topo.add_as(make_as(ia, role)).ok());
+    }
+    const auto parent = [&](IsdAsn a, IsdAsn b) {
+      EXPECT_TRUE(topo.add_link({.a = a, .b = b,
+                                 .type = LinkType::kParentChild}).ok());
+    };
+    const auto core = [&](IsdAsn a, IsdAsn b) {
+      EXPECT_TRUE(topo.add_link({.a = a, .b = b, .type = LinkType::kCore}).ok());
+    };
+    parent(c1a, ap);
+    parent(c1b, ap);
+    parent(ap, l1);
+    parent(c2, l2);
+    core(c1a, c1b);
+    core(c1a, c2);
+    core(c1b, c2);
+  }
+};
+
+TEST(Beaconing, CoreAsHasTrivialUpSegment) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  const auto& segments = beacons.up_segments(fix.c1a);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].ases, std::vector<IsdAsn>{fix.c1a});
+}
+
+TEST(Beaconing, LeafFindsAllUpSegments) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  const auto& segments = beacons.up_segments(fix.l1);
+  // l1 -> ap -> c1a and l1 -> ap -> c1b.
+  ASSERT_EQ(segments.size(), 2u);
+  for (const Segment& segment : segments) {
+    EXPECT_EQ(segment.ases.front(), fix.l1);
+    EXPECT_EQ(segment.ases[1], fix.ap);
+    EXPECT_EQ(fix.topo.find_as(segment.ases.back())->role, AsRole::kCore);
+  }
+}
+
+TEST(Beaconing, UnknownLeafHasNoSegments) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  EXPECT_TRUE(beacons.up_segments(IsdAsn(9, 9)).empty());
+}
+
+TEST(Beaconing, CoreSegmentsBetweenCores) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  const auto segments = beacons.core_segments(fix.c1a, fix.c2);
+  // Direct and via c1b.
+  ASSERT_EQ(segments.size(), 2u);
+  for (const Segment& segment : segments) {
+    EXPECT_EQ(segment.ases.front(), fix.c1a);
+    EXPECT_EQ(segment.ases.back(), fix.c2);
+  }
+}
+
+TEST(Beaconing, DownSegmentsAreReversedUpSegments) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  const auto downs = beacons.down_segments(fix.c1b, fix.l1);
+  ASSERT_EQ(downs.size(), 1u);
+  EXPECT_EQ(downs[0].ases.front(), fix.c1b);
+  EXPECT_EQ(downs[0].ases.back(), fix.l1);
+}
+
+TEST(Beaconing, PathsCrossIsd) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  const auto paths = beacons.paths(fix.l1, fix.l2);
+  ASSERT_FALSE(paths.empty());
+  for (const Path& path : paths) {
+    EXPECT_EQ(path.source(), fix.l1);
+    EXPECT_EQ(path.destination(), fix.l2);
+  }
+  // Shortest: l1, ap, c1x, c2, l2 = 5 ASes.
+  EXPECT_EQ(paths.front().hop_count(), 5u);
+}
+
+TEST(Beaconing, PathsAreLoopFree) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  for (const Path& path : beacons.paths(fix.l1, fix.l2)) {
+    std::set<IsdAsn> seen;
+    for (const PathHop& hop : path.hops()) {
+      EXPECT_TRUE(seen.insert(hop.ia).second)
+          << "loop in " << path.to_string();
+    }
+  }
+}
+
+TEST(Beaconing, PathsAreUniqueAndSorted) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  const auto paths = beacons.paths(fix.l1, fix.l2);
+  std::set<std::string> sequences;
+  std::size_t previous_hops = 0;
+  for (const Path& path : paths) {
+    EXPECT_TRUE(sequences.insert(path.sequence()).second);
+    EXPECT_GE(path.hop_count(), previous_hops);
+    previous_hops = path.hop_count();
+  }
+}
+
+TEST(Beaconing, SameIsdUsesSharedCoreOrShortcut) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  // ap -> l1: the combination of up(ap) and down(l1) must shortcut at ap
+  // itself, yielding the 2-hop path.
+  const auto paths = beacons.paths(fix.ap, fix.l1);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().hop_count(), 2u);
+}
+
+TEST(Beaconing, NoPathBetweenUnknownAses) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  EXPECT_TRUE(beacons.paths(IsdAsn(9, 9), fix.l1).empty());
+  EXPECT_TRUE(beacons.paths(fix.l1, fix.l1).empty());
+}
+
+TEST(Beaconing, PathInterfacesMatchTopologyLinks) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  const auto paths = beacons.paths(fix.l1, fix.l2);
+  ASSERT_FALSE(paths.empty());
+  const Path& path = paths.front();
+  // Endpoints have no outer interface.
+  EXPECT_EQ(path.hops().front().ingress_if, 0);
+  EXPECT_EQ(path.hops().back().egress_if, 0);
+  // Interior interfaces are set.
+  for (std::size_t i = 0; i + 1 < path.hops().size(); ++i) {
+    EXPECT_NE(path.hops()[i].egress_if, 0);
+    EXPECT_NE(path.hops()[i + 1].ingress_if, 0);
+  }
+}
+
+TEST(Beaconing, PathMtuIsMinimumOfLinks) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  // All defaults are 1472 in this fixture.
+  for (const Path& path : beacons.paths(fix.l1, fix.l2)) {
+    EXPECT_DOUBLE_EQ(path.mtu(), 1472.0);
+  }
+}
+
+TEST(Beaconing, UpSegmentDepthCapPrunesLongClimbs) {
+  TwoIsdTopo fix;
+  // A chain below l1: l1 -> g1 -> g2; with max_up_segment_ases = 3, g2's
+  // up segment (g2, g1, l1, ap, core = 5 ASes) cannot complete.
+  const IsdAsn g1{1, 40}, g2{1, 41};
+  ASSERT_TRUE(fix.topo.add_as(make_as(g1, AsRole::kNonCore)).ok());
+  ASSERT_TRUE(fix.topo.add_as(make_as(g2, AsRole::kNonCore)).ok());
+  ASSERT_TRUE(fix.topo.add_link({.a = fix.l1, .b = g1,
+                                 .type = LinkType::kParentChild}).ok());
+  ASSERT_TRUE(fix.topo.add_link({.a = g1, .b = g2,
+                                 .type = LinkType::kParentChild}).ok());
+  BeaconConfig tight;
+  tight.max_up_segment_ases = 3;
+  const Beaconing beacons(fix.topo, tight);
+  EXPECT_TRUE(beacons.up_segments(g2).empty());
+  EXPECT_TRUE(beacons.up_segments(g1).empty());  // 4 ASes > cap too
+  // l1's segment (l1, ap, core) fits exactly within the cap.
+  EXPECT_FALSE(beacons.up_segments(fix.l1).empty());
+}
+
+TEST(Beaconing, CoreSegmentsBetweenUnknownCoresEmpty) {
+  TwoIsdTopo fix;
+  const Beaconing beacons(fix.topo);
+  EXPECT_TRUE(beacons.core_segments(IsdAsn(9, 9), fix.c2).empty());
+  EXPECT_TRUE(beacons.core_segments(fix.l1, fix.c2).empty())
+      << "a non-core AS has no core segments";
+}
+
+TEST(Beaconing, MaxPathsCapRespected) {
+  TwoIsdTopo fix;
+  BeaconConfig config;
+  config.max_paths = 1;
+  const Beaconing beacons(fix.topo, config);
+  EXPECT_EQ(beacons.paths(fix.l1, fix.l2).size(), 1u);
+}
+
+TEST(Beaconing, PeeringShortcutBridgesSegments) {
+  TwoIsdTopo fix;
+  // Add a second leaf in ISD 2 and peer it with l1: a 2-hop path appears
+  // that no up/core/down combination could produce.
+  Topology& topo = fix.topo;
+  const IsdAsn l2b{2, 31};
+  ASSERT_TRUE(topo.add_as(make_as(l2b, AsRole::kNonCore)).ok());
+  ASSERT_TRUE(topo.add_link({.a = fix.c2, .b = l2b,
+                             .type = LinkType::kParentChild}).ok());
+  ASSERT_TRUE(topo.add_link({.a = fix.l1, .b = l2b,
+                             .type = LinkType::kPeer}).ok());
+
+  const Beaconing beacons(topo);
+  const auto paths = beacons.paths(fix.l1, l2b);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().hop_count(), 2u) << "direct peering shortcut";
+  // The long way through the cores also remains available.
+  EXPECT_GT(paths.size(), 1u);
+}
+
+TEST(Beaconing, PeeringShortcutMidSegment) {
+  TwoIsdTopo fix;
+  // Peer the AP (mid up-segment of l1) with l2: path l1, ap, l2.
+  ASSERT_TRUE(fix.topo.add_link({.a = fix.ap, .b = fix.l2,
+                                 .type = LinkType::kPeer}).ok());
+  const Beaconing beacons(fix.topo);
+  const auto paths = beacons.paths(fix.l1, fix.l2);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().hop_count(), 3u);
+  EXPECT_EQ(paths.front().hops()[1].ia, fix.ap);
+}
+
+TEST(Beaconing, ScionlabPeeringDoesNotChangeUserReachability) {
+  // The testbed's peer links sit off MY_AS's up segments: min hop counts
+  // from the user AS stay exactly as Fig 4 reports them.
+  const ScionlabEnv env = scionlab_topology();
+  const Beaconing beacons(env.topology);
+  double hop_sum = 0.0;
+  for (const SnetAddress& server : env.servers) {
+    const auto paths = beacons.paths(env.user_as, server.ia);
+    ASSERT_FALSE(paths.empty());
+    hop_sum += static_cast<double>(paths.front().hop_count());
+  }
+  EXPECT_NEAR(hop_sum / 21.0, 5.71, 0.05);
+}
+
+TEST(Beaconing, ScionlabPeerShortcutBetweenLeaves) {
+  // Darmstadt <-> Passau peer: the leaf-to-leaf path is 2 hops.
+  const ScionlabEnv env = scionlab_topology();
+  const Beaconing beacons(env.topology);
+  const IsdAsn darmstadt{19, make_asn(0, 0x1304)};
+  const IsdAsn passau{19, make_asn(0, 0x1305)};
+  const auto paths = beacons.paths(darmstadt, passau);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().hop_count(), 2u);
+}
+
+TEST(Beaconing, ScionlabIrelandHasThreeCoreParents) {
+  // The Fig 5 structure depends on Ireland's down-segments from three
+  // geographically scattered cores.
+  const ScionlabEnv env = scionlab_topology();
+  const Beaconing beacons(env.topology);
+  std::set<IsdAsn> second_last_hops;
+  for (const Path& path : beacons.paths(env.user_as, scionlab::kIreland)) {
+    second_last_hops.insert(path.hops()[path.hop_count() - 2].ia);
+  }
+  EXPECT_TRUE(second_last_hops.contains(scionlab::kFrankfurtCore));
+  EXPECT_TRUE(second_last_hops.contains(scionlab::kOhio));
+  EXPECT_TRUE(second_last_hops.contains(scionlab::kSingapore));
+}
+
+TEST(Beaconing, ScionlabStaticLatencyOrdersLayers) {
+  const ScionlabEnv env = scionlab_topology();
+  const Beaconing beacons(env.topology);
+  double via_frankfurt = 0, via_singapore = 0;
+  for (const Path& path : beacons.paths(env.user_as, scionlab::kIreland)) {
+    const IsdAsn second_last = path.hops()[path.hop_count() - 2].ia;
+    const double ms = util::to_millis(path.static_latency());
+    if (second_last == scionlab::kFrankfurtCore && via_frankfurt == 0) {
+      via_frankfurt = ms;
+    }
+    if (second_last == scionlab::kSingapore && via_singapore == 0) {
+      via_singapore = ms;
+    }
+  }
+  ASSERT_GT(via_frankfurt, 0);
+  ASSERT_GT(via_singapore, 0);
+  EXPECT_GT(via_singapore, 5.0 * via_frankfurt)
+      << "Singapore detour must dominate the static latency";
+}
+
+}  // namespace
+}  // namespace upin::scion

@@ -1,0 +1,115 @@
+// Tests for scion/isd_asn addressing.
+#include "scion/isd_asn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace upin::scion {
+namespace {
+
+TEST(IsdAsn, FormatsHexAsn) {
+  const IsdAsn ia(16, make_asn(0, 0x1002));
+  EXPECT_EQ(ia.to_string(), "16-ffaa:0:1002");
+}
+
+TEST(IsdAsn, FormatsUserAsnGroup) {
+  const IsdAsn ia(17, make_asn(1, 0xf00));
+  EXPECT_EQ(ia.to_string(), "17-ffaa:1:f00");
+}
+
+TEST(IsdAsn, FormatsDecimalAsnBelow32Bits) {
+  const IsdAsn ia(19, 64512);
+  EXPECT_EQ(ia.to_string(), "19-64512");
+}
+
+TEST(IsdAsn, ParsesHexForm) {
+  const auto parsed = IsdAsn::parse("16-ffaa:0:1002");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().isd(), 16);
+  EXPECT_EQ(parsed.value().asn(), make_asn(0, 0x1002));
+}
+
+TEST(IsdAsn, ParsesDecimalForm) {
+  const auto parsed = IsdAsn::parse("19-64512");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().asn(), 64512u);
+}
+
+TEST(IsdAsn, RoundTripsThroughText) {
+  for (const char* text :
+       {"16-ffaa:0:1002", "17-ffaa:1:f00", "20-ffaa:0:1401", "1-42"}) {
+    const auto parsed = IsdAsn::parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().to_string(), text);
+  }
+}
+
+TEST(IsdAsn, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "16", "16ffaa:0:1002", "-ffaa:0:1002", "x-ffaa:0:1002",
+        "16-ffaa:0", "16-ffaa:0:1002:9", "16-ffaa:zz:1002", "16-ffaa:0:12345",
+        "99999-1", "16-"}) {
+    EXPECT_FALSE(IsdAsn::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(IsdAsn, OrderingAndEquality) {
+  const IsdAsn a(16, 5), b(16, 6), c(17, 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, IsdAsn(16, 5));
+  EXPECT_NE(a, b);
+}
+
+TEST(IsdAsn, WildcardDetection) {
+  EXPECT_TRUE(IsdAsn().is_wildcard());
+  EXPECT_FALSE(IsdAsn(16, 1).is_wildcard());
+}
+
+TEST(IsdAsn, HashableInUnorderedContainers) {
+  std::unordered_set<IsdAsn> set;
+  set.insert(IsdAsn(16, make_asn(0, 0x1002)));
+  set.insert(IsdAsn(16, make_asn(0, 0x1002)));
+  set.insert(IsdAsn(17, make_asn(0, 0x1002)));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(MakeAsn, LayoutMatchesScionlabConvention) {
+  EXPECT_EQ(make_asn(0, 0x1001), 0xffaa00001001ULL);
+  EXPECT_EQ(make_asn(1, 0xf00), 0xffaa00010f00ULL);
+}
+
+TEST(SnetAddress, FormatsWithBrackets) {
+  const SnetAddress addr{IsdAsn(16, make_asn(0, 0x1002)), "172.31.43.7"};
+  EXPECT_EQ(addr.to_string(), "16-ffaa:0:1002,[172.31.43.7]");
+}
+
+TEST(SnetAddress, ParsesPaperAddresses) {
+  const auto parsed = SnetAddress::parse("16-ffaa:0:1002,[172.31.43.7]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().ia.to_string(), "16-ffaa:0:1002");
+  EXPECT_EQ(parsed.value().host, "172.31.43.7");
+}
+
+TEST(SnetAddress, ParsesWithSpaces) {
+  const auto parsed = SnetAddress::parse(" 19-ffaa:0:1303 , [141.44.25.144] ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().host, "141.44.25.144");
+}
+
+TEST(SnetAddress, RejectsMalformed) {
+  for (const char* bad :
+       {"", "16-ffaa:0:1002", "16-ffaa:0:1002,172.31.43.7",
+        "16-ffaa:0:1002,[]", "bogus,[1.2.3.4]"}) {
+    EXPECT_FALSE(SnetAddress::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(SnetAddress, RoundTrip) {
+  const char* text = "20-ffaa:0:1403,[163.152.6.10]";
+  EXPECT_EQ(SnetAddress::parse(text).value().to_string(), text);
+}
+
+}  // namespace
+}  // namespace upin::scion

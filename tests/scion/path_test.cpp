@@ -1,0 +1,96 @@
+// Tests for scion/path: hop sequences, predicates, metadata.
+#include "scion/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::scion {
+namespace {
+
+Path three_hop_path() {
+  std::vector<PathHop> hops{
+      {IsdAsn(17, make_asn(1, 0xf00)), 0, 1},
+      {IsdAsn(17, make_asn(0, 0x1107)), 4, 1},
+      {IsdAsn(16, make_asn(0, 0x1002)), 1, 0},
+  };
+  return Path(std::move(hops), 1452.0, util::sim_millis(23.0));
+}
+
+TEST(Path, BasicAccessors) {
+  const Path path = three_hop_path();
+  EXPECT_EQ(path.hop_count(), 3u);
+  EXPECT_EQ(path.source().to_string(), "17-ffaa:1:f00");
+  EXPECT_EQ(path.destination().to_string(), "16-ffaa:0:1002");
+  EXPECT_DOUBLE_EQ(path.mtu(), 1452.0);
+  EXPECT_DOUBLE_EQ(util::to_millis(path.static_latency()), 23.0);
+  EXPECT_EQ(path.status(), "alive");
+}
+
+TEST(Path, StatusIsMutable) {
+  Path path = three_hop_path();
+  path.set_status("timeout");
+  EXPECT_EQ(path.status(), "timeout");
+}
+
+TEST(Path, IsdSetIsSortedUnique) {
+  const Path path = three_hop_path();
+  const std::set<std::uint16_t> isds = path.isd_set();
+  EXPECT_EQ(isds, (std::set<std::uint16_t>{16, 17}));
+}
+
+TEST(Path, TraversesChecksEveryHop) {
+  const Path path = three_hop_path();
+  EXPECT_TRUE(path.traverses(IsdAsn(17, make_asn(0, 0x1107))));
+  EXPECT_FALSE(path.traverses(IsdAsn(19, make_asn(0, 0x1301))));
+}
+
+TEST(Path, SequenceFormat) {
+  const Path path = three_hop_path();
+  EXPECT_EQ(path.sequence(),
+            "17-ffaa:1:f00#0,1 17-ffaa:0:1107#4,1 16-ffaa:0:1002#1,0");
+}
+
+TEST(Path, ToStringChainsAses) {
+  EXPECT_EQ(three_hop_path().to_string(),
+            "17-ffaa:1:f00 > 17-ffaa:0:1107 > 16-ffaa:0:1002");
+}
+
+TEST(Path, ParseSequenceRoundTrip) {
+  const Path original = three_hop_path();
+  const auto parsed = Path::parse_sequence(original.sequence());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().hops(), original.hops());
+}
+
+TEST(Path, ParseSequenceToleratesExtraSpaces) {
+  const auto parsed =
+      Path::parse_sequence("17-ffaa:1:f00#0,1  16-ffaa:0:1002#1,0");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().hop_count(), 2u);
+}
+
+TEST(Path, ParseSequenceRejectsMalformed) {
+  for (const char* bad :
+       {"", "17-ffaa:1:f00#0,1",                 // single hop
+        "17-ffaa:1:f00 16-ffaa:0:1002",          // missing '#'
+        "17-ffaa:1:f00#0 16-ffaa:0:1002#1,0",    // missing comma
+        "17-ffaa:1:f00#a,1 16-ffaa:0:1002#1,0",  // bad interface
+        "bogus#0,1 16-ffaa:0:1002#1,0"}) {       // bad ISD-AS
+    EXPECT_FALSE(Path::parse_sequence(bad).ok()) << bad;
+  }
+}
+
+TEST(Path, EqualityIsStructural) {
+  EXPECT_EQ(three_hop_path(), three_hop_path());
+  Path other = three_hop_path();
+  other.set_status("dead");
+  EXPECT_FALSE(three_hop_path() == other);
+}
+
+TEST(PathHop, Equality) {
+  const PathHop a{IsdAsn(1, 2), 3, 4};
+  EXPECT_EQ(a, (PathHop{IsdAsn(1, 2), 3, 4}));
+  EXPECT_FALSE(a == (PathHop{IsdAsn(1, 2), 3, 5}));
+}
+
+}  // namespace
+}  // namespace upin::scion

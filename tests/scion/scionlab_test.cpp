@@ -1,0 +1,141 @@
+// Tests for scion/scionlab: the embedded testbed's structural contract
+// with the paper (§3.1, §6).
+#include "scion/scionlab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace upin::scion {
+namespace {
+
+class ScionlabTest : public ::testing::Test {
+ protected:
+  const ScionlabEnv env = scionlab_topology();
+};
+
+TEST_F(ScionlabTest, ThirtyFiveInfrastructureAsesPlusUser) {
+  EXPECT_EQ(env.topology.ases().size(), 36u);  // 35 + MY_AS (paper §3.1)
+  std::size_t infra = 0;
+  for (const AsInfo& info : env.topology.ases()) {
+    if (info.role != AsRole::kUser) ++infra;
+  }
+  EXPECT_EQ(infra, 35u);
+}
+
+TEST_F(ScionlabTest, TopologyValidates) {
+  EXPECT_TRUE(env.topology.validate().ok());
+}
+
+TEST_F(ScionlabTest, EveryIsdHasACore) {
+  for (const std::uint16_t isd : env.topology.isds()) {
+    EXPECT_FALSE(env.topology.core_ases(isd).empty()) << "ISD " << isd;
+  }
+}
+
+TEST_F(ScionlabTest, TwentyOneAvailableServers) {
+  EXPECT_EQ(env.servers.size(), 21u);  // paper §6: 21 reachable destinations
+  std::set<std::string> addresses;
+  for (const SnetAddress& server : env.servers) {
+    EXPECT_NE(env.topology.find_as(server.ia), nullptr);
+    EXPECT_TRUE(addresses.insert(server.to_string()).second);
+  }
+}
+
+TEST_F(ScionlabTest, FeaturedServersMatchPaperSection6) {
+  // Germany, N. Virginia, Ireland, Singapore, Korea — ids 1..5.
+  EXPECT_EQ(env.servers[0].ia, scionlab::kGermanyAp);
+  EXPECT_EQ(env.servers[1].ia, scionlab::kNVirginia);
+  EXPECT_EQ(env.servers[2].ia, scionlab::kIreland);
+  EXPECT_EQ(env.servers[3].ia, scionlab::kSingapore);
+  EXPECT_EQ(env.servers[4].ia, scionlab::kKorea);
+  // The exact addresses quoted in the paper's figures.
+  EXPECT_EQ(env.servers[2].to_string(), "16-ffaa:0:1002,[172.31.43.7]");
+  EXPECT_EQ(env.servers[1].to_string(), "16-ffaa:0:1003,[172.31.19.144]");
+  EXPECT_EQ(env.servers[0].to_string(), "19-ffaa:0:1303,[141.44.25.144]");
+}
+
+TEST_F(ScionlabTest, FeaturedCountriesMatchPaper) {
+  const auto country = [&](IsdAsn ia) {
+    return env.topology.find_as(ia)->country;
+  };
+  EXPECT_EQ(country(scionlab::kGermanyAp), "DE");
+  EXPECT_EQ(country(scionlab::kIreland), "IE");
+  EXPECT_EQ(country(scionlab::kNVirginia), "US");
+  EXPECT_EQ(country(scionlab::kSingapore), "SG");
+  EXPECT_EQ(country(scionlab::kKorea), "KR");
+}
+
+TEST_F(ScionlabTest, UserAsIsAttachedToEthzAp) {
+  EXPECT_EQ(env.user_as, scionlab::kUserAs);
+  const AsInfo* user = env.topology.find_as(env.user_as);
+  ASSERT_NE(user, nullptr);
+  EXPECT_EQ(user->role, AsRole::kUser);
+  EXPECT_EQ(env.topology.parents_of(env.user_as),
+            std::vector<IsdAsn>{scionlab::kEthzAp});
+}
+
+TEST_F(ScionlabTest, UserAccessLinkIsAsymmetricBottleneck) {
+  const AsLink* access =
+      env.topology.find_link(scionlab::kEthzAp, scionlab::kUserAs);
+  ASSERT_NE(access, nullptr);
+  EXPECT_LT(access->capacity_ba_mbps, access->capacity_ab_mbps)
+      << "upstream below downstream (paper §6.2 asymmetry)";
+  // And it is the narrowest link anywhere (the shared bwtest bottleneck).
+  for (const AsLink& link : env.topology.links()) {
+    if (&link == access) continue;
+    EXPECT_GT(link.capacity_ab_mbps, access->capacity_ba_mbps);
+    EXPECT_GT(link.capacity_ba_mbps, access->capacity_ba_mbps);
+  }
+}
+
+TEST_F(ScionlabTest, IrelandHasThreeParents) {
+  const std::vector<IsdAsn> parents =
+      env.topology.parents_of(scionlab::kIreland);
+  const std::set<IsdAsn> parent_set(parents.begin(), parents.end());
+  EXPECT_EQ(parent_set, (std::set<IsdAsn>{scionlab::kFrankfurtCore,
+                                          scionlab::kOhio,
+                                          scionlab::kSingapore}));
+}
+
+TEST_F(ScionlabTest, JitteryAsesAreOhioAndSingapore) {
+  // Paper §6.1: "ASes 16-ffaa:0:1007 and 16-ffaa:0:1004 introduce a wide
+  // jitter other than high latency peeks".
+  const double ohio = env.topology.find_as(scionlab::kOhio)->jitter_ms;
+  const double singapore =
+      env.topology.find_as(scionlab::kSingapore)->jitter_ms;
+  for (const AsInfo& info : env.topology.ases()) {
+    if (info.ia == scionlab::kOhio || info.ia == scionlab::kSingapore) continue;
+    EXPECT_LT(info.jitter_ms, ohio);
+    EXPECT_LT(info.jitter_ms, singapore);
+  }
+}
+
+TEST_F(ScionlabTest, RolesAreInternallyConsistent) {
+  std::size_t cores = 0, aps = 0;
+  for (const AsInfo& info : env.topology.ases()) {
+    if (info.role == AsRole::kCore) ++cores;
+    if (info.role == AsRole::kAttachmentPoint) ++aps;
+  }
+  EXPECT_GE(cores, 7u);  // at least one per ISD (we have multi-core ISDs)
+  EXPECT_GE(aps, 5u);    // ETHZ, Ireland, CMU, Magdeburg, KAIST
+}
+
+TEST_F(ScionlabTest, GeographyIsPlausible) {
+  const AsInfo* singapore = env.topology.find_as(scionlab::kSingapore);
+  const AsInfo* frankfurt = env.topology.find_as(scionlab::kFrankfurtCore);
+  ASSERT_NE(singapore, nullptr);
+  ASSERT_NE(frankfurt, nullptr);
+  EXPECT_GT(simnet::haversine_km(singapore->location, frankfurt->location),
+            9000.0);
+}
+
+TEST_F(ScionlabTest, DeterministicConstruction) {
+  const ScionlabEnv again = scionlab_topology();
+  EXPECT_EQ(again.topology.ases().size(), env.topology.ases().size());
+  EXPECT_EQ(again.topology.links().size(), env.topology.links().size());
+  EXPECT_EQ(again.servers.size(), env.servers.size());
+}
+
+}  // namespace
+}  // namespace upin::scion

@@ -1,0 +1,204 @@
+// Tests for scion/topology: AS registry, link typing rules, validation,
+// compilation into a simnet network.
+#include "scion/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::scion {
+namespace {
+
+AsInfo make_as(IsdAsn ia, AsRole role, const char* country = "NL") {
+  AsInfo info;
+  info.ia = ia;
+  info.name = ia.to_string();
+  info.role = role;
+  info.location = {52.0, 5.0};
+  info.country = country;
+  info.operator_name = "op";
+  return info;
+}
+
+const IsdAsn kCore17{17, 1};
+const IsdAsn kCore18{18, 1};
+const IsdAsn kLeaf17{17, 2};
+const IsdAsn kLeaf17b{17, 3};
+const IsdAsn kLeaf18{18, 2};
+
+struct SmallTopo {
+  Topology topo;
+  SmallTopo() {
+    EXPECT_TRUE(topo.add_as(make_as(kCore17, AsRole::kCore)).ok());
+    EXPECT_TRUE(topo.add_as(make_as(kCore18, AsRole::kCore)).ok());
+    EXPECT_TRUE(topo.add_as(make_as(kLeaf17, AsRole::kNonCore)).ok());
+    EXPECT_TRUE(topo.add_as(make_as(kLeaf17b, AsRole::kNonCore)).ok());
+    EXPECT_TRUE(topo.add_as(make_as(kLeaf18, AsRole::kNonCore)).ok());
+    EXPECT_TRUE(topo.add_link({.a = kCore17, .b = kCore18,
+                               .type = LinkType::kCore}).ok());
+    EXPECT_TRUE(topo.add_link({.a = kCore17, .b = kLeaf17,
+                               .type = LinkType::kParentChild}).ok());
+    EXPECT_TRUE(topo.add_link({.a = kCore17, .b = kLeaf17b,
+                               .type = LinkType::kParentChild}).ok());
+    EXPECT_TRUE(topo.add_link({.a = kCore18, .b = kLeaf18,
+                               .type = LinkType::kParentChild}).ok());
+  }
+};
+
+TEST(Topology, RejectsDuplicateAs) {
+  Topology topo;
+  ASSERT_TRUE(topo.add_as(make_as(kCore17, AsRole::kCore)).ok());
+  EXPECT_EQ(topo.add_as(make_as(kCore17, AsRole::kCore)).error().code,
+            util::ErrorCode::kConflict);
+}
+
+TEST(Topology, FindAs) {
+  SmallTopo fix;
+  ASSERT_NE(fix.topo.find_as(kCore17), nullptr);
+  EXPECT_EQ(fix.topo.find_as(kCore17)->role, AsRole::kCore);
+  EXPECT_EQ(fix.topo.find_as(IsdAsn(99, 99)), nullptr);
+}
+
+TEST(Topology, RejectsLinkWithUnknownEndpoint) {
+  Topology topo;
+  ASSERT_TRUE(topo.add_as(make_as(kCore17, AsRole::kCore)).ok());
+  EXPECT_FALSE(topo.add_link({.a = kCore17, .b = IsdAsn(9, 9),
+                              .type = LinkType::kCore}).ok());
+}
+
+TEST(Topology, RejectsSelfLinkAndDuplicateLink) {
+  SmallTopo fix;
+  EXPECT_FALSE(fix.topo.add_link({.a = kCore17, .b = kCore17,
+                                  .type = LinkType::kCore}).ok());
+  EXPECT_EQ(fix.topo.add_link({.a = kCore18, .b = kCore17,
+                               .type = LinkType::kCore}).error().code,
+            util::ErrorCode::kConflict)
+      << "reverse orientation is the same physical link";
+}
+
+TEST(Topology, CoreLinkRequiresCoreEndpoints) {
+  SmallTopo fix;
+  EXPECT_FALSE(fix.topo.add_link({.a = kCore17, .b = kLeaf18,
+                                  .type = LinkType::kCore}).ok());
+}
+
+TEST(Topology, ParentChildMustStayInIsd) {
+  SmallTopo fix;
+  EXPECT_FALSE(fix.topo.add_link({.a = kCore17, .b = kLeaf18,
+                                  .type = LinkType::kParentChild}).ok());
+}
+
+TEST(Topology, CoreCannotBeChild) {
+  SmallTopo fix;
+  Topology& topo = fix.topo;
+  const IsdAsn extra{17, 9};
+  ASSERT_TRUE(topo.add_as(make_as(extra, AsRole::kNonCore)).ok());
+  EXPECT_FALSE(topo.add_link({.a = extra, .b = kCore17,
+                              .type = LinkType::kParentChild}).ok());
+}
+
+TEST(Topology, PeeringOnlyBetweenNonCore) {
+  SmallTopo fix;
+  EXPECT_FALSE(fix.topo.add_link({.a = kCore17, .b = kLeaf17b,
+                                  .type = LinkType::kPeer}).ok());
+  EXPECT_TRUE(fix.topo.add_link({.a = kLeaf17, .b = kLeaf17b,
+                                 .type = LinkType::kPeer}).ok());
+}
+
+TEST(Topology, InterfaceIdsArePerAsAndUnique) {
+  SmallTopo fix;
+  // kCore17 has three links -> interfaces 1,2,3 on its side.
+  std::vector<std::uint16_t> core17_interfaces;
+  for (const AsLink& link : fix.topo.links()) {
+    if (link.a == kCore17) core17_interfaces.push_back(link.interface_a);
+    if (link.b == kCore17) core17_interfaces.push_back(link.interface_b);
+  }
+  std::sort(core17_interfaces.begin(), core17_interfaces.end());
+  EXPECT_EQ(core17_interfaces, (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+TEST(Topology, NeighborsByType) {
+  SmallTopo fix;
+  EXPECT_EQ(fix.topo.neighbors(kCore17, LinkType::kCore),
+            std::vector<IsdAsn>{kCore18});
+  EXPECT_EQ(fix.topo.neighbors(kCore17, LinkType::kParentChild).size(), 2u);
+  EXPECT_TRUE(fix.topo.neighbors(kLeaf18, LinkType::kCore).empty());
+}
+
+TEST(Topology, ParentsAndChildren) {
+  SmallTopo fix;
+  EXPECT_EQ(fix.topo.parents_of(kLeaf17), std::vector<IsdAsn>{kCore17});
+  EXPECT_TRUE(fix.topo.parents_of(kCore17).empty());
+  EXPECT_EQ(fix.topo.children_of(kCore18), std::vector<IsdAsn>{kLeaf18});
+}
+
+TEST(Topology, CoreAsesAndIsds) {
+  SmallTopo fix;
+  EXPECT_EQ(fix.topo.core_ases(17), std::vector<IsdAsn>{kCore17});
+  EXPECT_EQ(fix.topo.isds(), (std::vector<std::uint16_t>{17, 18}));
+}
+
+TEST(Topology, ValidatePassesOnSmallTopo) {
+  SmallTopo fix;
+  EXPECT_TRUE(fix.topo.validate().ok());
+}
+
+TEST(Topology, ValidateFailsWithoutCore) {
+  Topology topo;
+  ASSERT_TRUE(topo.add_as(make_as(kLeaf17, AsRole::kNonCore)).ok());
+  EXPECT_FALSE(topo.validate().ok());
+}
+
+TEST(Topology, ValidateFailsOnOrphanLeaf) {
+  SmallTopo fix;
+  const IsdAsn orphan{17, 42};
+  ASSERT_TRUE(fix.topo.add_as(make_as(orphan, AsRole::kNonCore)).ok());
+  EXPECT_FALSE(fix.topo.validate().ok());
+}
+
+TEST(Topology, ValidateClimbsMultiLevelHierarchy) {
+  SmallTopo fix;
+  const IsdAsn grandchild{17, 42};
+  ASSERT_TRUE(fix.topo.add_as(make_as(grandchild, AsRole::kNonCore)).ok());
+  ASSERT_TRUE(fix.topo.add_link({.a = kLeaf17, .b = grandchild,
+                                 .type = LinkType::kParentChild}).ok());
+  EXPECT_TRUE(fix.topo.validate().ok());
+}
+
+TEST(Topology, CompileProducesNodePerAsAndDuplexLinks) {
+  SmallTopo fix;
+  const Topology::Compiled compiled = fix.topo.compile(42);
+  EXPECT_EQ(compiled.network.node_count(), 5u);
+  EXPECT_EQ(compiled.network.link_count(), 2 * fix.topo.links().size());
+  EXPECT_EQ(compiled.node_of.size(), 5u);
+  const simnet::NodeId a = compiled.node_of.at(kCore17);
+  const simnet::NodeId b = compiled.node_of.at(kCore18);
+  EXPECT_NE(compiled.network.find_link(a, b), nullptr);
+  EXPECT_NE(compiled.network.find_link(b, a), nullptr);
+}
+
+TEST(Topology, CompileCarriesAsymmetricCapacities) {
+  Topology topo;
+  ASSERT_TRUE(topo.add_as(make_as(kCore17, AsRole::kCore)).ok());
+  ASSERT_TRUE(topo.add_as(make_as(kLeaf17, AsRole::kNonCore)).ok());
+  AsLink link;
+  link.a = kCore17;
+  link.b = kLeaf17;
+  link.type = LinkType::kParentChild;
+  link.capacity_ab_mbps = 40.0;
+  link.capacity_ba_mbps = 14.0;
+  ASSERT_TRUE(topo.add_link(link).ok());
+  const Topology::Compiled compiled = topo.compile(42);
+  const simnet::NodeId parent = compiled.node_of.at(kCore17);
+  const simnet::NodeId child = compiled.node_of.at(kLeaf17);
+  EXPECT_DOUBLE_EQ(compiled.network.find_link(parent, child)->capacity_mbps, 40.0);
+  EXPECT_DOUBLE_EQ(compiled.network.find_link(child, parent)->capacity_mbps, 14.0);
+}
+
+TEST(RoleAndLinkNames, Stable) {
+  EXPECT_STREQ(to_string(AsRole::kCore), "core");
+  EXPECT_STREQ(to_string(AsRole::kAttachmentPoint), "attachment-point");
+  EXPECT_STREQ(to_string(LinkType::kParentChild), "parent-child");
+  EXPECT_STREQ(to_string(LinkType::kPeer), "peer");
+}
+
+}  // namespace
+}  // namespace upin::scion

@@ -1,0 +1,176 @@
+// Tests for scion/trust: certificates, credentials, write guard.
+#include "scion/trust.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/sha256.hpp"
+
+namespace upin::scion {
+namespace {
+
+const IsdAsn kCore{17, make_asn(0, 0x1101)};
+const IsdAsn kClient{17, make_asn(1, 0xf00)};
+const IsdAsn kForeignClient{16, make_asn(0, 0x1002)};
+
+WriteCredential make_credential(TrustStore& trust, const std::string& payload,
+                                const std::string& key_label = "k1") {
+  const util::LamportKeyPair key = trust.generate_client_key(key_label);
+  auto cert = trust.issue_certificate(kClient, key.public_key);
+  EXPECT_TRUE(cert.ok());
+  WriteCredential credential;
+  credential.certificate = cert.value();
+  credential.subject_key = key.public_key;
+  credential.batch_digest_hex = util::to_hex(util::Sha256::hash(payload));
+  credential.batch_signature =
+      util::lamport_sign(key.private_key, credential.batch_digest_hex);
+  return credential;
+}
+
+TEST(TrustStore, RegisterCoreIdempotentPerIsd) {
+  TrustStore trust;
+  EXPECT_TRUE(trust.register_core(kCore).ok());
+  EXPECT_TRUE(trust.register_core(kCore).ok());
+  EXPECT_TRUE(trust.has_core_for(17));
+  EXPECT_FALSE(trust.has_core_for(16));
+}
+
+TEST(TrustStore, SecondCoreForIsdRejected) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  EXPECT_EQ(trust.register_core(IsdAsn(17, 99)).error().code,
+            util::ErrorCode::kConflict);
+}
+
+TEST(TrustStore, IssueRequiresCoreForSubjectIsd) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  const auto key = trust.generate_client_key("k");
+  EXPECT_FALSE(trust.issue_certificate(kForeignClient, key.public_key).ok());
+  EXPECT_TRUE(trust.issue_certificate(kClient, key.public_key).ok());
+}
+
+TEST(TrustStore, CertificateVerifies) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  const auto key = trust.generate_client_key("k");
+  const auto cert = trust.issue_certificate(kClient, key.public_key);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(trust.verify_certificate(cert.value()).ok());
+}
+
+TEST(TrustStore, SerialsIncreaseAndRotateKeys) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  const auto k1 = trust.generate_client_key("a");
+  const auto k2 = trust.generate_client_key("b");
+  const auto cert1 = trust.issue_certificate(kClient, k1.public_key);
+  const auto cert2 = trust.issue_certificate(kClient, k2.public_key);
+  ASSERT_TRUE(cert1.ok());
+  ASSERT_TRUE(cert2.ok());
+  EXPECT_LT(cert1.value().serial, cert2.value().serial);
+  EXPECT_TRUE(trust.verify_certificate(cert1.value()).ok());
+  EXPECT_TRUE(trust.verify_certificate(cert2.value()).ok());
+}
+
+TEST(TrustStore, TamperedCertificateRejected) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  const auto key = trust.generate_client_key("k");
+  auto cert = trust.issue_certificate(kClient, key.public_key);
+  ASSERT_TRUE(cert.ok());
+  Certificate tampered = cert.value();
+  tampered.subject_fingerprint_hex[0] =
+      tampered.subject_fingerprint_hex[0] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(trust.verify_certificate(tampered).ok());
+}
+
+TEST(TrustStore, UnknownIssuerOrSerialRejected) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  const auto key = trust.generate_client_key("k");
+  auto cert = trust.issue_certificate(kClient, key.public_key);
+  ASSERT_TRUE(cert.ok());
+  Certificate wrong_serial = cert.value();
+  wrong_serial.serial = 999;
+  EXPECT_FALSE(trust.verify_certificate(wrong_serial).ok());
+  Certificate wrong_issuer = cert.value();
+  wrong_issuer.issuer = IsdAsn(18, 1);
+  EXPECT_FALSE(trust.verify_certificate(wrong_issuer).ok());
+}
+
+TEST(TrustStore, CredentialRoundTripVerifies) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  WriteCredential credential = make_credential(trust, "batch payload");
+  EXPECT_TRUE(trust.verify_credential(credential).ok());
+}
+
+TEST(TrustStore, OneTimeKeyReuseRejected) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  WriteCredential credential = make_credential(trust, "payload");
+  ASSERT_TRUE(trust.verify_credential(credential).ok());
+  const auto reuse = trust.verify_credential(credential);
+  ASSERT_FALSE(reuse.ok());
+  EXPECT_EQ(reuse.error().code, util::ErrorCode::kPermissionDenied);
+}
+
+TEST(TrustStore, WrongBatchSignatureRejected) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  WriteCredential credential = make_credential(trust, "payload");
+  credential.batch_digest_hex =
+      util::to_hex(util::Sha256::hash("different payload"));
+  EXPECT_FALSE(trust.verify_credential(credential).ok());
+}
+
+TEST(TrustStore, KeyNotMatchingCertificateRejected) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  WriteCredential credential = make_credential(trust, "payload");
+  const auto other = trust.generate_client_key("other");
+  credential.subject_key = other.public_key;
+  credential.batch_signature =
+      util::lamport_sign(other.private_key, credential.batch_digest_hex);
+  EXPECT_FALSE(trust.verify_credential(credential).ok());
+}
+
+TEST(TrustStore, CredentialJsonRoundTrip) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  const WriteCredential credential = make_credential(trust, "payload");
+  const util::Value encoded = TrustStore::encode_credential(credential);
+  const auto decoded = TrustStore::decode_credential(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().certificate.subject, kClient);
+  EXPECT_EQ(decoded.value().certificate.serial, credential.certificate.serial);
+  EXPECT_EQ(decoded.value().batch_digest_hex, credential.batch_digest_hex);
+  EXPECT_TRUE(trust.verify_credential(decoded.value()).ok());
+}
+
+TEST(TrustStore, DecodeRejectsMissingOrCorruptFields) {
+  EXPECT_FALSE(TrustStore::decode_credential(util::Value()).ok());
+  util::Value partial = util::Value::object({{"subject", "17-ffaa:1:f00"}});
+  EXPECT_FALSE(TrustStore::decode_credential(partial).ok());
+}
+
+TEST(TrustStore, WriteGuardEndToEnd) {
+  TrustStore trust;
+  ASSERT_TRUE(trust.register_core(kCore).ok());
+  docdb::Database db;
+  db.set_write_guard(trust.make_write_guard());
+
+  const WriteCredential credential = make_credential(trust, "docs");
+  const auto accepted = db.guarded_insert(
+      "paths_stats", util::Value::object({{"_id", "2_1_0"}}),
+      TrustStore::encode_credential(credential));
+  EXPECT_TRUE(accepted.ok());
+
+  const auto rejected = db.guarded_insert(
+      "paths_stats", util::Value::object({{"_id", "2_1_1"}}), util::Value());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, util::ErrorCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace upin::scion

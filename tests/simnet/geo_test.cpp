@@ -1,0 +1,75 @@
+// Tests for simnet/geo.
+#include "simnet/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::simnet {
+namespace {
+
+constexpr GeoPoint kAmsterdam{52.37, 4.90};
+constexpr GeoPoint kZurich{47.38, 8.54};
+constexpr GeoPoint kSingapore{1.35, 103.82};
+constexpr GeoPoint kDublin{53.35, -6.26};
+
+TEST(Haversine, ZeroDistanceToSelf) {
+  EXPECT_DOUBLE_EQ(haversine_km(kAmsterdam, kAmsterdam), 0.0);
+}
+
+TEST(Haversine, IsSymmetric) {
+  EXPECT_DOUBLE_EQ(haversine_km(kAmsterdam, kZurich),
+                   haversine_km(kZurich, kAmsterdam));
+}
+
+TEST(Haversine, AmsterdamZurichAbout600Km) {
+  EXPECT_NEAR(haversine_km(kAmsterdam, kZurich), 615.0, 40.0);
+}
+
+TEST(Haversine, AmsterdamSingaporeAbout10500Km) {
+  EXPECT_NEAR(haversine_km(kAmsterdam, kSingapore), 10500.0, 300.0);
+}
+
+TEST(Haversine, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), 20015.0, 50.0);
+}
+
+TEST(Haversine, CrossesDateLine) {
+  const GeoPoint tokyo{35.68, 139.69};
+  const GeoPoint seattle{47.61, -122.33};
+  EXPECT_NEAR(haversine_km(tokyo, seattle), 7700.0, 300.0);
+}
+
+TEST(PropagationDelay, ZeroForZeroDistance) {
+  EXPECT_EQ(propagation_delay(0.0), util::SimDuration::zero());
+}
+
+TEST(PropagationDelay, ScalesLinearly) {
+  const double one = util::to_millis(propagation_delay(1000.0));
+  const double two = util::to_millis(propagation_delay(2000.0));
+  // SimDuration has nanosecond granularity; allow that much slack.
+  EXPECT_NEAR(two, 2.0 * one, 1e-5);
+}
+
+TEST(PropagationDelay, RealisticMagnitude) {
+  // ~1000 km of fibre with route stretch: ~6 ms one-way.
+  EXPECT_NEAR(util::to_millis(propagation_delay(1000.0)), 6.0, 1.0);
+}
+
+TEST(PropagationDelay, TransoceanicMagnitude) {
+  // Amsterdam -> Singapore one-way should be roughly 60-70 ms.
+  const double ms =
+      util::to_millis(propagation_delay(haversine_km(kAmsterdam, kSingapore)));
+  EXPECT_GT(ms, 55.0);
+  EXPECT_LT(ms, 75.0);
+}
+
+TEST(PropagationDelay, DublinFrankfurtIsShort) {
+  const GeoPoint frankfurt{50.11, 8.68};
+  const double ms =
+      util::to_millis(propagation_delay(haversine_km(kDublin, frankfurt)));
+  EXPECT_LT(ms, 10.0);
+}
+
+}  // namespace
+}  // namespace upin::simnet

@@ -1,0 +1,198 @@
+// Additional simnet model tests: diurnal variation, micro-congestion
+// statistics, asymmetric links, trace edge cases.
+#include <gtest/gtest.h>
+
+#include "simnet/network.hpp"
+
+namespace upin::simnet {
+namespace {
+
+using util::sim_seconds;
+using util::SimTime;
+
+struct Pair {
+  Network net{7};
+  NodeId a, b;
+  Pair(double ab = 100.0, double ba = 100.0, double util_base = 0.3) {
+    a = net.add_node({"A", {52.37, 4.90}, 0.05, 0.1});
+    b = net.add_node({"B", {50.11, 8.68}, 0.05, 0.1});
+    EXPECT_TRUE(net.add_duplex(a, b, ab, ba, util_base).ok());
+  }
+};
+
+TEST(Utilization, DiurnalWaveMovesTheMean) {
+  Pair fix;
+  // Sample utilization across a full period: it must actually vary.
+  double lo = 1.0, hi = 0.0;
+  for (double t = 0; t < 3600; t += 60) {
+    const double u = fix.net.utilization(fix.a, fix.b, sim_seconds(t));
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_GT(hi - lo, 0.1) << "the diurnal wave must be visible";
+}
+
+TEST(Utilization, DirectionsAreIndependent) {
+  Pair fix;
+  // Forward and reverse links carry independent phases/noise.
+  bool any_different = false;
+  for (double t = 0; t < 3600; t += 300) {
+    if (std::abs(fix.net.utilization(fix.a, fix.b, sim_seconds(t)) -
+                 fix.net.utilization(fix.b, fix.a, sim_seconds(t))) > 1e-6) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FrameLoss, MicroCongestionIsOccasionalAndBounded) {
+  Pair fix;
+  std::size_t congested_buckets = 0;
+  const std::size_t total_buckets = 2000;
+  for (std::size_t i = 0; i < total_buckets; ++i) {
+    const double p =
+        fix.net.frame_loss(fix.a, fix.b, sim_seconds(10.0 * static_cast<double>(i)));
+    if (p > 0.01) ++congested_buckets;
+    EXPECT_LE(p, 0.25) << "micro-congestion loss stays moderate";
+  }
+  const double fraction =
+      static_cast<double>(congested_buckets) / total_buckets;
+  EXPECT_GT(fraction, 0.001);
+  EXPECT_LT(fraction, 0.05) << "congested buckets are the exception";
+}
+
+TEST(Bwtest, AsymmetricLinkGivesAsymmetricThroughput) {
+  Pair fix(/*ab=*/40.0, /*ba=*/14.0, /*util=*/0.15);
+  BwtestOptions options;
+  options.packet_bytes = 1452.0;
+  options.target_mbps = 150.0;
+  const auto down = fix.net.bwtest({fix.a, fix.b}, options, SimTime::zero());
+  const auto up = fix.net.bwtest({fix.b, fix.a}, options, SimTime::zero());
+  ASSERT_TRUE(down.ok());
+  ASSERT_TRUE(up.ok());
+  EXPECT_GT(down.value().achieved_mbps, up.value().achieved_mbps);
+  EXPECT_LT(up.value().bottleneck_available_mbps,
+            down.value().bottleneck_available_mbps);
+}
+
+TEST(Bwtest, LongerRouteUsesNarrowestLink) {
+  Network net(7);
+  const NodeId a = net.add_node({"A", {52, 4}});
+  const NodeId b = net.add_node({"B", {50, 8}});
+  const NodeId c = net.add_node({"C", {48, 2}});
+  ASSERT_TRUE(net.add_duplex(a, b, 500, 500, 0.1).ok());
+  ASSERT_TRUE(net.add_duplex(b, c, 25, 25, 0.1).ok());
+  BwtestOptions options;
+  options.packet_bytes = 1452.0;
+  options.target_mbps = 150.0;
+  const auto result = net.bwtest({a, b, c}, options, SimTime::zero());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().bottleneck_available_mbps, 25.0);
+  EXPECT_LT(result.value().achieved_mbps, 25.0);
+}
+
+TEST(Bwtest, TinyPacketsAreLegalDownTo4Bytes) {
+  Pair fix;
+  BwtestOptions options;
+  options.packet_bytes = 4.0;
+  options.target_mbps = 1.0;
+  const auto result = fix.net.bwtest({fix.a, fix.b}, options, SimTime::zero());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().achieved_mbps, 0.0);
+}
+
+TEST(Bwtest, ZeroAvailabilityYieldsZeroThroughput) {
+  Pair fix(100.0, 100.0, /*util_base=*/0.97);  // clamped to max utilization
+  BwtestOptions options;
+  options.packet_bytes = 1452.0;
+  options.target_mbps = 150.0;
+  const auto result = fix.net.bwtest({fix.a, fix.b}, options, SimTime::zero());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().achieved_mbps, 10.0);
+}
+
+TEST(Traceroute, SilentHopsUnderOutage) {
+  Pair fix;
+  const NodeId c = fix.net.add_node({"C", {48.86, 2.35}, 0.05, 0.1});
+  ASSERT_TRUE(fix.net.add_duplex(fix.b, c, 100, 100, 0.2).ok());
+  fix.net.add_outage({c, SimTime::zero(), sim_seconds(1e6), 1.0});
+  const auto trace = fix.net.traceroute({fix.a, fix.b, c}, sim_seconds(1));
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.value().hops.size(), 2u);
+  EXPECT_TRUE(trace.value().hops[0].rtt_ms.has_value()) << "B still answers";
+  EXPECT_FALSE(trace.value().hops[1].rtt_ms.has_value()) << "C is dark";
+}
+
+TEST(Ping, IntervalPlacesPacketsInDifferentCongestionBuckets) {
+  // With a 10 s interval, 30 probes span 300 s: some probes land in
+  // congested buckets while others do not, so per-probe RTT/loss varies
+  // more than within one bucket.
+  Pair fix;
+  PingOptions slow;
+  slow.count = 30;
+  slow.interval = sim_seconds(10.0);
+  const auto spread_stats = fix.net.ping({fix.a, fix.b}, slow, SimTime::zero());
+  ASSERT_TRUE(spread_stats.ok());
+  ASSERT_TRUE(spread_stats.value().stddev_ms().has_value());
+  EXPECT_GT(*spread_stats.value().stddev_ms(), 0.0);
+}
+
+TEST(Bwtest, ServerErrorFaultClass) {
+  NetworkConfig always_fails;
+  always_fails.server_error_prob = 1.0;
+  Network bad(7, always_fails);
+  const NodeId a = bad.add_node({"A", {52, 4}});
+  const NodeId b = bad.add_node({"B", {50, 8}});
+  ASSERT_TRUE(bad.add_duplex(a, b, 100, 100).ok());
+  BwtestOptions options;
+  options.packet_bytes = 1000.0;
+  const auto failed = bad.bwtest({a, b}, options, SimTime::zero());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, util::ErrorCode::kBadResponse);
+
+  NetworkConfig never_fails;
+  never_fails.server_error_prob = 0.0;
+  Network good(7, never_fails);
+  const NodeId c = good.add_node({"A", {52, 4}});
+  const NodeId d = good.add_node({"B", {50, 8}});
+  ASSERT_TRUE(good.add_duplex(c, d, 100, 100).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(good.bwtest({c, d}, options,
+                            sim_seconds(static_cast<double>(i) * 7.0))
+                    .ok());
+  }
+}
+
+TEST(NetworkConfig, AblationKnobsArePlumbed) {
+  NetworkConfig config;
+  config.micro_congestion_prob = 0.0;  // disable micro-congestion entirely
+  config.sender_pps_cap = 1e9;
+  Network net(7, config);
+  const NodeId a = net.add_node({"A", {52, 4}});
+  const NodeId b = net.add_node({"B", {50, 8}});
+  LinkSpec link;
+  link.from = a;
+  link.to = b;
+  link.base_loss = 0.0;
+  link.util_base = 0.1;
+  link.util_amplitude = 0.0;
+  ASSERT_TRUE(net.add_link(link).ok());
+  // No micro-congestion, no base loss, utilization < threshold: loss 0.
+  for (double t = 0; t < 1000; t += 50) {
+    EXPECT_DOUBLE_EQ(net.frame_loss(a, b, sim_seconds(t)), 0.0);
+  }
+  // And the pps cap no longer limits small packets.
+  LinkSpec reverse = link;
+  reverse.from = b;
+  reverse.to = a;
+  ASSERT_TRUE(net.add_link(reverse).ok());
+  BwtestOptions options;
+  options.packet_bytes = 64.0;
+  options.target_mbps = 150.0;
+  const auto result = net.bwtest({a, b}, options, SimTime::zero());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().attempted_mbps, 150.0, 0.1);
+}
+
+}  // namespace
+}  // namespace upin::simnet

@@ -1,0 +1,339 @@
+// Tests for simnet/network: construction, ping/traceroute/bwtest models,
+// determinism, outages and the saturation mechanics behind Figs 7/8.
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::simnet {
+namespace {
+
+using util::sim_seconds;
+using util::SimTime;
+
+/// Three nodes in a line: A(Amsterdam) - B(Frankfurt) - C(Dublin).
+struct LineFixture {
+  Network net{42};
+  NodeId a, b, c;
+
+  explicit LineFixture(double ab_capacity = 100.0, double bc_capacity = 100.0,
+                       double util_base = 0.2) {
+    a = net.add_node({"A", {52.37, 4.90}, 0.05, 0.1});
+    b = net.add_node({"B", {50.11, 8.68}, 0.05, 0.1});
+    c = net.add_node({"C", {53.35, -6.26}, 0.05, 0.1});
+    EXPECT_TRUE(net.add_duplex(a, b, ab_capacity, ab_capacity, util_base).ok());
+    EXPECT_TRUE(net.add_duplex(b, c, bc_capacity, bc_capacity, util_base).ok());
+  }
+
+  [[nodiscard]] std::vector<NodeId> route() const { return {a, b, c}; }
+};
+
+TEST(NetworkBuild, NodesAndLinks) {
+  LineFixture fix;
+  EXPECT_EQ(fix.net.node_count(), 3u);
+  EXPECT_EQ(fix.net.link_count(), 4u);  // two duplex pairs
+  EXPECT_EQ(fix.net.find_node("B"), fix.b);
+  EXPECT_FALSE(fix.net.find_node("missing").has_value());
+  EXPECT_NE(fix.net.find_link(fix.a, fix.b), nullptr);
+  EXPECT_EQ(fix.net.find_link(fix.a, fix.c), nullptr);
+}
+
+TEST(NetworkBuild, RejectsBadLinks) {
+  Network net(1);
+  const NodeId a = net.add_node({"A", {0, 0}});
+  LinkSpec to_unknown;
+  to_unknown.from = a;
+  to_unknown.to = 99;
+  EXPECT_EQ(net.add_link(to_unknown).error().code,
+            util::ErrorCode::kInvalidArgument);
+  LinkSpec self;
+  self.from = a;
+  self.to = a;
+  EXPECT_EQ(net.add_link(self).error().code,
+            util::ErrorCode::kInvalidArgument);
+  const NodeId b = net.add_node({"B", {1, 1}});
+  LinkSpec good;
+  good.from = a;
+  good.to = b;
+  ASSERT_TRUE(net.add_link(good).ok());
+  EXPECT_EQ(net.add_link(good).error().code, util::ErrorCode::kConflict);
+}
+
+TEST(NetworkBuild, PropagationFromGeographyOrOverride) {
+  LineFixture fix;
+  const double ab_ms = util::to_millis(fix.net.link_propagation(fix.a, fix.b));
+  EXPECT_NEAR(ab_ms, 2.2, 1.5);  // Amsterdam-Frankfurt ~360 km
+
+  Network net(1);
+  const NodeId x = net.add_node({"X", {0, 0}});
+  const NodeId y = net.add_node({"Y", {10, 10}});
+  LinkSpec pinned;
+  pinned.from = x;
+  pinned.to = y;
+  pinned.propagation = util::sim_millis(7.0);
+  ASSERT_TRUE(net.add_link(pinned).ok());
+  EXPECT_DOUBLE_EQ(util::to_millis(net.link_propagation(x, y)), 7.0);
+}
+
+TEST(Ping, RequiresValidRoute) {
+  LineFixture fix;
+  EXPECT_FALSE(fix.net.ping({fix.a}, {}, SimTime::zero()).ok());
+  EXPECT_FALSE(fix.net.ping({fix.a, fix.c}, {}, SimTime::zero()).ok());
+}
+
+TEST(Ping, DeliversExpectedCount) {
+  LineFixture fix;
+  PingOptions options;
+  options.count = 30;
+  const auto stats = fix.net.ping(fix.route(), options, SimTime::zero());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().sent(), 30u);
+  EXPECT_LT(stats.value().loss_pct(), 50.0);
+  ASSERT_TRUE(stats.value().avg_ms().has_value());
+}
+
+TEST(Ping, RttReflectsGeography) {
+  LineFixture fix;
+  const auto stats = fix.net.ping(fix.route(), {}, SimTime::zero());
+  ASSERT_TRUE(stats.ok());
+  // one-way ~ AMS->FRA (2.2ms) + FRA->DUB (9ms) => RTT >= ~22ms.
+  EXPECT_GT(*stats.value().avg_ms(), 15.0);
+  EXPECT_LT(*stats.value().avg_ms(), 60.0);
+}
+
+TEST(Ping, DeterministicForSameSeedAndTime) {
+  LineFixture fix1, fix2;
+  const auto s1 = fix1.net.ping(fix1.route(), {}, sim_seconds(100));
+  const auto s2 = fix2.net.ping(fix2.route(), {}, sim_seconds(100));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s1.value().rtt_ms.size(), s2.value().rtt_ms.size());
+  for (std::size_t i = 0; i < s1.value().rtt_ms.size(); ++i) {
+    EXPECT_EQ(s1.value().rtt_ms[i].has_value(),
+              s2.value().rtt_ms[i].has_value());
+    if (s1.value().rtt_ms[i].has_value()) {
+      EXPECT_DOUBLE_EQ(*s1.value().rtt_ms[i], *s2.value().rtt_ms[i]);
+    }
+  }
+}
+
+TEST(Ping, DifferentTimesGiveDifferentSamples) {
+  LineFixture fix;
+  const auto s1 = fix.net.ping(fix.route(), {}, sim_seconds(0));
+  const auto s2 = fix.net.ping(fix.route(), {}, sim_seconds(1000));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(s1.value().avg_ms().has_value());
+  ASSERT_TRUE(s2.value().avg_ms().has_value());
+  EXPECT_NE(*s1.value().avg_ms(), *s2.value().avg_ms());
+}
+
+TEST(Ping, OutageDropsEverything) {
+  LineFixture fix;
+  fix.net.add_outage({fix.b, sim_seconds(0), sim_seconds(100), 1.0});
+  const auto stats = fix.net.ping(fix.route(), {}, sim_seconds(10));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats.value().loss_pct(), 100.0);
+  EXPECT_FALSE(stats.value().avg_ms().has_value());
+  EXPECT_FALSE(stats.value().min_ms().has_value());
+  EXPECT_FALSE(stats.value().stddev_ms().has_value());
+}
+
+TEST(Ping, OutageWindowBoundariesRespected) {
+  LineFixture fix;
+  fix.net.add_outage({fix.b, sim_seconds(50), sim_seconds(60), 1.0});
+  const auto before = fix.net.ping(fix.route(), {}, sim_seconds(10));
+  const auto after = fix.net.ping(fix.route(), {}, sim_seconds(70));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(before.value().loss_pct(), 50.0);
+  EXPECT_LT(after.value().loss_pct(), 50.0);
+}
+
+TEST(Ping, PartialOutageLosesSome) {
+  LineFixture fix;
+  fix.net.add_outage({fix.b, sim_seconds(0), sim_seconds(1000), 0.5});
+  PingOptions options;
+  options.count = 200;
+  const auto stats = fix.net.ping(fix.route(), options, sim_seconds(10));
+  ASSERT_TRUE(stats.ok());
+  // Forward and reverse both cross the node: ~75% packet loss.
+  EXPECT_GT(stats.value().loss_pct(), 50.0);
+  EXPECT_LT(stats.value().loss_pct(), 95.0);
+}
+
+TEST(Traceroute, PerHopRttsAreOrdered) {
+  LineFixture fix;
+  const auto trace = fix.net.traceroute(fix.route(), SimTime::zero());
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.value().hops.size(), 2u);
+  ASSERT_TRUE(trace.value().hops[0].rtt_ms.has_value());
+  ASSERT_TRUE(trace.value().hops[1].rtt_ms.has_value());
+  EXPECT_LT(*trace.value().hops[0].rtt_ms, *trace.value().hops[1].rtt_ms);
+  EXPECT_EQ(trace.value().hops[1].node, fix.c);
+}
+
+TEST(Bwtest, ValidatesArguments) {
+  LineFixture fix;
+  BwtestOptions options;
+  options.packet_bytes = 2.0;  // < 4 bytes
+  EXPECT_FALSE(fix.net.bwtest(fix.route(), options, SimTime::zero()).ok());
+  options.packet_bytes = 1000.0;
+  options.duration_s = 11.0;  // > 10 s cap (paper §3.3)
+  EXPECT_FALSE(fix.net.bwtest(fix.route(), options, SimTime::zero()).ok());
+}
+
+TEST(Bwtest, UnderloadAchievesRoughlyTarget) {
+  LineFixture fix(100.0, 100.0, 0.1);
+  BwtestOptions options;
+  options.packet_bytes = 1000.0;
+  options.target_mbps = 12.0;
+  const auto result = fix.net.bwtest(fix.route(), options, SimTime::zero());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().achieved_mbps, 12.0, 1.5);
+  EXPECT_LE(result.value().achieved_mbps, result.value().attempted_mbps);
+}
+
+TEST(Bwtest, SaturationCapsThroughput) {
+  LineFixture fix(30.0, 100.0, 0.2);
+  BwtestOptions options;
+  options.packet_bytes = 1452.0;
+  options.target_mbps = 150.0;
+  const auto result = fix.net.bwtest(fix.route(), options, SimTime::zero());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().achieved_mbps, 30.0);
+  EXPECT_GT(result.value().packets_lost, 0u);
+}
+
+TEST(Bwtest, FragmentationDoublesFrames) {
+  LineFixture fix;
+  BwtestOptions small;
+  small.packet_bytes = 64.0;
+  BwtestOptions large;
+  large.packet_bytes = 1452.0;
+  EXPECT_EQ(fix.net.bwtest(fix.route(), small, SimTime::zero())
+                .value()
+                .frames_per_packet,
+            1);
+  EXPECT_EQ(fix.net.bwtest(fix.route(), large, SimTime::zero())
+                .value()
+                .frames_per_packet,
+            2);
+}
+
+TEST(Bwtest, FragmentationDisabledSingleFrame) {
+  NetworkConfig config;
+  config.fragmentation_enabled = false;
+  Network net(42, config);
+  const NodeId a = net.add_node({"A", {52.37, 4.90}});
+  const NodeId b = net.add_node({"B", {50.11, 8.68}});
+  ASSERT_TRUE(net.add_duplex(a, b, 100, 100).ok());
+  BwtestOptions options;
+  options.packet_bytes = 1452.0;
+  EXPECT_EQ(net.bwtest({a, b}, options, SimTime::zero()).value().frames_per_packet,
+            1);
+}
+
+TEST(Bwtest, SenderPpsCapLimitsSmallPackets) {
+  LineFixture fix(1000.0, 1000.0, 0.05);
+  BwtestOptions options;
+  options.packet_bytes = 64.0;
+  options.target_mbps = 150.0;
+  const auto result = fix.net.bwtest(fix.route(), options, SimTime::zero());
+  ASSERT_TRUE(result.ok());
+  // 60k pps cap * 64 B * 8 = 30.7 Mbps attempted, regardless of target.
+  EXPECT_NEAR(result.value().attempted_mbps, 30.7, 0.5);
+}
+
+TEST(Bwtest, InversionUnderSaturation) {
+  // The Fig 7 / Fig 8 mechanics in isolation: a 35 Mbps bottleneck.
+  LineFixture fix(35.0, 200.0, 0.1);
+  BwtestOptions small;
+  small.packet_bytes = 64.0;
+  BwtestOptions large;
+  large.packet_bytes = 1452.0;
+
+  small.target_mbps = large.target_mbps = 12.0;
+  const double small_12 =
+      fix.net.bwtest(fix.route(), small, SimTime::zero()).value().achieved_mbps;
+  const double large_12 =
+      fix.net.bwtest(fix.route(), large, SimTime::zero()).value().achieved_mbps;
+  EXPECT_GT(large_12, small_12) << "Fig 7 shape: MTU wins under light load";
+
+  small.target_mbps = large.target_mbps = 150.0;
+  const double small_150 =
+      fix.net.bwtest(fix.route(), small, SimTime::zero()).value().achieved_mbps;
+  const double large_150 =
+      fix.net.bwtest(fix.route(), large, SimTime::zero()).value().achieved_mbps;
+  EXPECT_GT(small_150, large_150) << "Fig 8 shape: inversion under saturation";
+}
+
+TEST(Bwtest, OutageKillsThroughput) {
+  LineFixture fix;
+  fix.net.add_outage({fix.b, sim_seconds(0), sim_seconds(100), 1.0});
+  BwtestOptions options;
+  options.packet_bytes = 1000.0;
+  const auto result = fix.net.bwtest(fix.route(), options, sim_seconds(10));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().achieved_mbps, 0.0);
+}
+
+TEST(Utilization, StaysInBounds) {
+  LineFixture fix;
+  for (double t = 0; t < 7200; t += 137) {
+    const double u = fix.net.utilization(fix.a, fix.b, sim_seconds(t));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 0.97);
+  }
+}
+
+TEST(Utilization, StableWithinMinuteBucket) {
+  LineFixture fix;
+  EXPECT_DOUBLE_EQ(fix.net.utilization(fix.a, fix.b, sim_seconds(30)),
+                   fix.net.utilization(fix.a, fix.b, sim_seconds(30)));
+}
+
+TEST(FrameLoss, WithinProbabilityBounds) {
+  LineFixture fix;
+  for (double t = 0; t < 3600; t += 97) {
+    const double p = fix.net.frame_loss(fix.a, fix.b, sim_seconds(t));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(FrameLoss, UnknownLinkIsTotalLoss) {
+  LineFixture fix;
+  EXPECT_DOUBLE_EQ(fix.net.frame_loss(fix.a, fix.c, SimTime::zero()), 1.0);
+}
+
+TEST(OutageDrop, MaxOfOverlappingWindows) {
+  LineFixture fix;
+  fix.net.add_outage({fix.b, sim_seconds(0), sim_seconds(100), 0.3});
+  fix.net.add_outage({fix.b, sim_seconds(50), sim_seconds(150), 0.8});
+  EXPECT_DOUBLE_EQ(fix.net.outage_drop(fix.b, sim_seconds(75)), 0.8);
+  EXPECT_DOUBLE_EQ(fix.net.outage_drop(fix.b, sim_seconds(10)), 0.3);
+  EXPECT_DOUBLE_EQ(fix.net.outage_drop(fix.b, sim_seconds(200)), 0.0);
+  EXPECT_DOUBLE_EQ(fix.net.outage_drop(fix.a, sim_seconds(75)), 0.0);
+}
+
+TEST(PingStats, Accessors) {
+  PingStats stats;
+  stats.rtt_ms = {10.0, std::nullopt, 14.0, 12.0};
+  EXPECT_EQ(stats.sent(), 4u);
+  EXPECT_EQ(stats.lost(), 1u);
+  EXPECT_DOUBLE_EQ(stats.loss_pct(), 25.0);
+  EXPECT_DOUBLE_EQ(*stats.avg_ms(), 12.0);
+  EXPECT_DOUBLE_EQ(*stats.min_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(*stats.max_ms(), 14.0);
+  EXPECT_NEAR(*stats.stddev_ms(), 2.0, 1e-9);
+}
+
+TEST(PingStats, EmptyIsWellDefined) {
+  const PingStats stats;
+  EXPECT_EQ(stats.sent(), 0u);
+  EXPECT_DOUBLE_EQ(stats.loss_pct(), 0.0);
+  EXPECT_FALSE(stats.avg_ms().has_value());
+}
+
+}  // namespace
+}  // namespace upin::simnet

@@ -1,0 +1,65 @@
+// Tests for util/hmac against RFC 4231 vectors.
+#include "util/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::util {
+namespace {
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string message(50, '\xdd');
+  EXPECT_EQ(to_hex(hmac_sha256(key, message)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Test Using Larger Than Block-Size Key - "
+                                    "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, EmptyKeyAndMessageAreValid) {
+  const Digest256 digest = hmac_sha256("", "");
+  EXPECT_EQ(to_hex(digest).size(), 64u);
+}
+
+TEST(Hmac, KeySensitivity) {
+  EXPECT_NE(to_hex(hmac_sha256("key1", "msg")),
+            to_hex(hmac_sha256("key2", "msg")));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  EXPECT_NE(to_hex(hmac_sha256("key", "msg1")),
+            to_hex(hmac_sha256("key", "msg2")));
+}
+
+TEST(DigestEqual, MatchesAndMismatches) {
+  const Digest256 a = Sha256::hash("a");
+  const Digest256 b = Sha256::hash("a");
+  const Digest256 c = Sha256::hash("c");
+  EXPECT_TRUE(digest_equal(a, b));
+  EXPECT_FALSE(digest_equal(a, c));
+}
+
+TEST(DigestEqual, SingleBitDifference) {
+  Digest256 a = Sha256::hash("a");
+  Digest256 b = a;
+  b[31] = static_cast<std::uint8_t>(b[31] ^ 0x01);
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace upin::util

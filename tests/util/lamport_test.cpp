@@ -1,0 +1,83 @@
+// Tests for util/lamport one-time signatures.
+#include "util/lamport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::util {
+namespace {
+
+LamportKeyPair test_keys(std::uint64_t seed = 99) {
+  Rng rng(seed);
+  return lamport_generate(rng);
+}
+
+TEST(Lamport, SignVerifyRoundTrip) {
+  const LamportKeyPair keys = test_keys();
+  const LamportSignature sig = lamport_sign(keys.private_key, "batch digest");
+  EXPECT_TRUE(lamport_verify(keys.public_key, "batch digest", sig));
+}
+
+TEST(Lamport, RejectsDifferentMessage) {
+  const LamportKeyPair keys = test_keys();
+  const LamportSignature sig = lamport_sign(keys.private_key, "message A");
+  EXPECT_FALSE(lamport_verify(keys.public_key, "message B", sig));
+}
+
+TEST(Lamport, RejectsForeignKey) {
+  const LamportKeyPair alice = test_keys(1);
+  const LamportKeyPair mallory = test_keys(2);
+  const LamportSignature sig = lamport_sign(mallory.private_key, "msg");
+  EXPECT_FALSE(lamport_verify(alice.public_key, "msg", sig));
+}
+
+TEST(Lamport, RejectsTamperedSignatureBlock) {
+  const LamportKeyPair keys = test_keys();
+  LamportSignature sig = lamport_sign(keys.private_key, "msg");
+  sig.revealed[0][0] = static_cast<std::uint8_t>(sig.revealed[0][0] ^ 0xff);
+  EXPECT_FALSE(lamport_verify(keys.public_key, "msg", sig));
+}
+
+TEST(Lamport, RejectsSwappedBlocks) {
+  const LamportKeyPair keys = test_keys();
+  LamportSignature sig = lamport_sign(keys.private_key, "msg");
+  std::swap(sig.revealed[3], sig.revealed[4]);
+  // Overwhelmingly likely to fail verification (blocks are bit-specific).
+  EXPECT_FALSE(lamport_verify(keys.public_key, "msg", sig));
+}
+
+TEST(Lamport, EmptyMessageSignable) {
+  const LamportKeyPair keys = test_keys();
+  const LamportSignature sig = lamport_sign(keys.private_key, "");
+  EXPECT_TRUE(lamport_verify(keys.public_key, "", sig));
+  EXPECT_FALSE(lamport_verify(keys.public_key, "x", sig));
+}
+
+TEST(Lamport, GenerationIsDeterministicPerSeed) {
+  const LamportKeyPair a = test_keys(7);
+  const LamportKeyPair b = test_keys(7);
+  EXPECT_EQ(a.public_key, b.public_key);
+}
+
+TEST(Lamport, DistinctSeedsDistinctKeys) {
+  EXPECT_FALSE(test_keys(7).public_key == test_keys(8).public_key);
+}
+
+TEST(Lamport, FingerprintIsStableAndDiscriminating) {
+  const LamportKeyPair a = test_keys(7);
+  EXPECT_EQ(a.public_key.fingerprint(), test_keys(7).public_key.fingerprint());
+  EXPECT_NE(to_hex(a.public_key.fingerprint()),
+            to_hex(test_keys(8).public_key.fingerprint()));
+}
+
+TEST(Lamport, PublicImagesAreHashesOfPreimages) {
+  const LamportKeyPair keys = test_keys();
+  for (std::size_t bit : {std::size_t{0}, std::size_t{128}, std::size_t{255}}) {
+    for (std::size_t value = 0; value < 2; ++value) {
+      EXPECT_EQ(Sha256::hash(keys.private_key.preimages[bit][value]),
+                keys.public_key.images[bit][value]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upin::util

@@ -1,0 +1,61 @@
+// Tests for util/log.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace upin::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_level(LogLevel::kDebug);
+    Log::set_sink([this](LogLevel level, std::string_view message) {
+      captured_.emplace_back(level, std::string(message));
+    });
+  }
+  void TearDown() override {
+    Log::set_sink(nullptr);
+    Log::set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, CapturesMessages) {
+  Log::info("hello");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello");
+}
+
+TEST_F(LogTest, FiltersBelowLevel) {
+  Log::set_level(LogLevel::kError);
+  Log::debug("d");
+  Log::info("i");
+  Log::warn("w");
+  Log::error("e");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "e");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  Log::error("should not appear");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, LevelRoundTrip) {
+  Log::set_level(LogLevel::kInfo);
+  EXPECT_EQ(Log::level(), LogLevel::kInfo);
+}
+
+TEST(LogLevelNames, Stable) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "off");
+}
+
+}  // namespace
+}  // namespace upin::util

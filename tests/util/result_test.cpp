@@ -1,0 +1,64 @@
+// Tests for util/result.
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace upin::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+}
+
+TEST(Result, ValueOrFallback) {
+  const Result<std::string> ok(std::string("x"));
+  const Result<std::string> bad(ErrorCode::kTimeout, "late");
+  EXPECT_EQ(ok.value_or("fallback"), "x");
+  EXPECT_EQ(bad.value_or("fallback"), "fallback");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ErrorPropagationAcrossTypes) {
+  const Result<int> inner(ErrorCode::kParseError, "bad json");
+  const Result<std::string> outer(inner.error());
+  EXPECT_EQ(outer.error(), inner.error());
+}
+
+TEST(Status, DefaultIsSuccess) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(Status, CarriesError) {
+  const Status s(ErrorCode::kPermissionDenied, "no");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kPermissionDenied);
+}
+
+TEST(ErrorCode, NamesAreStable) {
+  EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(ErrorCode::kUnreachable), "unreachable");
+  EXPECT_STREQ(to_string(ErrorCode::kConflict), "conflict");
+  EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace upin::util

@@ -1,0 +1,89 @@
+// Tests for util/sha256 against FIPS 180-4 / NIST vectors.
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::util {
+namespace {
+
+std::string hex_of(std::string_view text) {
+  return to_hex(Sha256::hash(text));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: padding forces an extra block.
+  const std::string block(64, 'a');
+  EXPECT_EQ(to_hex(Sha256::hash(block)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes fits length in the first block; 56 does not.
+  EXPECT_EQ(hex_of(std::string(55, 'a')),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(hex_of(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 hasher;
+  hasher.update("ab");
+  hasher.update("");
+  hasher.update("c");
+  EXPECT_EQ(hasher.finish(), Sha256::hash("abc"));
+}
+
+TEST(Sha256, IncrementalAcrossBlockBoundary) {
+  const std::string text(130, 'x');
+  Sha256 hasher;
+  hasher.update(std::string_view(text).substr(0, 63));
+  hasher.update(std::string_view(text).substr(63, 2));
+  hasher.update(std::string_view(text).substr(65));
+  EXPECT_EQ(hasher.finish(), Sha256::hash(text));
+}
+
+TEST(Sha256, BinaryInput) {
+  const std::array<std::uint8_t, 4> bytes{0x00, 0xff, 0x10, 0x80};
+  const Digest256 digest = Sha256::hash(std::span<const std::uint8_t>(bytes));
+  EXPECT_NE(to_hex(digest), hex_of(""));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hex_of("abc"), hex_of("abd"));
+  EXPECT_NE(hex_of("abc"), hex_of("abc "));
+}
+
+TEST(ToHex, EncodesBytesLowercase) {
+  const std::array<std::uint8_t, 3> bytes{0xDE, 0xAD, 0x01};
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(bytes)), "dead01");
+}
+
+TEST(ToHex, DigestIs64Chars) {
+  EXPECT_EQ(to_hex(Sha256::hash("x")).size(), 64u);
+}
+
+}  // namespace
+}  // namespace upin::util

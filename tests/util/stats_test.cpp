@@ -1,0 +1,184 @@
+// Tests for util/stats: moments, quantiles, Tukey boxes, histograms.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace upin::util {
+namespace {
+
+TEST(RunningMoments, SingleSample) {
+  RunningMoments m;
+  m.add(4.0);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 4.0);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+}
+
+TEST(RunningMoments, KnownVariance) {
+  RunningMoments m;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(RunningMoments, MatchesBatchStddev) {
+  const std::vector<double> xs{1.5, 2.5, 8.0, -3.0, 0.0};
+  RunningMoments m;
+  for (const double x : xs) m.add(x);
+  EXPECT_NEAR(m.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(RunningMoments, NumericalStabilityWithLargeOffset) {
+  RunningMoments m;
+  for (int i = 0; i < 1000; ++i) m.add(1e9 + (i % 2));
+  EXPECT_NEAR(m.variance(), 0.25025, 1e-3);
+}
+
+TEST(Quantile, MedianOddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 17.5);  // type-7
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 32.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.1), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.9), 7.0);
+}
+
+TEST(Quantile, ClampsQOutsideUnit) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(Quantile, IsMonotoneInQ) {
+  const std::vector<double> xs{3.0, 9.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  double previous = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double current = quantile(xs, q);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+TEST(Mean, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(BoxStats, SimpleDataset) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxStats box = box_stats(xs);
+  EXPECT_EQ(box.count, 9u);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+  EXPECT_DOUBLE_EQ(box.q1, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 7.0);
+  EXPECT_DOUBLE_EQ(box.iqr, 4.0);
+  EXPECT_DOUBLE_EQ(box.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(box.whisker_high, 9.0);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(BoxStats, DetectsOutliers) {
+  std::vector<double> xs{10, 11, 12, 13, 14, 15, 16, 100, -50};
+  const BoxStats box = box_stats(xs);
+  ASSERT_EQ(box.outliers.size(), 2u);
+  EXPECT_DOUBLE_EQ(box.outliers.front(), -50.0);
+  EXPECT_DOUBLE_EQ(box.outliers.back(), 100.0);
+  // Whiskers stop at the most extreme non-outlier samples.
+  EXPECT_DOUBLE_EQ(box.whisker_low, 10.0);
+  EXPECT_DOUBLE_EQ(box.whisker_high, 16.0);
+}
+
+TEST(BoxStats, ConstantData) {
+  const std::vector<double> xs{5, 5, 5, 5};
+  const BoxStats box = box_stats(xs);
+  EXPECT_DOUBLE_EQ(box.iqr, 0.0);
+  EXPECT_DOUBLE_EQ(box.whisker_low, 5.0);
+  EXPECT_DOUBLE_EQ(box.whisker_high, 5.0);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(BoxStats, SingleSample) {
+  const std::vector<double> xs{3.5};
+  const BoxStats box = box_stats(xs);
+  EXPECT_EQ(box.count, 1u);
+  EXPECT_DOUBLE_EQ(box.median, 3.5);
+  EXPECT_DOUBLE_EQ(box.minimum, 3.5);
+  EXPECT_DOUBLE_EQ(box.maximum, 3.5);
+}
+
+TEST(BoxStats, InvariantOrdering) {
+  const std::vector<double> xs{9.0, 2.7, 3.1, 8.4, 5.5, 1.2, 7.7, 4.4};
+  const BoxStats box = box_stats(xs);
+  EXPECT_LE(box.minimum, box.whisker_low);
+  EXPECT_LE(box.whisker_low, box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+  EXPECT_LE(box.q3, box.whisker_high);
+  EXPECT_LE(box.whisker_high, box.maximum);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-5.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(4), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 17.5);
+}
+
+TEST(Histogram, BoundaryLandsInUpperBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.0);  // exactly on the 0/1 edge -> bin 1
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);   // zero variance
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);   // empty
+}
+
+}  // namespace
+}  // namespace upin::util

@@ -1,0 +1,123 @@
+// Tests for util/strings.
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upin::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(Split, NoSeparator) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, PreservesInnerWhitespace) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("16-ffaa:0:1002", "16-"));
+  EXPECT_FALSE(starts_with("16", "16-"));
+  EXPECT_TRUE(ends_with("150Mbps", "Mbps"));
+  EXPECT_FALSE(ends_with("Mb", "Mbps"));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int(" 12").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(ParseUint, DecimalAndHex) {
+  EXPECT_EQ(parse_uint("255"), 255u);
+  EXPECT_EQ(parse_uint("ff", 16), 255u);
+  EXPECT_EQ(parse_uint("ffaa", 16), 0xffaau);
+  EXPECT_FALSE(parse_uint("-1").has_value());
+  EXPECT_FALSE(parse_uint("g", 16).has_value());
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d_%s", 2, "15"), "2_15");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("nothing"), "nothing");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-17"), "abc-17");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(WildcardMatch, Literals) {
+  EXPECT_TRUE(wildcard_match("abc", "abc"));
+  EXPECT_FALSE(wildcard_match("abc", "abd"));
+  EXPECT_FALSE(wildcard_match("abc", "ab"));
+}
+
+TEST(WildcardMatch, Star) {
+  EXPECT_TRUE(wildcard_match("*", ""));
+  EXPECT_TRUE(wildcard_match("*", "anything"));
+  EXPECT_TRUE(wildcard_match("16-*", "16-ffaa:0:1002"));
+  EXPECT_TRUE(wildcard_match("*1002", "16-ffaa:0:1002"));
+  EXPECT_TRUE(wildcard_match("16-*:1002", "16-ffaa:0:1002"));
+  EXPECT_FALSE(wildcard_match("17-*", "16-ffaa:0:1002"));
+}
+
+TEST(WildcardMatch, QuestionMark) {
+  EXPECT_TRUE(wildcard_match("a?c", "abc"));
+  EXPECT_FALSE(wildcard_match("a?c", "ac"));
+  EXPECT_FALSE(wildcard_match("a?c", "abbc"));
+}
+
+TEST(WildcardMatch, StarBacktracking) {
+  EXPECT_TRUE(wildcard_match("a*b*c", "axxbyyc"));
+  EXPECT_TRUE(wildcard_match("a*b*c", "abbc"));
+  EXPECT_FALSE(wildcard_match("a*b*c", "axxbyy"));
+  EXPECT_TRUE(wildcard_match("**", "x"));
+}
+
+TEST(WildcardMatch, EmptyPattern) {
+  EXPECT_TRUE(wildcard_match("", ""));
+  EXPECT_FALSE(wildcard_match("", "x"));
+}
+
+}  // namespace
+}  // namespace upin::util
