@@ -1,0 +1,140 @@
+// ablation_faults — what does the recovery policy buy under faults?
+//
+// Sweeps fault-injection intensity (garbled responses, slow-responder and
+// server-down windows) against three recovery policies: none (the seed
+// engine's log-and-skip), backoff-only (bounded retries in virtual time),
+// and the full stack (retries + per-destination circuit breaker).  For
+// each cell it reports the sample yield (stored samples as a fraction of
+// the campaign target), the virtual wall-clock the campaign occupied, and
+// the recovery-machinery counters — showing that retries buy yield at a
+// bounded virtual-time cost and the breaker caps the cost of dark
+// destinations.
+#include <array>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace upin;
+
+struct FaultLevel {
+  const char* name;
+  simnet::FaultPlanConfig faults;
+};
+
+std::array<FaultLevel, 4> fault_levels() {
+  std::array<FaultLevel, 4> levels{};
+  levels[0].name = "none";
+
+  levels[1].name = "light";
+  levels[1].faults.garble_prob = 0.10;
+  levels[1].faults.slow_per_hour = 1.0;
+
+  levels[2].name = "medium";
+  levels[2].faults.garble_prob = 0.25;
+  levels[2].faults.slow_per_hour = 3.0;
+  levels[2].faults.server_down_per_hour = 1.0;
+
+  levels[3].name = "heavy";
+  levels[3].faults.garble_prob = 0.40;
+  levels[3].faults.slow_per_hour = 6.0;
+  levels[3].faults.server_down_per_hour = 3.0;
+  return levels;
+}
+
+struct Policy {
+  const char* name;
+  bool retry;
+  bool breaker;
+};
+
+constexpr std::array<Policy, 3> kPolicies{{
+    {"none", false, false},
+    {"backoff", true, false},
+    {"full", true, true},
+}};
+
+struct Cell {
+  double yield_pct = 0.0;
+  double virtual_minutes = 0.0;
+  std::size_t retries = 0;
+  std::size_t failures = 0;
+  std::size_t trips = 0;
+  std::size_t skips = 0;
+};
+
+Cell run_cell(const FaultLevel& level, const Policy& policy) {
+  simnet::NetworkConfig net;
+  net.server_error_prob = 0.0;  // only FaultPlan-injected faults
+  net.faults = level.faults;
+  bench::Campaign campaign(42, net);
+
+  measure::TestSuiteConfig config;
+  config.iterations = 3;
+  config.server_ids = {{bench::kIrelandId}};
+  config.retry.enabled = policy.retry;
+  config.breaker.enabled = policy.breaker;
+  const measure::TestSuiteProgress progress = campaign.run(config);
+
+  const std::size_t paths =
+      campaign.db().collection(measure::kPaths).size();
+  const std::size_t target =
+      paths * static_cast<std::size_t>(config.iterations);
+  Cell cell;
+  cell.yield_pct =
+      target == 0 ? 0.0
+                  : 100.0 * static_cast<double>(progress.stats_inserted) /
+                        static_cast<double>(target);
+  cell.virtual_minutes =
+      util::to_seconds(campaign.host().clock().now()) / 60.0;
+  cell.retries = progress.retry.retries;
+  cell.failures = progress.errors.total();
+  cell.trips = progress.breaker_trips;
+  cell.skips = progress.breaker_skips;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = bench::want_csv(argc, argv);
+
+  if (csv) {
+    std::printf(
+        "faults,policy,yield_pct,virtual_minutes,retries,failures,"
+        "breaker_trips,breaker_skips\n");
+  } else {
+    bench::print_header(
+        "Ablation — fault injection vs recovery policy (Ireland, 3 iters)",
+        "yield = stored samples / campaign target; time in virtual minutes");
+    std::printf("%-8s %-8s | %8s %9s %8s %9s %6s %6s\n", "faults", "policy",
+                "yield%", "virt.min", "retries", "failures", "trips",
+                "skips");
+  }
+
+  for (const FaultLevel& level : fault_levels()) {
+    for (const Policy& policy : kPolicies) {
+      const Cell cell = run_cell(level, policy);
+      if (csv) {
+        std::printf("%s,%s,%.1f,%.1f,%zu,%zu,%zu,%zu\n", level.name,
+                    policy.name, cell.yield_pct, cell.virtual_minutes,
+                    cell.retries, cell.failures, cell.trips, cell.skips);
+      } else {
+        std::printf("%-8s %-8s | %7.1f%% %9.1f %8zu %9zu %6zu %6zu\n",
+                    level.name, policy.name, cell.yield_pct,
+                    cell.virtual_minutes, cell.retries, cell.failures,
+                    cell.trips, cell.skips);
+      }
+    }
+  }
+
+  if (!csv) {
+    std::printf(
+        "\nexpected shape: against transient faults (light: garbles),\n"
+        "backoff buys yield for a modest virtual-time premium; against\n"
+        "persistent down windows (medium/heavy) retrying cannot help and\n"
+        "the breaker claws back the wasted retries and wall-clock\n"
+        "(trips > 0, skips > 0, virt.min and retries drop vs backoff).\n");
+  }
+  return 0;
+}

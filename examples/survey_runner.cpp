@@ -138,6 +138,23 @@ int main(int argc, char** argv) {
   std::printf("  bwtest failures      : %zu\n", p.bwtest_failures);
   std::printf("  stats inserted       : %zu in %zu batches (%zu rejected)\n",
               p.stats_inserted, p.batches_inserted, p.batches_rejected);
+  if (p.errors.total() > 0) {
+    std::printf(
+        "  failures by class    : timeout %zu / unreachable %zu / "
+        "garbled %zu / storage %zu / other %zu\n",
+        p.errors.timeouts, p.errors.unreachable, p.errors.garbled,
+        p.errors.storage, p.errors.other);
+  }
+  if (p.retry.retries > 0 || p.retry.budget_exhausted > 0) {
+    std::printf("  retries              : %zu (%zu hit the backoff budget)\n",
+                p.retry.retries, p.retry.budget_exhausted);
+  }
+  if (p.breaker_trips > 0 || p.breaker_skips > 0) {
+    std::printf("  circuit breaker      : %zu trips, %zu path tests skipped\n",
+                p.breaker_trips, p.breaker_skips);
+  }
+  std::printf("  checkpoints          : %zu recorded, %zu units resumed\n",
+              p.checkpoints_recorded, p.units_skipped);
   std::printf("  virtual time         : %.1f min\n",
               util::to_seconds(host.clock().now()) / 60.0);
 

@@ -134,7 +134,19 @@ Result<PingReport> ScionHost::ping(const SnetAddress& dst,
 
   Result<simnet::PingStats> stats =
       compiled_.network.ping(route.value(), ping_options, clock_.now());
-  if (!stats.ok()) return Result<PingReport>(stats.error());
+  if (!stats.ok()) {
+    // Failed commands still burn wall clock: a timed-out or garbled run
+    // occupied its full schedule before the client gave up, while an
+    // unreachable destination fails fast (~1 s for the SCMP error).
+    if (stats.error().code == ErrorCode::kTimeout ||
+        stats.error().code == ErrorCode::kBadResponse) {
+      clock_.advance(util::sim_seconds(static_cast<double>(options.count) *
+                                       options.interval_s));
+    } else if (stats.error().code == ErrorCode::kUnreachable) {
+      clock_.advance(util::sim_seconds(1.0));
+    }
+    return Result<PingReport>(stats.error());
+  }
 
   // The command occupies the timeline for count * interval.
   clock_.advance(util::sim_seconds(static_cast<double>(options.count) *
@@ -193,11 +205,14 @@ Result<BwtestReport> ScionHost::bwtestclient(const SnetAddress& server,
     bw_options.target_mbps = *spec.target_mbps;
     Result<simnet::BwtestResult> result =
         compiled_.network.bwtest(direction_route, bw_options, clock_.now());
-    // The test occupies the timeline whether it succeeded or the server
-    // errored mid-run; only argument errors cost nothing.
-    if (result.ok() ||
-        result.error().code == util::ErrorCode::kBadResponse) {
+    // The test occupies the timeline whether it succeeded, the server
+    // errored mid-run, or the transfer timed out; an unreachable server
+    // fails fast and only argument errors cost nothing.
+    if (result.ok() || result.error().code == util::ErrorCode::kBadResponse ||
+        result.error().code == util::ErrorCode::kTimeout) {
       clock_.advance(util::sim_seconds(*spec.duration_s));
+    } else if (result.error().code == util::ErrorCode::kUnreachable) {
+      clock_.advance(util::sim_seconds(1.0));
     }
     return result;
   };

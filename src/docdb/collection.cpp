@@ -207,14 +207,14 @@ std::size_t Collection::delete_many(const Filter& filter) {
   for (const std::size_t position : candidates_locked(filter)) {
     Slot& slot = slots_[position];
     if (!slot.alive || !filter.matches(slot.doc)) continue;
-    const auto id = document_id(slot.doc);
+    // Copy the id before clearing the slot: document_id() views into doc.
+    const std::string id(document_id(slot.doc).value_or(""));
     for (const auto& index : indexes_) index->remove(slot.doc, position);
-    id_to_slot_.erase(std::string(id.value_or("")));
+    id_to_slot_.erase(id);
     slot.alive = false;
     slot.doc = Document();
     ++removed;
-    emit(MutationEvent{MutationEvent::Kind::kDelete, name_,
-                       std::string(id.value_or("")), Document()});
+    emit(MutationEvent{MutationEvent::Kind::kDelete, name_, id, Document()});
   }
   if (removed > 0) {
     emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});

@@ -1,5 +1,8 @@
 #include "docdb/database.hpp"
 
+#include <filesystem>
+#include <system_error>
+
 #include "util/log.hpp"
 
 namespace upin::docdb {
@@ -15,6 +18,7 @@ Result<std::unique_ptr<Database>> Database::open(const std::string& path) {
 
   // Replay first (journal not yet open for append, observers suppressed).
   db->replaying_ = true;
+  ReplayReport report;
   const Status replayed = Journal::replay(path, [&](const JournalRecord& record) -> Status {
     Collection& coll = db->collection(record.collection);
     if (record.op == "create_collection") {
@@ -41,9 +45,26 @@ Result<std::unique_ptr<Database>> Database::open(const std::string& path) {
       return Status::success();
     }
     return Status(ErrorCode::kParseError, "unknown journal op: " + record.op);
-  });
+  }, &report);
   db->replaying_ = false;
   if (!replayed.ok()) return Result<std::unique_ptr<Database>>(replayed.error());
+  if (report.torn_tail) {
+    util::Log::warn("journal " + path + " line " +
+                    std::to_string(report.torn_tail_line) + ": " +
+                    report.detail + "; " +
+                    std::to_string(report.records_applied) +
+                    " records recovered");
+    // Cut the garbage tail off before appending, or the next record would
+    // concatenate onto it and corrupt the journal for good.
+    std::error_code resize_error;
+    std::filesystem::resize_file(path, report.valid_prefix_bytes,
+                                 resize_error);
+    if (resize_error) {
+      return Result<std::unique_ptr<Database>>(util::Error{
+          ErrorCode::kDataLoss,
+          "cannot truncate torn journal tail: " + resize_error.message()});
+    }
+  }
 
   const Status opened = db->journal_->open(path);
   if (!opened.ok()) return Result<std::unique_ptr<Database>>(opened.error());

@@ -1,13 +1,88 @@
 #include "docdb/journal.hpp"
 
 #include <cstdio>
+#include <iterator>
+#include <string_view>
 #include <vector>
+
+#include "util/crc32.hpp"
+#include "util/strings.hpp"
 
 namespace upin::docdb {
 
 using util::ErrorCode;
 using util::Status;
 using util::Value;
+
+namespace {
+
+constexpr std::string_view kCrcPrefix = "crc32=";
+constexpr std::size_t kCrcHexDigits = 8;
+
+/// "crc32=XXXXXXXX <json>" — the checksummed line format.
+std::string frame(const std::string& json) {
+  return std::string(kCrcPrefix) + util::format("%08x", util::crc32(json)) +
+         " " + json;
+}
+
+/// Strip and verify a line's checksum header.  Returns the JSON payload,
+/// or an error describing the corruption.  Checksum-less lines (legacy
+/// journals, which start straight with '{') pass through unverified.
+util::Result<std::string> unframe(const std::string& line) {
+  if (!line.starts_with(kCrcPrefix)) {
+    if (!line.empty() && line.front() == '{') return line;  // legacy record
+    return util::Error{ErrorCode::kParseError, "unrecognized line format"};
+  }
+  const std::size_t header = kCrcPrefix.size() + kCrcHexDigits;
+  if (line.size() < header + 2 || line[header] != ' ') {
+    return util::Error{ErrorCode::kParseError, "malformed checksum header"};
+  }
+  std::uint32_t expected = 0;
+  for (std::size_t i = kCrcPrefix.size(); i < header; ++i) {
+    const char ch = line[i];
+    std::uint32_t digit = 0;
+    if (ch >= '0' && ch <= '9') {
+      digit = static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = static_cast<std::uint32_t>(ch - 'a') + 10;
+    } else {
+      return util::Error{ErrorCode::kParseError, "malformed checksum header"};
+    }
+    expected = (expected << 4) | digit;
+  }
+  std::string payload = line.substr(header + 1);
+  if (util::crc32(payload) != expected) {
+    return util::Error{ErrorCode::kParseError, "checksum mismatch"};
+  }
+  return payload;
+}
+
+/// Decode one verified payload into a JournalRecord.
+util::Result<JournalRecord> decode(const std::string& payload) {
+  util::Result<Value> parsed = Value::parse(payload);
+  if (!parsed.ok()) return util::Error{parsed.error()};
+  const Value& value = parsed.value();
+  JournalRecord record;
+  if (const Value* op = value.get("op"); op && op->is_string()) {
+    record.op = op->as_string();
+  }
+  if (const Value* coll = value.get("coll"); coll && coll->is_string()) {
+    record.collection = coll->as_string();
+  }
+  if (const Value* id = value.get("id"); id && id->is_string()) {
+    record.id = id->as_string();
+  }
+  if (const Value* field = value.get("field"); field && field->is_string()) {
+    record.field = field->as_string();
+  }
+  if (const Value* doc = value.get("doc")) record.document = *doc;
+  if (record.op.empty() || record.collection.empty()) {
+    return util::Error{ErrorCode::kParseError, "missing op/coll"};
+  }
+  return record;
+}
+
+}  // namespace
 
 Journal::~Journal() { close(); }
 
@@ -44,7 +119,7 @@ Status Journal::append(const JournalRecord& record) {
   if (!out_.is_open()) {
     return Status(ErrorCode::kDataLoss, "journal is not open");
   }
-  out_ << encode(record) << '\n';
+  out_ << frame(encode(record)) << '\n';
   if (!out_) {
     return Status(ErrorCode::kDataLoss, "journal write failed: " + path_);
   }
@@ -65,43 +140,68 @@ Status Journal::flush() {
 
 Status Journal::replay(
     const std::string& path,
-    const std::function<Status(const JournalRecord&)>& replay) {
-  std::ifstream in(path);
-  if (!in) return Status::success();  // nothing to replay
+    const std::function<Status(const JournalRecord&)>& replay,
+    ReplayReport* report) {
+  ReplayReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = ReplayReport{};
 
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::success();  // nothing to replay
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  const bool ends_with_newline = !content.empty() && content.back() == '\n';
+
+  std::vector<std::string> lines;
+  std::vector<std::size_t> line_offsets;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    line_offsets.push_back(start);
+    const std::size_t newline = content.find('\n', start);
+    if (newline == std::string::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, newline - start));
+    start = newline + 1;
+  }
+  report->valid_prefix_bytes = content.size();
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t line_number = i + 1;
+    const std::string& line = lines[i];
     if (line.empty()) continue;
-    util::Result<Value> parsed = Value::parse(line);
-    if (!parsed.ok()) {
+
+    std::string why;
+    util::Result<std::string> payload = unframe(line);
+    util::Result<JournalRecord> record{JournalRecord{}};
+    if (!payload.ok()) {
+      why = payload.error().message;
+    } else {
+      record = decode(payload.value());
+      if (!record.ok()) why = record.error().message;
+    }
+
+    if (!why.empty()) {
+      // A bad *final* line with no trailing newline is the signature of a
+      // crash mid-append: recover the prefix, drop the tail.  Anywhere
+      // else the file is genuinely corrupt — refuse to guess.
+      const bool is_final_line = i + 1 == lines.size();
+      if (is_final_line && !ends_with_newline) {
+        report->torn_tail = true;
+        report->torn_tail_line = line_number;
+        report->valid_prefix_bytes = line_offsets[i];
+        report->detail = "crash-truncated final record dropped (" + why + ")";
+        return Status::success();
+      }
       return Status(ErrorCode::kParseError,
                     "journal line " + std::to_string(line_number) +
-                        " corrupt: " + parsed.error().message);
+                        " corrupt: " + why);
     }
-    const Value& value = parsed.value();
-    JournalRecord record;
-    if (const Value* op = value.get("op"); op && op->is_string()) {
-      record.op = op->as_string();
-    }
-    if (const Value* coll = value.get("coll"); coll && coll->is_string()) {
-      record.collection = coll->as_string();
-    }
-    if (const Value* id = value.get("id"); id && id->is_string()) {
-      record.id = id->as_string();
-    }
-    if (const Value* field = value.get("field"); field && field->is_string()) {
-      record.field = field->as_string();
-    }
-    if (const Value* doc = value.get("doc")) record.document = *doc;
-    if (record.op.empty() || record.collection.empty()) {
-      return Status(ErrorCode::kParseError,
-                    "journal line " + std::to_string(line_number) +
-                        " missing op/coll");
-    }
-    const Status status = replay(record);
+
+    const Status status = replay(record.value());
     if (!status.ok()) return status;
+    ++report->records_applied;
   }
   return Status::success();
 }
@@ -118,7 +218,7 @@ Status Journal::rewrite(const std::vector<JournalRecord>& records) {
       return Status(ErrorCode::kDataLoss, "cannot open " + temp_path);
     }
     for (const JournalRecord& record : records) {
-      temp << encode(record) << '\n';
+      temp << frame(encode(record)) << '\n';
     }
     temp.flush();
     if (!temp) {

@@ -5,6 +5,14 @@
 // live state.  This is the durability story behind the paper's "continuous
 // measurements require continuous functioning" requirement (§4.1.2):
 // a crash during a batch loses only that (uncommitted) batch.
+//
+// Integrity: every appended record carries a CRC-32 prefix
+// ("crc32=XXXXXXXX <json>"), verified on replay, so torn or bit-flipped
+// lines are *detected* rather than silently parsed.  Checksum-less lines
+// (journals written before this format) still replay unverified.  A
+// corrupt *final* line that is not newline-terminated is a torn tail —
+// the signature of a crash mid-append — and replay recovers the intact
+// prefix; corruption anywhere else is a hard kParseError.
 #pragma once
 
 #include <fstream>
@@ -24,6 +32,20 @@ struct JournalRecord {
   std::string id;          ///< document id (insert/update/delete)
   std::string field;       ///< index field (create_index)
   Document document;       ///< post-image (insert/update)
+};
+
+/// What replay() found, beyond success/failure.
+struct ReplayReport {
+  std::size_t records_applied = 0;
+  /// A crash-truncated final record was detected and dropped; everything
+  /// before it was replayed.  Recoverable — replay still succeeds.
+  bool torn_tail = false;
+  std::size_t torn_tail_line = 0;  ///< 1-based line number of the torn record
+  /// Byte length of the intact prefix (= where the torn record starts).
+  /// Truncate the file to this length before appending again, or the next
+  /// record would concatenate onto the garbage tail.
+  std::size_t valid_prefix_bytes = 0;
+  std::string detail;              ///< human-readable account of the tail
 };
 
 /// Append-only JSON-lines journal.
@@ -47,12 +69,17 @@ class Journal {
   /// Flush buffered records to the file.
   [[nodiscard]] util::Status flush();
 
-  /// Replay an existing journal file through `replay`; stops with
-  /// kParseError on the first corrupt line (everything before it stands,
-  /// mirroring crash-truncated tails).  A missing file replays nothing.
+  /// Replay an existing journal file through `replay`.  Per-record CRCs
+  /// are verified when present.  A corrupt final line without a trailing
+  /// newline is a *torn tail* (crash mid-append): the intact prefix is
+  /// replayed, the tail is dropped, and `report` (optional) says so.
+  /// Corruption anywhere else — including a newline-terminated corrupt
+  /// last line — fails hard with kParseError, with everything before the
+  /// bad line already replayed.  A missing file replays nothing.
   [[nodiscard]] static util::Status replay(
       const std::string& path,
-      const std::function<util::Status(const JournalRecord&)>& replay);
+      const std::function<util::Status(const JournalRecord&)>& replay,
+      ReplayReport* report = nullptr);
 
   /// Atomically replace the journal contents with `records`
   /// (write temp + rename).

@@ -70,6 +70,17 @@ Result<ParallelSurveyResult> run_parallel_survey(
     result.progress.stats_inserted += p.stats_inserted;
     result.progress.batches_inserted += p.batches_inserted;
     result.progress.batches_rejected += p.batches_rejected;
+    result.progress.errors.timeouts += p.errors.timeouts;
+    result.progress.errors.unreachable += p.errors.unreachable;
+    result.progress.errors.garbled += p.errors.garbled;
+    result.progress.errors.storage += p.errors.storage;
+    result.progress.errors.other += p.errors.other;
+    result.progress.retry.retries += p.retry.retries;
+    result.progress.retry.budget_exhausted += p.retry.budget_exhausted;
+    result.progress.breaker_trips += p.breaker_trips;
+    result.progress.breaker_skips += p.breaker_skips;
+    result.progress.units_skipped += p.units_skipped;
+    result.progress.checkpoints_recorded += p.checkpoints_recorded;
   });
 
   result.wall_seconds =

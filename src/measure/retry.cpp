@@ -1,0 +1,129 @@
+#include "measure/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upin::measure {
+
+using util::ErrorCode;
+using util::SimTime;
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kUnreachable: return "unreachable";
+    case FaultKind::kGarbled: return "garbled";
+    case FaultKind::kStorage: return "storage";
+    case FaultKind::kOther: return "other";
+  }
+  return "other";
+}
+
+FaultKind classify_fault(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kTimeout:
+      return FaultKind::kTimeout;
+    case ErrorCode::kUnreachable:
+    case ErrorCode::kNotFound:
+      return FaultKind::kUnreachable;
+    case ErrorCode::kBadResponse:
+      return FaultKind::kGarbled;
+    case ErrorCode::kDataLoss:
+    case ErrorCode::kConflict:
+    case ErrorCode::kPermissionDenied:
+      return FaultKind::kStorage;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kParseError:
+    case ErrorCode::kInternal:
+      return FaultKind::kOther;
+  }
+  return FaultKind::kOther;
+}
+
+void FaultTaxonomy::record(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTimeout: ++timeouts; break;
+    case FaultKind::kUnreachable: ++unreachable; break;
+    case FaultKind::kGarbled: ++garbled; break;
+    case FaultKind::kStorage: ++storage; break;
+    case FaultKind::kOther: ++other; break;
+  }
+}
+
+double RetryPolicy::backoff_s(int attempt, util::Rng& rng) const {
+  const double exponent = static_cast<double>(std::max(attempt, 1) - 1);
+  double backoff = initial_backoff_s * std::pow(backoff_multiplier, exponent);
+  backoff = std::min(backoff, max_backoff_s);
+  if (jitter_frac > 0.0) {
+    backoff *= rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
+  }
+  return std::max(backoff, 0.0);
+}
+
+bool RetryPolicy::retryable(ErrorCode code) noexcept {
+  switch (classify_fault(code)) {
+    case FaultKind::kTimeout:
+    case FaultKind::kUnreachable:
+    case FaultKind::kGarbled:
+      return true;
+    case FaultKind::kStorage:
+    case FaultKind::kOther:
+      return false;
+  }
+  return false;
+}
+
+CircuitBreaker::State CircuitBreaker::state(SimTime now) const noexcept {
+  if (!open_) return State::kClosed;
+  const double waited = util::to_seconds(now - opened_at_);
+  return waited >= policy_.cooldown_s ? State::kHalfOpen : State::kOpen;
+}
+
+bool CircuitBreaker::allow(SimTime now) noexcept {
+  if (!policy_.enabled) return true;
+  switch (state(now)) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() noexcept {
+  consecutive_failures_ = 0;
+  open_ = false;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure(SimTime now) noexcept {
+  if (!policy_.enabled) return;
+  if (probe_in_flight_) {
+    // The half-open probe failed: re-open for another cooldown.
+    probe_in_flight_ = false;
+    open_ = true;
+    opened_at_ = now;
+    ++trips_;
+    return;
+  }
+  ++consecutive_failures_;
+  if (!open_ && consecutive_failures_ >= policy_.trip_threshold) {
+    open_ = true;
+    opened_at_ = now;
+    ++trips_;
+  }
+}
+
+void CircuitBreaker::restore(int consecutive_failures, bool open,
+                             SimTime opened_at) noexcept {
+  consecutive_failures_ = consecutive_failures;
+  open_ = open;
+  opened_at_ = opened_at;
+  probe_in_flight_ = false;
+}
+
+}  // namespace upin::measure

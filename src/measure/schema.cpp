@@ -183,4 +183,55 @@ Result<StatsSample> parse_stats_document(const Document& doc) {
   return sample;
 }
 
+std::string checkpoint_doc_id(int server_id, int iteration) {
+  return "ckpt_" + std::to_string(server_id) + "_" + std::to_string(iteration);
+}
+
+Document checkpoint_document(const CampaignCheckpoint& checkpoint) {
+  JsonObject doc;
+  doc.set("_id",
+          Value(checkpoint_doc_id(checkpoint.server_id, checkpoint.iteration)));
+  doc.set("server_id", Value(checkpoint.server_id));
+  doc.set("iteration", Value(checkpoint.iteration));
+  // Nanoseconds, not milliseconds: the resumed clock must land on the
+  // identical instant or every later timestamped document id diverges.
+  doc.set("clock_end_ns", Value(checkpoint.clock_end.count()));
+  doc.set("samples_stored", Value(checkpoint.samples_stored));
+  doc.set("breaker_failures", Value(checkpoint.breaker_failures));
+  doc.set("breaker_open", Value(checkpoint.breaker_open));
+  doc.set("breaker_opened_at_ns", Value(checkpoint.breaker_opened_at.count()));
+  return Value(std::move(doc));
+}
+
+Result<CampaignCheckpoint> parse_checkpoint_document(const Document& doc) {
+  CampaignCheckpoint checkpoint;
+  const Value* server_id = doc.get("server_id");
+  const Value* iteration = doc.get("iteration");
+  const Value* clock_end = doc.get("clock_end_ns");
+  if (server_id == nullptr || !server_id->is_int() || iteration == nullptr ||
+      !iteration->is_int() || clock_end == nullptr || !clock_end->is_int()) {
+    return util::Error{ErrorCode::kParseError, "checkpoint doc missing fields"};
+  }
+  checkpoint.server_id = static_cast<int>(server_id->as_int());
+  checkpoint.iteration = static_cast<int>(iteration->as_int());
+  checkpoint.clock_end = util::SimTime(clock_end->as_int());
+  if (const Value* samples = doc.get("samples_stored");
+      samples != nullptr && samples->is_int()) {
+    checkpoint.samples_stored = static_cast<std::size_t>(samples->as_int());
+  }
+  if (const Value* failures = doc.get("breaker_failures");
+      failures != nullptr && failures->is_int()) {
+    checkpoint.breaker_failures = static_cast<int>(failures->as_int());
+  }
+  if (const Value* open = doc.get("breaker_open");
+      open != nullptr && open->is_bool()) {
+    checkpoint.breaker_open = open->as_bool();
+  }
+  if (const Value* opened_at = doc.get("breaker_opened_at_ns");
+      opened_at != nullptr && opened_at->is_int()) {
+    checkpoint.breaker_opened_at = util::SimTime(opened_at->as_int());
+  }
+  return checkpoint;
+}
+
 }  // namespace upin::measure

@@ -28,6 +28,11 @@ namespace upin::measure {
 inline constexpr const char* kAvailableServers = "availableServers";
 inline constexpr const char* kPaths = "paths";
 inline constexpr const char* kPathsStats = "paths_stats";
+/// Crash-safe resume ledger: one document per completed (destination,
+/// iteration) measurement unit, written through the journal right after
+/// the unit's batch commits, so a killed campaign restarts without
+/// re-measuring finished work.
+inline constexpr const char* kCampaignCheckpoints = "campaign_checkpoints";
 
 /// "2_15" for path 15 of destination 2.
 [[nodiscard]] std::string path_doc_id(int server_id, int path_index);
@@ -81,6 +86,31 @@ struct PathRecord {
 
 /// Decoded paths_stats document.
 [[nodiscard]] util::Result<StatsSample> parse_stats_document(
+    const docdb::Document& doc);
+
+/// "ckpt_2_15" for iteration 15 of destination 2.
+[[nodiscard]] std::string checkpoint_doc_id(int server_id, int iteration);
+
+/// One completed (destination, iteration) unit.  Carries the *exact*
+/// virtual-clock reading at the end of the unit (nanoseconds) plus the
+/// destination's circuit-breaker state, so a resumed campaign replays the
+/// skipped unit's timeline and recovery state bit-for-bit — the invariant
+/// behind "kill-then-resume stores the same documents as an uninterrupted
+/// run".
+struct CampaignCheckpoint {
+  int server_id = 0;
+  int iteration = 0;
+  util::SimTime clock_end{};
+  std::size_t samples_stored = 0;
+  int breaker_failures = 0;
+  bool breaker_open = false;
+  util::SimTime breaker_opened_at{};
+};
+
+[[nodiscard]] docdb::Document checkpoint_document(
+    const CampaignCheckpoint& checkpoint);
+
+[[nodiscard]] util::Result<CampaignCheckpoint> parse_checkpoint_document(
     const docdb::Document& doc);
 
 }  // namespace upin::measure

@@ -193,14 +193,199 @@ std::size_t TestSuite::completed_iterations(int server_id) const {
   return any ? minimum : 0;
 }
 
-Status TestSuite::run_tests() {
+void TestSuite::note_failure(int server_id, const util::Error& error) {
+  progress_.errors.record(classify_fault(error.code));
+  (void)server_id;
+}
+
+CircuitBreaker& TestSuite::breaker_for(int server_id) {
+  auto it = breakers_.find(server_id);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(server_id, CircuitBreaker(config_.breaker)).first;
+  }
+  return it->second;
+}
+
+Status TestSuite::run_unit(const Destination& destination, int iteration) {
   docdb::Collection& paths = db_.collection(kPaths);
+  util::JsonObject query;
+  query.set("server_id", Value(destination.server_id));
+  Result<Filter> by_server = Filter::compile(Value(std::move(query)));
+  if (!by_server.ok()) return Status(by_server.error());
+  docdb::FindOptions in_order;
+  in_order.sort_by = "path_index";
+  const std::vector<Document> path_docs =
+      paths.find(by_server.value(), in_order);
+
+  CircuitBreaker& breaker = breaker_for(destination.server_id);
+
+  // One batch per destination: losing a crash's worth of data drops
+  // at most one balanced sample per path (paper §4.2.2).
+  std::vector<Document> batch;
+  batch.reserve(path_docs.size());
+
+  for (const Document& path_doc : path_docs) {
+    Result<PathRecord> record = parse_path_document(path_doc);
+    if (!record.ok()) {
+      util::Log::warn("skipping malformed path doc: " +
+                      record.error().message);
+      continue;
+    }
+
+    // An open breaker means this destination has been failing hard:
+    // stop hammering it and accept partial results for the unit.
+    if (!breaker.allow(host_.clock().now())) {
+      ++progress_.breaker_skips;
+      continue;
+    }
+    bool operation_failed = false;
+
+    StatsSample sample;
+    sample.path_id = record.value().id;
+    sample.server_id = destination.server_id;
+    sample.hop_count = record.value().hop_count;
+    sample.isds = record.value().isds;
+    sample.target_mbps = config_.bw_target_mbps;
+
+    // --- latency & loss: scion ping -c 30 --interval 0.1s ---------
+    apps::PingOptions ping_options;
+    ping_options.count = config_.ping_count;
+    ping_options.interval_s = config_.ping_interval_s;
+    ping_options.sequence = record.value().sequence;
+    Result<apps::PingReport> ping = run_with_retry<apps::PingReport>(
+        config_.retry, host_.clock(), "ping:" + sample.path_id,
+        progress_.retry,
+        [&] { return host_.ping(destination.address, ping_options); });
+    if (!ping.ok()) {
+      ++progress_.ping_failures;
+      note_failure(destination.server_id, ping.error());
+      breaker.record_failure(host_.clock().now());
+      util::Log::warn("ping " + sample.path_id +
+                      " failed: " + ping.error().message);
+      continue;  // server failure: skip this path, keep the campaign
+    }
+    sample.latency_ms = ping.value().stats.avg_ms();
+    sample.loss_pct = ping.value().stats.loss_pct();
+    sample.jitter_ms = ping.value().stats.stddev_ms();
+
+    // --- bandwidth: scion-bwtestclient -cs d,{64|MTU},?,target ----
+    const auto bw_spec = [&](std::string_view size) {
+      return util::format("%g,%.*s,?,%gMbps", config_.bw_duration_s,
+                          static_cast<int>(size.size()), size.data(),
+                          config_.bw_target_mbps);
+    };
+    const auto run_bwtest = [&](const std::string& spec,
+                                std::string_view label)
+        -> Result<apps::BwtestReport> {
+      apps::BwtestOptions options;
+      options.cs_spec = spec;
+      options.sequence = record.value().sequence;
+      return run_with_retry<apps::BwtestReport>(
+          config_.retry, host_.clock(),
+          std::string(label) + ":" + sample.path_id, progress_.retry,
+          [&] { return host_.bwtestclient(destination.address, options); });
+    };
+    Result<apps::BwtestReport> small = run_bwtest(
+        bw_spec(util::format("%g", config_.small_packet_bytes)), "bw64");
+    Result<apps::BwtestReport> mtu = run_bwtest(bw_spec("MTU"), "bwmtu");
+
+    if (small.ok()) {
+      sample.bw_up_64 = small.value().client_to_server.achieved_mbps;
+      sample.bw_down_64 = small.value().server_to_client.achieved_mbps;
+    } else {
+      ++progress_.bwtest_failures;
+      note_failure(destination.server_id, small.error());
+      operation_failed = true;
+    }
+    if (mtu.ok()) {
+      sample.bw_up_mtu = mtu.value().client_to_server.achieved_mbps;
+      sample.bw_down_mtu = mtu.value().server_to_client.achieved_mbps;
+    } else {
+      ++progress_.bwtest_failures;
+      note_failure(destination.server_id, mtu.error());
+      operation_failed = true;
+    }
+
+    if (operation_failed) {
+      breaker.record_failure(host_.clock().now());
+    } else {
+      breaker.record_success();
+    }
+
+    sample.timestamp = host_.clock().now();
+    batch.push_back(stats_document(sample));
+    ++progress_.path_tests_run;
+
+    host_.clock().advance(util::sim_seconds(config_.inter_test_gap_s));
+  }
+  if (breaker.trips() > progress_.breaker_trips) {
+    progress_.breaker_trips = breaker.trips();
+  }
+
+  const std::size_t batch_size = batch.size();
+  const Status stored = store_batch(std::move(batch));
+  if (!stored.ok()) {
+    util::Log::error("batch insert for server " +
+                     std::to_string(destination.server_id) +
+                     " failed: " + stored.error().message);
+    progress_.errors.record(FaultKind::kStorage);
+    // Data for this destination+iteration is lost; keep running.  No
+    // checkpoint: a resume will re-measure the unit.
+  } else if (config_.checkpoints) {
+    CampaignCheckpoint checkpoint;
+    checkpoint.server_id = destination.server_id;
+    checkpoint.iteration = iteration;
+    checkpoint.clock_end = host_.clock().now();
+    checkpoint.samples_stored = batch_size;
+    checkpoint.breaker_failures = breaker.consecutive_failures();
+    checkpoint.breaker_open = breaker.is_open();
+    checkpoint.breaker_opened_at = breaker.opened_at();
+    docdb::Collection& checkpoints = db_.collection(kCampaignCheckpoints);
+    checkpoints.delete_by_id(
+        checkpoint_doc_id(destination.server_id, iteration));
+    Result<std::string> inserted =
+        checkpoints.insert_one(checkpoint_document(checkpoint));
+    if (inserted.ok()) {
+      ++progress_.checkpoints_recorded;
+    } else {
+      util::Log::warn("checkpoint insert failed: " +
+                      inserted.error().message);
+      progress_.errors.record(FaultKind::kStorage);
+    }
+  }
+
+  if (config_.crash_after_batches > 0 &&
+      progress_.batches_inserted >= config_.crash_after_batches) {
+    return Status(ErrorCode::kDataLoss,
+                  "injected crash after " +
+                      std::to_string(progress_.batches_inserted) +
+                      " batches (fault harness)");
+  }
+  return Status::success();
+}
+
+Status TestSuite::run_tests() {
   const std::vector<Destination> destinations = selected_destinations();
 
-  // Per-destination remaining work (resume support).
+  // Resume planning.  Destinations with checkpoint history skip exactly
+  // the recorded (destination, iteration) units, restoring the clock and
+  // breaker state each unit left behind; databases from before the
+  // checkpoint ledger fall back to the count-based top-up.
   std::vector<int> remaining(destinations.size(), config_.iterations);
+  std::vector<bool> use_checkpoints(destinations.size(), false);
   if (config_.resume) {
+    const docdb::Collection* checkpoints =
+        db_.find_collection(kCampaignCheckpoints);
     for (std::size_t i = 0; i < destinations.size(); ++i) {
+      if (checkpoints != nullptr) {
+        util::JsonObject query;
+        query.set("server_id", Value(destinations[i].server_id));
+        Result<Filter> by_server = Filter::compile(Value(std::move(query)));
+        if (by_server.ok() && checkpoints->count(by_server.value()) > 0) {
+          use_checkpoints[i] = true;
+          continue;
+        }
+      }
       const auto done = completed_iterations(destinations[i].server_id);
       remaining[i] = std::max(
           0, config_.iterations - static_cast<int>(
@@ -212,99 +397,33 @@ Status TestSuite::run_tests() {
     for (std::size_t destination_index = 0;
          destination_index < destinations.size(); ++destination_index) {
       const Destination& destination = destinations[destination_index];
-      if (iteration >= remaining[destination_index]) continue;
-      util::JsonObject query;
-      query.set("server_id", Value(destination.server_id));
-      Result<Filter> by_server = Filter::compile(Value(std::move(query)));
-      if (!by_server.ok()) return Status(by_server.error());
-      docdb::FindOptions in_order;
-      in_order.sort_by = "path_index";
-      const std::vector<Document> path_docs =
-          paths.find(by_server.value(), in_order);
-
-      // One batch per destination: losing a crash's worth of data drops
-      // at most one balanced sample per path (paper §4.2.2).
-      std::vector<Document> batch;
-      batch.reserve(path_docs.size());
-
-      for (const Document& path_doc : path_docs) {
-        Result<PathRecord> record = parse_path_document(path_doc);
-        if (!record.ok()) {
-          util::Log::warn("skipping malformed path doc: " +
-                          record.error().message);
+      if (config_.resume) {
+        if (use_checkpoints[destination_index]) {
+          const Result<Document> doc =
+              db_.collection(kCampaignCheckpoints)
+                  .find_by_id(
+                      checkpoint_doc_id(destination.server_id, iteration));
+          if (doc.ok()) {
+            const Result<CampaignCheckpoint> checkpoint =
+                parse_checkpoint_document(doc.value());
+            if (checkpoint.ok()) {
+              // Fast-forward through the finished unit: same clock
+              // reading, same breaker state, zero re-measurement.
+              host_.clock().advance_to(checkpoint.value().clock_end);
+              breaker_for(destination.server_id)
+                  .restore(checkpoint.value().breaker_failures,
+                           checkpoint.value().breaker_open,
+                           checkpoint.value().breaker_opened_at);
+              ++progress_.units_skipped;
+              continue;
+            }
+          }
+        } else if (iteration >= remaining[destination_index]) {
           continue;
         }
-
-        StatsSample sample;
-        sample.path_id = record.value().id;
-        sample.server_id = destination.server_id;
-        sample.hop_count = record.value().hop_count;
-        sample.isds = record.value().isds;
-        sample.target_mbps = config_.bw_target_mbps;
-
-        // --- latency & loss: scion ping -c 30 --interval 0.1s ---------
-        apps::PingOptions ping_options;
-        ping_options.count = config_.ping_count;
-        ping_options.interval_s = config_.ping_interval_s;
-        ping_options.sequence = record.value().sequence;
-        Result<apps::PingReport> ping =
-            host_.ping(destination.address, ping_options);
-        if (!ping.ok()) {
-          ++progress_.ping_failures;
-          util::Log::warn("ping " + sample.path_id +
-                          " failed: " + ping.error().message);
-          continue;  // server failure: skip this path, keep the campaign
-        }
-        sample.latency_ms = ping.value().stats.avg_ms();
-        sample.loss_pct = ping.value().stats.loss_pct();
-        sample.jitter_ms = ping.value().stats.stddev_ms();
-
-        // --- bandwidth: scion-bwtestclient -cs d,{64|MTU},?,target ----
-        const auto bw_spec = [&](std::string_view size) {
-          return util::format("%g,%.*s,?,%gMbps", config_.bw_duration_s,
-                              static_cast<int>(size.size()), size.data(),
-                              config_.bw_target_mbps);
-        };
-        apps::BwtestOptions small_options;
-        small_options.cs_spec =
-            bw_spec(util::format("%g", config_.small_packet_bytes));
-        small_options.sequence = record.value().sequence;
-        Result<apps::BwtestReport> small =
-            host_.bwtestclient(destination.address, small_options);
-
-        apps::BwtestOptions mtu_options;
-        mtu_options.cs_spec = bw_spec("MTU");
-        mtu_options.sequence = record.value().sequence;
-        Result<apps::BwtestReport> mtu =
-            host_.bwtestclient(destination.address, mtu_options);
-
-        if (small.ok()) {
-          sample.bw_up_64 = small.value().client_to_server.achieved_mbps;
-          sample.bw_down_64 = small.value().server_to_client.achieved_mbps;
-        } else {
-          ++progress_.bwtest_failures;
-        }
-        if (mtu.ok()) {
-          sample.bw_up_mtu = mtu.value().client_to_server.achieved_mbps;
-          sample.bw_down_mtu = mtu.value().server_to_client.achieved_mbps;
-        } else {
-          ++progress_.bwtest_failures;
-        }
-
-        sample.timestamp = host_.clock().now();
-        batch.push_back(stats_document(sample));
-        ++progress_.path_tests_run;
-
-        host_.clock().advance(util::sim_seconds(config_.inter_test_gap_s));
       }
-
-      const Status stored = store_batch(std::move(batch));
-      if (!stored.ok()) {
-        util::Log::error("batch insert for server " +
-                         std::to_string(destination.server_id) +
-                         " failed: " + stored.error().message);
-        // Data for this destination+iteration is lost; keep running.
-      }
+      const Status unit = run_unit(destination, iteration);
+      if (!unit.ok()) return unit;
     }
   }
   return Status::success();

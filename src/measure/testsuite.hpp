@@ -14,15 +14,22 @@
 //                           *batched* insert per destination (§4.2.2's
 //                           fault-tolerance trade-off)
 //
-// Faults (unreachable server, failed command) are logged and skipped —
-// the suite keeps functioning against a fallible network (§4.1.2).
+// Faults (unreachable server, failed command) are handled by a
+// first-class recovery policy (§4.1.2 upgraded): failed operations retry
+// with exponential backoff in virtual time, a per-destination circuit
+// breaker stops hammering dark servers, every failure lands in a
+// four-way taxonomy, and completed (destination, iteration) units are
+// checkpointed through the journal so a killed campaign resumes without
+// re-measuring finished work — and reproduces the identical document set.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <vector>
 
 #include "apps/host.hpp"
 #include "docdb/database.hpp"
+#include "measure/retry.hpp"
 #include "measure/schema.hpp"
 #include "scion/trust.hpp"
 
@@ -53,6 +60,20 @@ struct TestSuiteConfig {
 
   /// Virtual-time pause between consecutive path tests (scheduling gap).
   double inter_test_gap_s = 0.5;
+
+  /// Recovery policy for failed measurement operations.
+  RetryPolicy retry;
+  /// Per-destination circuit breaker (consecutive post-retry failures
+  /// open it; cooldown in virtual time re-probes).
+  CircuitBreakerPolicy breaker;
+  /// Record a campaign_checkpoints document after every committed
+  /// (destination, iteration) unit.  `resume` uses them to skip finished
+  /// units exactly (clock and breaker state restored bit-for-bit).
+  bool checkpoints = true;
+  /// Fault-injection harness: abort the campaign (as a crash would) after
+  /// this many committed batches.  0 = never.  Tests use this to exercise
+  /// kill-then-resume; the aborted run reports kDataLoss.
+  std::size_t crash_after_batches = 0;
 };
 
 /// Run counters for reporting and tests.
@@ -66,6 +87,15 @@ struct TestSuiteProgress {
   std::size_t stats_inserted = 0;
   std::size_t batches_inserted = 0;
   std::size_t batches_rejected = 0;
+
+  /// Every post-retry failure, classified (§4.1.2 fault classes).
+  FaultTaxonomy errors;
+  /// Backoff re-attempts and budget cutoffs across all operations.
+  RetryStats retry;
+  std::size_t breaker_trips = 0;  ///< circuit breakers opened
+  std::size_t breaker_skips = 0;  ///< path tests skipped while open
+  std::size_t units_skipped = 0;  ///< checkpointed units skipped on resume
+  std::size_t checkpoints_recorded = 0;
 };
 
 /// The campaign engine.  Owns neither the host nor the database.
@@ -107,12 +137,21 @@ class TestSuite {
   [[nodiscard]] std::vector<Destination> selected_destinations() const;
   [[nodiscard]] util::Status store_batch(std::vector<docdb::Document> docs);
 
+  /// Run every path test of one (destination, iteration) unit, applying
+  /// retry / breaker policy, and commit the batch plus its checkpoint.
+  [[nodiscard]] util::Status run_unit(const Destination& destination,
+                                      int iteration);
+  /// Record a post-retry operation failure for `destination`.
+  void note_failure(int server_id, const util::Error& error);
+  [[nodiscard]] CircuitBreaker& breaker_for(int server_id);
+
   apps::ScionHost& host_;
   docdb::Database& db_;
   TestSuiteConfig config_;
   TestSuiteProgress progress_;
   scion::TrustStore* trust_ = nullptr;
   std::uint64_t batch_counter_ = 0;
+  std::map<int, CircuitBreaker> breakers_;
 };
 
 }  // namespace upin::measure

@@ -80,7 +80,11 @@ std::uint64_t endpoint_key(NodeId from, NodeId to) noexcept {
 }  // namespace
 
 Network::Network(std::uint64_t seed, NetworkConfig config)
-    : config_(config), master_(seed) {}
+    : config_(config),
+      master_(seed),
+      // The fault schedule forks off the same experiment seed (under a
+      // fixed label) so identically-seeded replicas see identical faults.
+      faults_(seed ^ util::fnv1a64("faultplan"), config.faults) {}
 
 NodeId Network::add_node(NodeSpec spec) {
   nodes_.push_back(std::move(spec));
@@ -180,6 +184,8 @@ double Network::utilization(NodeId from, NodeId to, SimTime t) const {
 double Network::frame_loss(NodeId from, NodeId to, SimTime t) const {
   const LinkSpec* link = find_link(from, to);
   if (link == nullptr) return 1.0;
+  // An injected link flap drops every frame for the episode's duration.
+  if (faults_.link_flapped(from, to, t)) return 1.0;
   double loss = link->base_loss;
 
   // Micro-congestion: some 10-second windows on some links lose a visible
@@ -273,6 +279,25 @@ Result<PingStats> Network::ping(const std::vector<NodeId>& route,
   const Result<RouteLinks> backward = resolve(reverse_route);
   if (!backward.ok()) return Result<PingStats>(backward.error());
 
+  // Injected destination faults (§4.1.2 fault classes), checked at the
+  // operation's start time: a dark server refuses outright, a slow one
+  // exhausts the probe timeout, a garbling one answers unparseably.
+  if (faults_.active()) {
+    const NodeId destination = route.back();
+    if (faults_.server_down(destination, start)) {
+      return util::Error{ErrorCode::kUnreachable,
+                         "injected fault: destination server down"};
+    }
+    if (faults_.slow_responder(destination, start)) {
+      return util::Error{ErrorCode::kTimeout,
+                         "injected fault: destination responding too slowly"};
+    }
+    if (faults_.garbled("ping:" + route_label(route), start)) {
+      return util::Error{ErrorCode::kBadResponse,
+                         "injected fault: garbled echo response"};
+    }
+  }
+
   PingStats stats;
   stats.rtt_ms.reserve(options.count);
   const std::string label = route_label(route);
@@ -336,6 +361,23 @@ Result<BwtestResult> Network::bwtest(const std::vector<NodeId>& route,
   if (options.duration_s <= 0.0 || options.duration_s > 10.0) {
     return util::Error{ErrorCode::kInvalidArgument,
                        "bwtest duration must be in (0, 10] seconds"};
+  }
+
+  // Injected destination faults, mirroring the ping checks above.
+  if (faults_.active()) {
+    const NodeId destination = route.back();
+    if (faults_.server_down(destination, start)) {
+      return util::Error{ErrorCode::kUnreachable,
+                         "injected fault: bwtest server down"};
+    }
+    if (faults_.slow_responder(destination, start)) {
+      return util::Error{ErrorCode::kTimeout,
+                         "injected fault: bwtest server responding too slowly"};
+    }
+    if (faults_.garbled("bwtest:" + route_label(route), start)) {
+      return util::Error{ErrorCode::kBadResponse,
+                         "injected fault: garbled bwtest response"};
+    }
   }
 
   // Server-side failure (§4.1.2 "Error Messages"): the responder is up

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "simnet/faultplan.hpp"
 #include "simnet/geo.hpp"
 #include "util/clock.hpp"
 #include "util/result.hpp"
@@ -86,6 +87,10 @@ struct NetworkConfig {
   /// the test (paper §4.1.2's "Error Messages" fault class: "a server is
   /// not down but it provides a bad response").
   double server_error_prob = 0.003;
+  /// Scheduled fault injection (server-down windows, link flaps, slow
+  /// responders, garbled responses) on top of the stochastic base model.
+  /// All rates default to zero — no faults unless a campaign asks.
+  FaultPlanConfig faults;
 };
 
 /// Result of an SCMP-echo-like probe train.
@@ -158,6 +163,8 @@ class Network {
   [[nodiscard]] const LinkSpec* find_link(NodeId from, NodeId to) const;
   [[nodiscard]] util::SimDuration link_propagation(NodeId from, NodeId to) const;
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  /// The injected-fault schedule (inert unless config().faults enables it).
+  [[nodiscard]] const FaultPlan& faults() const noexcept { return faults_; }
 
   // ---- measurements ----------------------------------------------------
   /// Probe `route` (node sequence source..destination) with `options.count`
@@ -208,6 +215,7 @@ class Network {
   std::vector<OutageWindow> outages_;
   NetworkConfig config_;
   util::Rng master_;
+  FaultPlan faults_;
 };
 
 }  // namespace upin::simnet

@@ -1,0 +1,24 @@
+// crc32.hpp — CRC-32 (IEEE 802.3) checksums.
+//
+// Used by the docdb journal to give every appended record an integrity
+// checksum, so a torn or bit-flipped line is *detected* on replay instead
+// of being silently parsed (or silently dropped).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace upin::util {
+
+/// CRC-32 of `data` (polynomial 0xEDB88320, init/final xor 0xFFFFFFFF —
+/// the zlib/PNG variant, stable across platforms).
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Incremental form: feed `data` into a running checksum.  Start from
+/// `crc32_init()` and finish with `crc32_final()`.
+[[nodiscard]] std::uint32_t crc32_init() noexcept;
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::string_view data) noexcept;
+[[nodiscard]] std::uint32_t crc32_final(std::uint32_t state) noexcept;
+
+}  // namespace upin::util

@@ -151,6 +151,178 @@ TEST_F(JournalTest, AppendsAfterRewriteLand) {
   EXPECT_EQ(calls, 2);
 }
 
+TEST_F(JournalTest, AppendedRecordsCarryChecksums) {
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  std::ifstream in(path_);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(line.starts_with("crc32="));
+}
+
+TEST_F(JournalTest, ChecksumMismatchMidFileIsHardError) {
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.append(insert_record("b")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  // Flip one payload byte of the first record (newline-terminated, so it
+  // cannot be mistaken for a torn tail).
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  const std::size_t victim = content.find("\"a\"");
+  ASSERT_NE(victim, std::string::npos);
+  content[victim + 1] = 'z';
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  int calls = 0;
+  ReplayReport report;
+  const auto status = Journal::replay(
+      path_,
+      [&](const JournalRecord&) {
+        ++calls;
+        return util::Status::success();
+      },
+      &report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kParseError);
+  EXPECT_NE(status.error().message.find("checksum mismatch"),
+            std::string::npos);
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(JournalTest, TornTailIsRecoveredAndReported) {
+  std::size_t intact_bytes = 0;
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.append(insert_record("b")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+    intact_bytes = std::filesystem::file_size(path_);
+  }
+  {
+    // Simulate a crash mid-append: a partial frame with no newline.
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "crc32=0123abcd {\"op\":\"ins";
+  }
+  std::vector<std::string> ids;
+  ReplayReport report;
+  ASSERT_TRUE(Journal::replay(
+                  path_,
+                  [&](const JournalRecord& record) {
+                    ids.push_back(record.id);
+                    return util::Status::success();
+                  },
+                  &report)
+                  .ok())
+      << "a crash-truncated tail is recoverable, not fatal";
+  EXPECT_EQ(ids, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.torn_tail_line, 3u);
+  EXPECT_EQ(report.records_applied, 2u);
+  EXPECT_EQ(report.valid_prefix_bytes, intact_bytes);
+}
+
+TEST_F(JournalTest, SameGarbageWithNewlineIsHardCorruption) {
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  {
+    // The identical garbage, but newline-terminated: the writer claimed
+    // the record was complete, so this is mid-file corruption.
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "crc32=0123abcd {\"op\":\"ins\n";
+  }
+  ReplayReport report;
+  const auto status = Journal::replay(
+      path_, [](const JournalRecord&) { return util::Status::success(); },
+      &report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kParseError);
+  EXPECT_FALSE(report.torn_tail);
+}
+
+TEST_F(JournalTest, TornTailOnUncheckummedGarbageToo) {
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "garbage-with-no-structure";
+  }
+  ReplayReport report;
+  ASSERT_TRUE(Journal::replay(path_,
+                              [](const JournalRecord&) {
+                                return util::Status::success();
+                              },
+                              &report)
+                  .ok());
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.records_applied, 1u);
+}
+
+TEST_F(JournalTest, LegacyChecksumlessJournalsStillReplay) {
+  {
+    // A journal written before per-record checksums: bare JSON lines.
+    std::ofstream out(path_);
+    out << R"({"op":"insert","coll":"c","id":"a","doc":{"_id":"a"}})" << "\n";
+    out << R"({"op":"insert","coll":"c","id":"b","doc":{"_id":"b"}})" << "\n";
+  }
+  std::vector<std::string> ids;
+  ReplayReport report;
+  ASSERT_TRUE(Journal::replay(
+                  path_,
+                  [&](const JournalRecord& record) {
+                    ids.push_back(record.id);
+                    return util::Status::success();
+                  },
+                  &report)
+                  .ok());
+  EXPECT_EQ(ids, (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_EQ(report.records_applied, 2u);
+}
+
+TEST_F(JournalTest, MixedLegacyAndChecksummedLinesReplay) {
+  {
+    std::ofstream out(path_);
+    out << R"({"op":"insert","coll":"c","id":"legacy","doc":{"_id":"l"}})"
+        << "\n";
+  }
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("framed")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  std::vector<std::string> ids;
+  ASSERT_TRUE(Journal::replay(path_, [&](const JournalRecord& record) {
+                ids.push_back(record.id);
+                return util::Status::success();
+              }).ok());
+  EXPECT_EQ(ids, (std::vector<std::string>{"legacy", "framed"}));
+}
+
 TEST_F(JournalTest, RecordFieldsSurviveRoundTrip) {
   JournalRecord record;
   record.op = "create_index";
