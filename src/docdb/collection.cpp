@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <mutex>
+#include <set>
+#include <unordered_set>
 
 #include "docdb/update.hpp"
+#include "util/log.hpp"
 
 namespace upin::docdb {
 
@@ -19,11 +22,23 @@ std::size_t Collection::size() const {
   return id_to_slot_.size();
 }
 
-void Collection::emit(const MutationEvent& event) {
+void Collection::emit(MutationEvent& event) {
   if (observer_) observer_(event);
 }
 
-Result<std::string> Collection::prepare_id_locked(Document& doc) {
+void Collection::emit_sync(SyncTicket* ticket) {
+  MutationEvent event{MutationEvent::Kind::kSync, name_, {}, {}, ticket};
+  emit(event);
+}
+
+void Collection::await_sync(const SyncTicket& ticket) {
+  const Status flushed = ticket.wait();
+  if (!flushed.ok()) {
+    util::Log::error("journal sync failed: " + flushed.error().message);
+  }
+}
+
+Result<std::string> Collection::prepare_document(Document& doc) {
   if (!doc.is_object()) {
     return util::Error{ErrorCode::kInvalidArgument,
                        "document must be a JSON object"};
@@ -31,15 +46,13 @@ Result<std::string> Collection::prepare_id_locked(Document& doc) {
   const Value* id_value = doc.get(kIdField);
   std::string id;
   if (id_value == nullptr) {
-    id = "doc_" + std::to_string(next_auto_id_++);
+    id = "doc_" + std::to_string(
+                      next_auto_id_.fetch_add(1, std::memory_order_relaxed));
     doc[kIdField] = Value(id);
   } else if (id_value->is_string()) {
     id = id_value->as_string();
   } else {
     return util::Error{ErrorCode::kInvalidArgument, "_id must be a string"};
-  }
-  if (id_to_slot_.contains(id)) {
-    return util::Error{ErrorCode::kConflict, "duplicate _id: " + id};
   }
   return id;
 }
@@ -54,43 +67,78 @@ void Collection::insert_locked(Document doc, const std::string& id) {
 }
 
 Result<std::string> Collection::insert_one(Document doc) {
-  MutationEvent event;
+  Result<std::string> id = prepare_document(doc);
+  if (!id.ok()) return id;
+  // Encode the journal payload once, before the lock (§4.2.2: the write
+  // path must not serialize the survey on storage encoding).
+  std::string payload;
+  if (journaled()) payload = Journal::encode_insert(name_, id.value(), doc);
+
+  SyncTicket ticket;
   {
     const std::unique_lock lock(mutex_);
-    Result<std::string> id = prepare_id_locked(doc);
-    if (!id.ok()) return id;
-    event = MutationEvent{MutationEvent::Kind::kInsert, name_, id.value(), doc};
+    if (id_to_slot_.contains(id.value())) {
+      return util::Error{ErrorCode::kConflict,
+                         "duplicate _id: " + id.value()};
+    }
+    MutationEvent event{MutationEvent::Kind::kInsert, name_, id.value(),
+                        std::move(payload), nullptr};
     insert_locked(std::move(doc), id.value());
     emit(event);
-    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
-    return id;
+    emit_sync(&ticket);
   }
+  await_sync(ticket);
+  return id;
 }
 
 Result<std::vector<std::string>> Collection::insert_many(
     std::vector<Document> docs) {
-  const std::unique_lock lock(mutex_);
-  // Validate the whole batch first (atomicity): ids must be well-formed,
-  // absent from the store, and unique within the batch.
+  // Validate the whole batch first (atomicity): ids must be well-formed
+  // and unique within the batch — a transient hash set keeps paper-scale
+  // batches O(n) instead of the old O(n²) scan.
   std::vector<std::string> ids;
   ids.reserve(docs.size());
+  std::unordered_set<std::string_view> batch_ids;
+  batch_ids.reserve(docs.size());
   for (Document& doc : docs) {
-    Result<std::string> id = prepare_id_locked(doc);
+    Result<std::string> id = prepare_document(doc);
     if (!id.ok()) return Result<std::vector<std::string>>(id.error());
-    if (std::find(ids.begin(), ids.end(), id.value()) != ids.end()) {
-      return util::Error{ErrorCode::kConflict,
-                         "duplicate _id within batch: " + id.value()};
-    }
     ids.push_back(std::move(id).value());
+    // Views into `ids` stay valid: the vector was reserved to full size.
+    if (!batch_ids.insert(ids.back()).second) {
+      return util::Error{ErrorCode::kConflict,
+                         "duplicate _id within batch: " + ids.back()};
+    }
   }
-  for (std::size_t i = 0; i < docs.size(); ++i) {
-    emit(MutationEvent{MutationEvent::Kind::kInsert, name_, ids[i], docs[i]});
-    insert_locked(std::move(docs[i]), ids[i]);
+
+  // One journal encode per document, outside the collection lock.
+  std::vector<std::string> payloads;
+  if (journaled()) {
+    payloads.reserve(docs.size());
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      payloads.push_back(Journal::encode_insert(name_, ids[i], docs[i]));
+    }
   }
-  // One durability point for the whole batch (§4.2.2 trade-off).
-  if (!docs.empty()) {
-    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
+
+  SyncTicket ticket;
+  {
+    const std::unique_lock lock(mutex_);
+    for (const std::string& id : ids) {
+      if (id_to_slot_.contains(id)) {
+        return util::Error{ErrorCode::kConflict, "duplicate _id: " + id};
+      }
+    }
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      MutationEvent event{
+          MutationEvent::Kind::kInsert, name_, ids[i],
+          payloads.empty() ? std::string() : std::move(payloads[i]), nullptr};
+      emit(event);
+      insert_locked(std::move(docs[i]), ids[i]);
+    }
+    // One durability point for the whole batch (§4.2.2 trade-off).
+    if (!docs.empty()) emit_sync(&ticket);
   }
+  await_sync(ticket);
   return ids;
 }
 
@@ -175,65 +223,83 @@ std::size_t Collection::count(const Filter& filter) const {
 
 Result<std::size_t> Collection::update_many(const Filter& filter,
                                             const Value& update) {
-  const std::unique_lock lock(mutex_);
+  SyncTicket ticket;
   std::size_t modified = 0;
-  for (const std::size_t position : candidates_locked(filter)) {
-    Slot& slot = slots_[position];
-    if (!slot.alive || !filter.matches(slot.doc)) continue;
+  {
+    const std::unique_lock lock(mutex_);
+    for (const std::size_t position : candidates_locked(filter)) {
+      Slot& slot = slots_[position];
+      if (!slot.alive || !filter.matches(slot.doc)) continue;
 
-    Document updated = slot.doc;
-    const Status status = apply_update(updated, update);
-    if (!status.ok()) return Result<std::size_t>(status.error());
-    if (updated == slot.doc) continue;
+      Document updated = slot.doc;
+      const Status status = apply_update(updated, update);
+      if (!status.ok()) return Result<std::size_t>(status.error());
+      if (updated == slot.doc) continue;
 
-    for (const auto& index : indexes_) index->remove(slot.doc, position);
-    slot.doc = std::move(updated);
-    for (const auto& index : indexes_) index->add(slot.doc, position);
-    ++modified;
+      for (const auto& index : indexes_) index->remove(slot.doc, position);
+      slot.doc = std::move(updated);
+      for (const auto& index : indexes_) index->add(slot.doc, position);
+      ++modified;
 
-    const auto id = document_id(slot.doc);
-    emit(MutationEvent{MutationEvent::Kind::kUpdate, name_,
-                       std::string(id.value_or("")), slot.doc});
+      const std::string id(document_id(slot.doc).value_or(""));
+      std::string payload;
+      if (journaled()) payload = Journal::encode_update(name_, id, slot.doc);
+      MutationEvent event{MutationEvent::Kind::kUpdate, name_, id,
+                          std::move(payload), nullptr};
+      emit(event);
+    }
+    if (modified > 0) emit_sync(&ticket);
   }
-  if (modified > 0) {
-    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
-  }
+  await_sync(ticket);
   return modified;
 }
 
 std::size_t Collection::delete_many(const Filter& filter) {
-  const std::unique_lock lock(mutex_);
+  SyncTicket ticket;
   std::size_t removed = 0;
-  for (const std::size_t position : candidates_locked(filter)) {
-    Slot& slot = slots_[position];
-    if (!slot.alive || !filter.matches(slot.doc)) continue;
-    // Copy the id before clearing the slot: document_id() views into doc.
-    const std::string id(document_id(slot.doc).value_or(""));
-    for (const auto& index : indexes_) index->remove(slot.doc, position);
-    id_to_slot_.erase(id);
-    slot.alive = false;
-    slot.doc = Document();
-    ++removed;
-    emit(MutationEvent{MutationEvent::Kind::kDelete, name_, id, Document()});
+  {
+    const std::unique_lock lock(mutex_);
+    for (const std::size_t position : candidates_locked(filter)) {
+      Slot& slot = slots_[position];
+      if (!slot.alive || !filter.matches(slot.doc)) continue;
+      // Copy the id before clearing the slot: document_id() views into doc.
+      const std::string id(document_id(slot.doc).value_or(""));
+      for (const auto& index : indexes_) index->remove(slot.doc, position);
+      id_to_slot_.erase(id);
+      slot.alive = false;
+      slot.doc = Document();
+      ++removed;
+      std::string payload;
+      if (journaled()) payload = Journal::encode_delete(name_, id);
+      MutationEvent event{MutationEvent::Kind::kDelete, name_, id,
+                          std::move(payload), nullptr};
+      emit(event);
+    }
+    if (removed > 0) emit_sync(&ticket);
   }
-  if (removed > 0) {
-    emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
-  }
+  await_sync(ticket);
   return removed;
 }
 
 bool Collection::delete_by_id(std::string_view id) {
-  const std::unique_lock lock(mutex_);
-  const auto it = id_to_slot_.find(std::string(id));
-  if (it == id_to_slot_.end()) return false;
-  Slot& slot = slots_[it->second];
-  for (const auto& index : indexes_) index->remove(slot.doc, it->second);
-  slot.alive = false;
-  slot.doc = Document();
-  id_to_slot_.erase(it);
-  emit(MutationEvent{MutationEvent::Kind::kDelete, name_, std::string(id),
-                     Document()});
-  emit(MutationEvent{MutationEvent::Kind::kSync, name_, {}, {}});
+  SyncTicket ticket;
+  {
+    const std::unique_lock lock(mutex_);
+    const auto it = id_to_slot_.find(std::string(id));
+    if (it == id_to_slot_.end()) return false;
+    Slot& slot = slots_[it->second];
+    for (const auto& index : indexes_) index->remove(slot.doc, it->second);
+    slot.alive = false;
+    slot.doc = Document();
+    id_to_slot_.erase(it);
+    std::string payload;
+    if (journaled()) payload = Journal::encode_delete(name_, std::string(id));
+    MutationEvent event{MutationEvent::Kind::kDelete, name_, std::string(id),
+                        std::move(payload), nullptr};
+    emit(event);
+    emit_sync(&ticket);
+  }
+  await_sync(ticket);
   return true;
 }
 
@@ -261,16 +327,20 @@ std::vector<Value> Collection::distinct(std::string_view field,
                                         const Filter& filter) const {
   const std::shared_lock lock(mutex_);
   std::vector<Value> values;
+  // Membership via an ordered index set over `values` (O(log n) per
+  // candidate instead of the old O(n) scan), preserving first-seen order.
+  const auto less = [&values](std::size_t a, std::size_t b) {
+    return compare_values(values[a], values[b]) < 0;
+  };
+  std::set<std::size_t, decltype(less)> seen(less);
+  const auto add_unique = [&](const Value& candidate) {
+    values.push_back(candidate);
+    if (!seen.insert(values.size() - 1).second) values.pop_back();
+  };
   for (const Slot& slot : slots_) {
     if (!slot.alive || !filter.matches(slot.doc)) continue;
     const Value* field_value = slot.doc.get_path(field);
     if (field_value == nullptr) continue;
-    const auto add_unique = [&](const Value& candidate) {
-      for (const Value& existing : values) {
-        if (existing == candidate) return;
-      }
-      values.push_back(candidate);
-    };
     if (field_value->is_array()) {
       for (const Value& element : field_value->as_array()) add_unique(element);
     } else {
@@ -289,9 +359,11 @@ void Collection::for_each(
 }
 
 void Collection::set_observer(
-    std::function<void(const MutationEvent&)> observer) {
+    std::function<void(MutationEvent&)> observer) {
   const std::unique_lock lock(mutex_);
   observer_ = std::move(observer);
+  has_observer_.store(static_cast<bool>(observer_),
+                      std::memory_order_release);
 }
 
 }  // namespace upin::docdb

@@ -5,8 +5,16 @@
 // (`insert_many`) is atomic: the paper's fault-tolerance design (§4.2.2)
 // batches one destination's statistics per write so a crash loses at most
 // one balanced sample per path.
+//
+// Durability rides on mutation events: each mutation hands the observer a
+// journal payload that was encoded exactly once — for inserts, *before*
+// the collection lock is taken — and every mutating call ends with a
+// kSync event whose durability ticket is awaited *after* the lock is
+// released, so concurrent writers overlap their in-memory work with the
+// journal writer's group commit.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -18,6 +26,7 @@
 #include "docdb/document.hpp"
 #include "docdb/filter.hpp"
 #include "docdb/index.hpp"
+#include "docdb/journal.hpp"
 #include "util/result.hpp"
 
 namespace upin::docdb {
@@ -38,8 +47,14 @@ struct MutationEvent {
   enum class Kind { kInsert, kUpdate, kDelete, kSync };
   Kind kind;
   std::string collection;
-  std::string id;
-  Document document;  ///< post-image for insert/update; empty for delete
+  std::string id;     ///< document id (insert/update/delete); empty for sync
+  /// Pre-encoded journal record payload (insert/update/delete) — encoded
+  /// exactly once by the mutating thread; the observer may move it out.
+  /// Empty when no observer is installed, and for kSync.
+  std::string payload;
+  /// kSync only: the observer stamps a durability ticket here; the
+  /// mutating call waits on it after releasing the collection lock.
+  SyncTicket* ticket = nullptr;
 };
 
 /// Thread-safe document collection with optional secondary indexes.
@@ -96,7 +111,9 @@ class Collection {
   void for_each(const std::function<void(const Document&)>& fn) const;
 
   /// Observer invoked after each committed mutation (Database journaling).
-  void set_observer(std::function<void(const MutationEvent&)> observer);
+  /// The observer may consume (move from) the event's payload and is
+  /// expected to stamp kSync tickets.  Install it before concurrent use.
+  void set_observer(std::function<void(MutationEvent&)> observer);
 
  private:
   struct Slot {
@@ -104,20 +121,33 @@ class Collection {
     bool alive = false;
   };
 
+  /// Validate shape and settle the `_id` (auto-assigned off an atomic
+  /// counter, so no lock is needed).  Store-conflict checks happen later,
+  /// under the lock.
+  util::Result<std::string> prepare_document(Document& doc);
+
   // All methods below require mutex_ held by the caller.
-  util::Result<std::string> prepare_id_locked(Document& doc);
   void insert_locked(Document doc, const std::string& id);
   [[nodiscard]] std::vector<std::size_t> candidates_locked(
       const Filter& filter) const;
-  void emit(const MutationEvent& event);
+  void emit(MutationEvent& event);
+  /// Emit the kSync durability point, stamping `ticket`.
+  void emit_sync(SyncTicket* ticket);
+  /// Await a stamped ticket (call *without* mutex_ held); logs failures.
+  static void await_sync(const SyncTicket& ticket);
+
+  [[nodiscard]] bool journaled() const {
+    return has_observer_.load(std::memory_order_acquire);
+  }
 
   std::string name_;
   mutable std::shared_mutex mutex_;
   std::vector<Slot> slots_;
   std::unordered_map<std::string, std::size_t> id_to_slot_;
   std::vector<std::unique_ptr<FieldIndex>> indexes_;
-  std::uint64_t next_auto_id_ = 1;
-  std::function<void(const MutationEvent&)> observer_;
+  std::atomic<std::uint64_t> next_auto_id_{1};
+  std::atomic<bool> has_observer_{false};
+  std::function<void(MutationEvent&)> observer_;
 };
 
 }  // namespace upin::docdb

@@ -13,6 +13,11 @@ using util::Status;
 using util::Value;
 
 Result<std::unique_ptr<Database>> Database::open(const std::string& path) {
+  return open(path, DatabaseOptions{});
+}
+
+Result<std::unique_ptr<Database>> Database::open(const std::string& path,
+                                                 const DatabaseOptions& options) {
   auto db = std::make_unique<Database>();
   db->journal_ = std::make_unique<Journal>();
 
@@ -68,40 +73,32 @@ Result<std::unique_ptr<Database>> Database::open(const std::string& path) {
 
   const Status opened = db->journal_->open(path);
   if (!opened.ok()) return Result<std::unique_ptr<Database>>(opened.error());
+  db->journal_->start_writer(options.journal_queue_depth);
   return db;
 }
 
 void Database::attach_observer(Collection& coll) {
-  coll.set_observer([this](const MutationEvent& event) {
+  coll.set_observer([this](MutationEvent& event) {
     if (replaying_ || journal_ == nullptr || !journal_->is_open()) return;
     if (event.kind == MutationEvent::Kind::kSync) {
-      const Status flushed = journal_->flush();
-      if (!flushed.ok()) {
-        util::Log::error("journal flush failed: " + flushed.error().message);
+      // Durability ticket: the group containing every frame enqueued so
+      // far.  The mutating call awaits it after dropping its lock.
+      if (event.ticket != nullptr) {
+        event.ticket->journal = journal_.get();
+        event.ticket->seq = journal_->enqueued_seq();
+      } else {
+        const Status flushed = journal_->flush();
+        if (!flushed.ok()) {
+          util::Log::error("journal flush failed: " + flushed.error().message);
+        }
       }
       return;
     }
-    JournalRecord record;
-    record.collection = event.collection;
-    record.id = event.id;
-    switch (event.kind) {
-      case MutationEvent::Kind::kInsert:
-        record.op = "insert";
-        record.document = event.document;
-        break;
-      case MutationEvent::Kind::kUpdate:
-        record.op = "update";
-        record.document = event.document;
-        break;
-      case MutationEvent::Kind::kDelete:
-        record.op = "delete";
-        break;
-      case MutationEvent::Kind::kSync:
-        return;  // handled above
-    }
-    const Status appended = journal_->append(record);
-    if (!appended.ok()) {
-      util::Log::error("journal append failed: " + appended.error().message);
+    // The payload was encoded exactly once by the mutating thread; hand
+    // it to the group-commit writer (blocks only on queue backpressure).
+    if (journal_->enqueue(std::move(event.payload)) == 0) {
+      util::Log::error("journal rejected record for collection " +
+                       event.collection + " (pipeline stopped)");
     }
   });
 }
@@ -111,15 +108,18 @@ Collection& Database::collection(const std::string& name) {
   auto it = collections_.find(name);
   if (it == collections_.end()) {
     auto coll = std::make_unique<Collection>(name);
-    attach_observer(*coll);
+    // In-memory databases skip the observer entirely: no journal payload
+    // is ever encoded for them.
+    if (journal_ != nullptr) attach_observer(*coll);
     it = collections_.emplace(name, std::move(coll)).first;
     if (!replaying_ && journal_ != nullptr && journal_->is_open()) {
-      JournalRecord record;
-      record.op = "create_collection";
-      record.collection = name;
-      const Status appended = journal_->append(record);
-      if (!appended.ok()) {
-        util::Log::error("journal append failed: " + appended.error().message);
+      if (journal_->enqueue(Journal::encode_create_collection(name)) == 0) {
+        const Status appended = journal_->append(
+            JournalRecord{"create_collection", name, {}, {}, {}});
+        if (!appended.ok()) {
+          util::Log::error("journal append failed: " +
+                           appended.error().message);
+        }
       }
     }
   }

@@ -22,15 +22,27 @@ namespace upin::docdb {
 /// with kPermissionDenied.  Implementations must be thread-safe.
 using WriteGuard = std::function<bool(const util::Value& credential)>;
 
+/// Tuning for a durable database.
+struct DatabaseOptions {
+  /// Bound on the journal writer queue (frames awaiting group commit).
+  /// Mutating threads block — backpressure — when it fills; deeper
+  /// queues absorb burstier parallel surveys at the cost of a larger
+  /// at-crash unflushed tail for calls that have not yet returned.
+  std::size_t journal_queue_depth = Journal::kDefaultQueueDepth;
+};
+
 /// An embedded multi-collection document database.
 class Database {
  public:
   Database() = default;
 
   /// Open a durable database backed by the JSONL journal at `path`,
-  /// replaying any existing contents.
+  /// replaying any existing contents and starting the group-commit
+  /// writer thread.
   [[nodiscard]] static util::Result<std::unique_ptr<Database>> open(
       const std::string& path);
+  [[nodiscard]] static util::Result<std::unique_ptr<Database>> open(
+      const std::string& path, const DatabaseOptions& options);
 
   /// Get or create a collection.  The returned pointer is stable for the
   /// lifetime of the Database.

@@ -1,7 +1,7 @@
 #include "docdb/journal.hpp"
 
+#include <condition_variable>
 #include <cstdio>
-#include <iterator>
 #include <string_view>
 #include <vector>
 
@@ -23,6 +23,34 @@ constexpr std::size_t kCrcHexDigits = 8;
 std::string frame(const std::string& json) {
   return std::string(kCrcPrefix) + util::format("%08x", util::crc32(json)) +
          " " + json;
+}
+
+/// Assemble one record payload directly (same field order as a dumped
+/// JsonObject: op, coll, id, field, doc) so the document body is
+/// serialized exactly once, with no intermediate deep copy.
+std::string encode_parts(std::string_view op, const std::string& collection,
+                         const std::string& id, const std::string& field,
+                         const Document* document) {
+  std::string out;
+  out.reserve(32 + collection.size() + id.size() + field.size());
+  out += "{\"op\":";
+  out += Value(std::string(op)).dump();
+  out += ",\"coll\":";
+  out += Value(collection).dump();
+  if (!id.empty()) {
+    out += ",\"id\":";
+    out += Value(id).dump();
+  }
+  if (!field.empty()) {
+    out += ",\"field\":";
+    out += Value(field).dump();
+  }
+  if (document != nullptr && document->is_object()) {
+    out += ",\"doc\":";
+    out += document->dump();
+  }
+  out += '}';
+  return out;
 }
 
 /// Strip and verify a line's checksum header.  Returns the JSON payload,
@@ -84,6 +112,11 @@ util::Result<JournalRecord> decode(const std::string& payload) {
 
 }  // namespace
 
+Status SyncTicket::wait() const {
+  if (journal == nullptr) return Status::success();
+  return journal->sync(seq);
+}
+
 Journal::~Journal() { close(); }
 
 Status Journal::open(const std::string& path) {
@@ -92,26 +125,48 @@ Status Journal::open(const std::string& path) {
   path_ = path;
   out_.open(path, std::ios::app);
   if (!out_) {
+    open_flag_.store(false, std::memory_order_release);
     return Status(ErrorCode::kDataLoss, "cannot open journal: " + path);
   }
+  open_flag_.store(true, std::memory_order_release);
   return Status::success();
 }
 
-bool Journal::is_open() const noexcept { return out_.is_open(); }
+bool Journal::is_open() const noexcept {
+  return open_flag_.load(std::memory_order_acquire);
+}
 
 void Journal::close() {
+  stop_writer();
   const std::lock_guard<std::mutex> lock(mutex_);
+  open_flag_.store(false, std::memory_order_release);
   if (out_.is_open()) out_.close();
 }
 
 std::string Journal::encode(const JournalRecord& record) {
-  util::JsonObject line;
-  line.set("op", Value(record.op));
-  line.set("coll", Value(record.collection));
-  if (!record.id.empty()) line.set("id", Value(record.id));
-  if (!record.field.empty()) line.set("field", Value(record.field));
-  if (record.document.is_object()) line.set("doc", record.document);
-  return Value(std::move(line)).dump();
+  return encode_parts(record.op, record.collection, record.id, record.field,
+                      &record.document);
+}
+
+std::string Journal::encode_insert(const std::string& collection,
+                                   const std::string& id,
+                                   const Document& document) {
+  return encode_parts("insert", collection, id, {}, &document);
+}
+
+std::string Journal::encode_update(const std::string& collection,
+                                   const std::string& id,
+                                   const Document& document) {
+  return encode_parts("update", collection, id, {}, &document);
+}
+
+std::string Journal::encode_delete(const std::string& collection,
+                                   const std::string& id) {
+  return encode_parts("delete", collection, id, {}, nullptr);
+}
+
+std::string Journal::encode_create_collection(const std::string& collection) {
+  return encode_parts("create_collection", collection, {}, {}, nullptr);
 }
 
 Status Journal::append(const JournalRecord& record) {
@@ -138,6 +193,69 @@ Status Journal::flush() {
   return Status::success();
 }
 
+void Journal::start_writer(std::size_t queue_depth) {
+  if (writer_.joinable()) return;
+  queue_ = std::make_unique<util::BoundedQueue<std::string>>(queue_depth);
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+bool Journal::writer_running() const noexcept { return writer_.joinable(); }
+
+std::uint64_t Journal::enqueue(std::string payload) {
+  if (queue_ == nullptr) return 0;
+  return queue_->push(std::move(payload));
+}
+
+std::uint64_t Journal::enqueued_seq() const {
+  return queue_ == nullptr ? 0 : queue_->pushed();
+}
+
+Status Journal::sync(std::uint64_t seq) {
+  if (queue_ == nullptr) return flush();  // no pipeline: direct durability
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  sync_cv_.wait(lock, [&] { return flushed_seq_ >= seq; });
+  return writer_status_;
+}
+
+void Journal::writer_loop() {
+  std::vector<std::string> group;
+  std::string buffer;
+  while (queue_->pop_all(group)) {
+    // Coalesce the whole group into one buffer: framing + CRC happen
+    // here, on the writer thread, never on a mutating thread.
+    buffer.clear();
+    for (const std::string& payload : group) {
+      buffer += frame(payload);
+      buffer += '\n';
+    }
+    Status wrote = Status::success();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!out_.is_open()) {
+        wrote = Status(ErrorCode::kDataLoss, "journal is not open");
+      } else {
+        out_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+        out_.flush();  // one write + one flush per group
+        if (!out_) {
+          wrote = Status(ErrorCode::kDataLoss,
+                         "journal group commit failed: " + path_);
+        }
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(sync_mutex_);
+      flushed_seq_ += group.size();
+      if (!wrote.ok() && writer_status_.ok()) writer_status_ = wrote;
+    }
+    sync_cv_.notify_all();
+  }
+}
+
+void Journal::stop_writer() {
+  if (queue_ != nullptr) queue_->close();
+  if (writer_.joinable()) writer_.join();
+}
+
 Status Journal::replay(
     const std::string& path,
     const std::function<Status(const JournalRecord&)>& replay,
@@ -148,28 +266,22 @@ Status Journal::replay(
 
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::success();  // nothing to replay
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  const bool ends_with_newline = !content.empty() && content.back() == '\n';
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  report->valid_prefix_bytes = file_size;
 
-  std::vector<std::string> lines;
-  std::vector<std::size_t> line_offsets;
-  std::size_t start = 0;
-  while (start < content.size()) {
-    line_offsets.push_back(start);
-    const std::size_t newline = content.find('\n', start);
-    if (newline == std::string::npos) {
-      lines.push_back(content.substr(start));
-      break;
-    }
-    lines.push_back(content.substr(start, newline - start));
-    start = newline + 1;
-  }
-  report->valid_prefix_bytes = content.size();
-
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::size_t line_number = i + 1;
-    const std::string& line = lines[i];
+  // Stream line by line: peak memory is one record, not the whole file.
+  std::string line;
+  std::size_t offset = 0;  // byte offset where `line` starts
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t line_start = offset;
+    // getline consumed a '\n' unless this line runs to end-of-file, so a
+    // line without one is necessarily the file's final line.
+    const bool newline_terminated = line_start + line.size() < file_size;
+    offset = line_start + line.size() + (newline_terminated ? 1 : 0);
     if (line.empty()) continue;
 
     std::string why;
@@ -183,14 +295,13 @@ Status Journal::replay(
     }
 
     if (!why.empty()) {
-      // A bad *final* line with no trailing newline is the signature of a
-      // crash mid-append: recover the prefix, drop the tail.  Anywhere
-      // else the file is genuinely corrupt — refuse to guess.
-      const bool is_final_line = i + 1 == lines.size();
-      if (is_final_line && !ends_with_newline) {
+      // A bad line with no trailing newline is the signature of a crash
+      // mid-append: recover the prefix, drop the tail.  Anywhere else
+      // the file is genuinely corrupt — refuse to guess.
+      if (!newline_terminated) {
         report->torn_tail = true;
         report->torn_tail_line = line_number;
-        report->valid_prefix_bytes = line_offsets[i];
+        report->valid_prefix_bytes = line_start;
         report->detail = "crash-truncated final record dropped (" + why + ")";
         return Status::success();
       }
@@ -207,6 +318,12 @@ Status Journal::replay(
 }
 
 Status Journal::rewrite(const std::vector<JournalRecord>& records) {
+  // Quiesce: every frame enqueued before this call must be on disk,
+  // or the writer would later append stale frames onto the fresh file.
+  if (queue_ != nullptr) {
+    const Status drained = sync(queue_->pushed());
+    if (!drained.ok()) return drained;
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   if (path_.empty()) {
     return Status(ErrorCode::kDataLoss, "journal has no path");
@@ -227,10 +344,12 @@ Status Journal::rewrite(const std::vector<JournalRecord>& records) {
   }
   if (out_.is_open()) out_.close();
   if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    open_flag_.store(false, std::memory_order_release);
     return Status(ErrorCode::kDataLoss, "rename failed: " + path_);
   }
   out_.open(path_, std::ios::app);
   if (!out_) {
+    open_flag_.store(false, std::memory_order_release);
     return Status(ErrorCode::kDataLoss, "cannot reopen journal: " + path_);
   }
   return Status::success();

@@ -1,10 +1,20 @@
-// journal.hpp — append-only JSONL persistence.
+// journal.hpp — append-only JSONL persistence with a group-commit writer.
 //
 // Every committed mutation is appended as one JSON line; reopening a
 // database replays the journal.  `compact()` rewrites the file from the
 // live state.  This is the durability story behind the paper's "continuous
 // measurements require continuous functioning" requirement (§4.1.2):
 // a crash during a batch loses only that (uncommitted) batch.
+//
+// Two write paths:
+//  * append()/flush() — synchronous, caller-thread I/O (tools, tests).
+//  * the group-commit pipeline — producers enqueue() pre-encoded record
+//    payloads into a bounded MPSC queue and sync() on a durability
+//    ticket; a dedicated writer thread drains the queue in groups and
+//    commits each group with ONE write + ONE flush.  This takes framing,
+//    CRC and file I/O off the mutating threads (and off the collection
+//    lock), which is what lets parallel surveys batch their storage the
+//    way the paper batches MongoDB insertions (§4.2.2).
 //
 // Integrity: every appended record carries a CRC-32 prefix
 // ("crc32=XXXXXXXX <json>"), verified on replay, so torn or bit-flipped
@@ -15,12 +25,16 @@
 // prefix; corruption anywhere else is a hard kParseError.
 #pragma once
 
+#include <atomic>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "docdb/document.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/result.hpp"
 
 namespace upin::docdb {
@@ -48,9 +62,26 @@ struct ReplayReport {
   std::string detail;              ///< human-readable account of the tail
 };
 
+class Journal;
+
+/// A durability ticket handed out at a sync point.  `wait()` blocks
+/// until the writer thread has committed every frame enqueued at or
+/// before `seq` — i.e. the group containing the caller's records.  A
+/// default-constructed ticket (no journal attached) waits on nothing.
+struct SyncTicket {
+  Journal* journal = nullptr;
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] util::Status wait() const;
+};
+
 /// Append-only JSON-lines journal.
 class Journal {
  public:
+  /// Default bound on the writer queue; producers block (backpressure)
+  /// when this many frames are waiting for the writer thread.
+  static constexpr std::size_t kDefaultQueueDepth = 1024;
+
   Journal() = default;
   ~Journal();
 
@@ -60,7 +91,11 @@ class Journal {
   /// Open (creating if needed) the journal at `path` for appending.
   [[nodiscard]] util::Status open(const std::string& path);
   [[nodiscard]] bool is_open() const noexcept;
+  /// Stop the writer thread (draining and committing every queued
+  /// frame), then close the file.
   void close();
+
+  // ---- synchronous path (tools, tests) -------------------------------
 
   /// Append one record to the OS buffer (no flush — call flush() at a
   /// durability point; batches share one flush, see §4.2.2).
@@ -69,30 +104,83 @@ class Journal {
   /// Flush buffered records to the file.
   [[nodiscard]] util::Status flush();
 
-  /// Replay an existing journal file through `replay`.  Per-record CRCs
-  /// are verified when present.  A corrupt final line without a trailing
-  /// newline is a *torn tail* (crash mid-append): the intact prefix is
-  /// replayed, the tail is dropped, and `report` (optional) says so.
-  /// Corruption anywhere else — including a newline-terminated corrupt
-  /// last line — fails hard with kParseError, with everything before the
-  /// bad line already replayed.  A missing file replays nothing.
+  // ---- group-commit pipeline -----------------------------------------
+
+  /// Start the dedicated writer thread with a bounded queue of
+  /// `queue_depth` frames.  Idempotent while running.
+  void start_writer(std::size_t queue_depth = kDefaultQueueDepth);
+  [[nodiscard]] bool writer_running() const noexcept;
+
+  /// Hand a pre-encoded record payload (see the encode_* helpers) to the
+  /// writer thread.  Blocks while the queue is full (backpressure).
+  /// Returns the frame's 1-based sequence number, or 0 if the pipeline
+  /// is not accepting frames (no writer, or closed).
+  [[nodiscard]] std::uint64_t enqueue(std::string payload);
+
+  /// Sequence number of the most recently enqueued frame (0 if none).
+  [[nodiscard]] std::uint64_t enqueued_seq() const;
+
+  /// Block until every frame with sequence <= `seq` has been committed
+  /// (one group write + flush covers many frames).  Any writer-thread
+  /// I/O error is sticky and is reported by the next — and every later —
+  /// sync() call.
+  [[nodiscard]] util::Status sync(std::uint64_t seq);
+
+  // ---- record payload encoders ---------------------------------------
+  // One JSON encode per mutation, done by the mutating thread *before*
+  // framing; the writer thread adds the CRC frame.  The wrapper object
+  // is assembled directly so the document is serialized exactly once
+  // and never deep-copied into an intermediate record.
+
+  [[nodiscard]] static std::string encode_insert(const std::string& collection,
+                                                 const std::string& id,
+                                                 const Document& document);
+  [[nodiscard]] static std::string encode_update(const std::string& collection,
+                                                 const std::string& id,
+                                                 const Document& document);
+  [[nodiscard]] static std::string encode_delete(const std::string& collection,
+                                                 const std::string& id);
+  [[nodiscard]] static std::string encode_create_collection(
+      const std::string& collection);
+
+  /// Replay an existing journal file through `replay`, streaming one
+  /// line at a time (peak memory is one record, not the file).
+  /// Per-record CRCs are verified when present.  A corrupt final line
+  /// without a trailing newline is a *torn tail* (crash mid-append): the
+  /// intact prefix is replayed, the tail is dropped, and `report`
+  /// (optional) says so.  Corruption anywhere else — including a
+  /// newline-terminated corrupt last line — fails hard with kParseError,
+  /// with everything before the bad line already replayed.  A missing
+  /// file replays nothing.
   [[nodiscard]] static util::Status replay(
       const std::string& path,
       const std::function<util::Status(const JournalRecord&)>& replay,
       ReplayReport* report = nullptr);
 
   /// Atomically replace the journal contents with `records`
-  /// (write temp + rename).
+  /// (write temp + rename).  Quiesces the writer pipeline first, so
+  /// every frame enqueued before the call is committed before the swap.
   [[nodiscard]] util::Status rewrite(const std::vector<JournalRecord>& records);
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   static std::string encode(const JournalRecord& record);
+  void writer_loop();
+  void stop_writer();
 
   std::string path_;
   std::ofstream out_;
-  std::mutex mutex_;
+  std::mutex mutex_;                  ///< guards out_ (file I/O)
+  std::atomic<bool> open_flag_{false};
+
+  // Group-commit pipeline state.
+  std::unique_ptr<util::BoundedQueue<std::string>> queue_;
+  std::thread writer_;
+  std::mutex sync_mutex_;             ///< guards flushed_seq_/writer_status_
+  std::condition_variable sync_cv_;
+  std::uint64_t flushed_seq_ = 0;
+  util::Status writer_status_;        ///< sticky first writer error
 };
 
 }  // namespace upin::docdb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <unordered_set>
 
 #include "util/log.hpp"
 #include "util/sha256.hpp"
@@ -96,11 +97,12 @@ Status TestSuite::collect_paths() {
     query.set("server_id", Value(destination.server_id));
     Result<Filter> by_server = Filter::compile(Value(std::move(query)));
     if (!by_server.ok()) return Status(by_server.error());
+    const std::unordered_set<std::string_view> fresh_id_set(fresh_ids.begin(),
+                                                            fresh_ids.end());
     for (const Document& existing : paths.find(by_server.value())) {
       const auto id = docdb::document_id(existing);
       if (!id.has_value()) continue;
-      if (std::find(fresh_ids.begin(), fresh_ids.end(), *id) ==
-          fresh_ids.end()) {
+      if (!fresh_id_set.contains(*id)) {
         paths.delete_by_id(*id);
         ++progress_.paths_deleted;
       }

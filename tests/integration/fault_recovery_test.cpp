@@ -229,6 +229,46 @@ TEST_F(FaultRecoveryTest, KillThenResumeReproducesIdenticalDocuments) {
   }
 }
 
+TEST_F(FaultRecoveryTest, SyncTicketsPutCommittedBatchesOnDiskAtCrashTime) {
+  // The group-commit durability contract: when insert_many (and the
+  // checkpoint insert behind it) returns, its records are flushed.  A
+  // file snapshot taken at the instant the injected crash fires — the
+  // bytes a real kill would leave — must therefore replay to exactly the
+  // committed in-memory state, not to some earlier group.
+  const std::string snapshot = journal_path_ + ".crash";
+  std::size_t stored_before_crash = 0;
+  std::size_t checkpoints_before_crash = 0;
+  {
+    auto opened = docdb::Database::open(journal_path_);
+    ASSERT_TRUE(opened.ok());
+    docdb::Database& db = *opened.value();
+    apps::ScionHost host(env_, 42, env_.user_as, "10.0.8.1", reliable());
+    TestSuiteConfig config;
+    config.iterations = 2;
+    config.server_ids = {{3, 5}};
+    config.crash_after_batches = 3;
+    TestSuite suite(host, db, config);
+    ASSERT_FALSE(suite.run().ok());
+    stored_before_crash = db.collection(kPathsStats).size();
+    checkpoints_before_crash = db.collection(kCampaignCheckpoints).size();
+    ASSERT_GT(stored_before_crash, 0u);
+    // Snapshot the journal file while the database (and its writer
+    // thread) is still alive — no destructor drain has happened yet.
+    std::filesystem::copy_file(journal_path_, snapshot,
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+
+  auto recovered = docdb::Database::open(snapshot);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value()->collection(kPathsStats).size(),
+            stored_before_crash)
+      << "every batch whose insert_many returned must be on disk";
+  EXPECT_EQ(recovered.value()->collection(kCampaignCheckpoints).size(),
+            checkpoints_before_crash)
+      << "checkpoints committed before the crash must be on disk";
+  std::filesystem::remove(snapshot);
+}
+
 TEST_F(FaultRecoveryTest, ResumeWithoutCrashInjectionIsIdempotent) {
   // Run to completion, then resume with the same target: nothing re-runs.
   {
