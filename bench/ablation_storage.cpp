@@ -15,6 +15,7 @@
 
 #include "docdb/database.hpp"
 #include "measure/schema.hpp"
+#include "obs/metrics.hpp"
 #include "scion/scionlab.hpp"
 #include "util/strings.hpp"
 
@@ -46,9 +47,35 @@ std::string temp_journal(const char* tag) {
       .string();
 }
 
+std::uint64_t journal_counter(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+/// Start-of-benchmark journal counter readings; attach_to() turns the
+/// deltas into per-benchmark counters (mean group size, stalls) in the
+/// report table.  Values are cumulative process-wide, hence the deltas.
+struct JournalWindow {
+  std::uint64_t groups = journal_counter("upin_journal_groups_committed_total");
+  std::uint64_t events = journal_counter("upin_journal_events_enqueued_total");
+  std::uint64_t stalls =
+      journal_counter("upin_journal_backpressure_stalls_total");
+
+  void attach_to(benchmark::State& state) const {
+    const double groups_delta = static_cast<double>(
+        journal_counter("upin_journal_groups_committed_total") - groups);
+    const double events_delta = static_cast<double>(
+        journal_counter("upin_journal_events_enqueued_total") - events);
+    state.counters["mean_group_size"] =
+        groups_delta > 0.0 ? events_delta / groups_delta : 0.0;
+    state.counters["backpressure_stalls"] = static_cast<double>(
+        journal_counter("upin_journal_backpressure_stalls_total") - stalls);
+  }
+};
+
 void BM_InsertOneByOne(benchmark::State& state) {
   const auto batch = static_cast<int>(state.range(0));
   const std::string path = temp_journal("one");
+  const JournalWindow window;
   int counter = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -62,12 +89,14 @@ void BM_InsertOneByOne(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  window.attach_to(state);
   std::filesystem::remove(path);
 }
 
 void BM_InsertBatched(benchmark::State& state) {
   const auto batch = static_cast<int>(state.range(0));
   const std::string path = temp_journal("many");
+  const JournalWindow window;
   int counter = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -81,6 +110,7 @@ void BM_InsertBatched(benchmark::State& state) {
     benchmark::DoNotOptimize(coll.insert_many(std::move(docs)));
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  window.attach_to(state);
   std::filesystem::remove(path);
 }
 
@@ -93,11 +123,13 @@ void BM_InsertBatched(benchmark::State& state) {
 // unique per (thread, iteration) so the shared database keeps accepting.
 void BM_InsertBatchedParallel(benchmark::State& state) {
   static std::unique_ptr<docdb::Database> shared_db;
+  static JournalWindow shared_window;
   const auto batch = static_cast<int>(state.range(0));
   const std::string path = temp_journal("par");
   if (state.thread_index() == 0) {
     std::filesystem::remove(path);
     shared_db = std::move(docdb::Database::open(path).value());
+    shared_window = JournalWindow{};
   }
   // The state loop entry is a barrier across threads, so thread 0's
   // setup above is visible to everyone before the first iteration.
@@ -118,6 +150,7 @@ void BM_InsertBatchedParallel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
   if (state.thread_index() == 0) {
     shared_db.reset();
+    shared_window.attach_to(state);
     std::filesystem::remove(path);
   }
 }
@@ -133,4 +166,15 @@ BENCHMARK(BM_InsertBatchedParallel)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a closing metrics table: the cumulative journal
+// pipeline picture (flush-latency percentiles, mean group size,
+// backpressure stalls) across every benchmark that just ran.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::fprintf(stderr, "\n%s",
+               obs::pipeline_summary(obs::Registry::global()).c_str());
+  return 0;
+}

@@ -14,14 +14,27 @@ double seconds_per_path_test(const measure::TestSuiteConfig& c) {
   return ping_s + bw_s + c.inter_test_gap_s;
 }
 
-Campaign::Campaign(std::uint64_t seed, simnet::NetworkConfig net_config)
+Campaign::Campaign(std::uint64_t seed, simnet::NetworkConfig net_config,
+                   const std::string& journal_path)
     : env_(scion::scionlab_topology()),
       host_(std::make_unique<apps::ScionHost>(env_, seed, env_.user_as,
-                                              "10.0.8.1", net_config)) {}
+                                              "10.0.8.1", net_config)),
+      db_(&memory_) {
+  if (!journal_path.empty()) {
+    auto opened = docdb::Database::open(journal_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open journal %s: %s\n",
+                   journal_path.c_str(), opened.error().message.c_str());
+      std::abort();
+    }
+    durable_ = std::move(opened).value();
+    db_ = durable_.get();
+  }
+}
 
 measure::TestSuiteProgress Campaign::run(
     const measure::TestSuiteConfig& config) {
-  measure::TestSuite suite(*host_, db_, config);
+  measure::TestSuite suite(*host_, *db_, config);
   const util::Status status = suite.run();
   if (!status.ok()) {
     std::fprintf(stderr, "campaign failed: %s\n",
@@ -32,7 +45,7 @@ measure::TestSuiteProgress Campaign::run(
 }
 
 std::vector<select::PathSummary> Campaign::summaries(int server_id) const {
-  select::PathSelector selector(db_, env_.topology);
+  select::PathSelector selector(*db_, env_.topology);
   const auto result = selector.summarize(server_id);
   if (!result.ok()) {
     std::fprintf(stderr, "summarize failed: %s\n",

@@ -34,13 +34,19 @@ inline constexpr int kKoreaId = 5;
 /// One testbed instance wired like the paper's measurement VM.
 class Campaign {
  public:
+  /// With a non-empty `journal_path` the database is durable: writes run
+  /// through the group-commit journal pipeline, so the bench exercises
+  /// (and its metrics table reports) the real storage path.  An empty
+  /// path keeps the database in-memory, as before.
   explicit Campaign(std::uint64_t seed = 42,
-                    simnet::NetworkConfig net_config = {});
+                    simnet::NetworkConfig net_config = {},
+                    const std::string& journal_path = {});
 
   [[nodiscard]] const scion::ScionlabEnv& env() const noexcept { return env_; }
   [[nodiscard]] apps::ScionHost& host() noexcept { return *host_; }
-  [[nodiscard]] docdb::Database& db() noexcept { return db_; }
-  [[nodiscard]] const docdb::Database& db() const noexcept { return db_; }
+  [[nodiscard]] docdb::Database& db() noexcept { return *db_; }
+  [[nodiscard]] const docdb::Database& db() const noexcept { return *db_; }
+  [[nodiscard]] bool durable() const noexcept { return durable_ != nullptr; }
 
   /// Run the measurement campaign; aborts the process on engine errors
   /// (benches have no recovery story).
@@ -52,7 +58,9 @@ class Campaign {
  private:
   scion::ScionlabEnv env_;
   std::unique_ptr<apps::ScionHost> host_;
-  docdb::Database db_;
+  docdb::Database memory_;
+  std::unique_ptr<docdb::Database> durable_;
+  docdb::Database* db_ = nullptr;
 };
 
 /// True when argv contains --csv.

@@ -4,17 +4,28 @@
 // featured destinations (Germany, Ireland, N. Virginia, Singapore,
 // Korea).  This harness runs that survey, reports the dataset size, the
 // virtual duration of the campaign, the wall time our simulator needed,
-// and a per-destination dataset overview.
+// and a per-destination dataset overview.  With --journal <path> the
+// database is durable, so the closing metrics table reports real
+// group-commit pipeline numbers (flush latency, group size, stalls)
+// instead of zeros.
 #include <chrono>
+#include <cstring>
 
 #include "common.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) {
   using namespace upin;
   const bool csv = bench::want_csv(argc, argv);
+  std::string journal_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal_path = argv[++i];
+    }
+  }
 
-  bench::Campaign campaign;
+  bench::Campaign campaign(42, {}, journal_path);
   measure::TestSuiteConfig config;
   config.iterations = 55;
   config.server_ids = {{bench::kGermanyId, bench::kNVirginiaId,
@@ -64,6 +75,11 @@ int main(int argc, char** argv) {
     std::printf("virtual campaign time : %.1f h\n", virtual_s / 3600.0);
     std::printf("wall time             : %.2f s (speedup %.0fx)\n", wall_s,
                 virtual_s / wall_s);
+    std::printf("\n%s", obs::pipeline_summary(obs::Registry::global()).c_str());
+    if (!campaign.durable()) {
+      std::printf("  (in-memory database: run with --journal <path> for real "
+                  "pipeline numbers)\n");
+    }
   }
   return 0;
 }

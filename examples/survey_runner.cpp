@@ -2,18 +2,24 @@
 //
 //   survey_runner <iterations> [--skip] [--some_only]
 //                 [--db <journal.jsonl>] [--signed] [--target <Mbps>]
-//                 [--servers 1,3,5]
+//                 [--servers 1,3,5] [--metrics] [--trace-out <file>]
 //
 // Runs the three-phase campaign against the embedded SCIONLab-like
 // testbed: paths collection, test execution, batched storage.  With
 // --db the measurement database is durable (JSONL journal); with
 // --signed every batch is signed with a core-certified one-time key and
-// verified by the database's write guard.
+// verified by the database's write guard.  --metrics dumps the process
+// metrics registry in Prometheus text format on stdout after the run;
+// --trace-out writes the campaign's virtual-clock span tree to a file
+// (bit-identical across runs of the same seed and config).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "apps/host.hpp"
 #include "measure/testsuite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "scion/scionlab.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -24,7 +30,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <iterations> [--skip] [--some_only] [--resume] "
                "[--db <path>] [--signed] [--target <Mbps>] "
-               "[--servers 1,3,5]\n",
+               "[--servers 1,3,5] [--metrics] [--trace-out <file>]\n",
                argv0);
 }
 
@@ -47,10 +53,16 @@ int main(int argc, char** argv) {
   config.iterations = static_cast<int>(*iterations);
   std::string db_path;
   bool signed_writes = false;
+  bool dump_metrics = false;
+  std::string trace_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--skip") {
+    if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--skip") {
       config.skip_collection = true;
     } else if (arg == "--resume") {
       config.resume = true;
@@ -108,6 +120,9 @@ int main(int argc, char** argv) {
     std::printf("durable database: %s\n", db_path.c_str());
   }
 
+  obs::SpanTracer tracer("campaign");
+  if (!trace_path.empty()) config.tracer = &tracer;
+
   scion::TrustStore trust;
   measure::TestSuite suite(host, *db, config);
   if (signed_writes) {
@@ -157,6 +172,21 @@ int main(int argc, char** argv) {
               p.checkpoints_recorded, p.units_skipped);
   std::printf("  virtual time         : %.1f min\n",
               util::to_seconds(host.clock().now()) / 60.0);
+
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path, std::ios::trunc);
+    trace << tracer.render();
+    if (!trace) {
+      std::fprintf(stderr, "cannot write trace: %s\n", trace_path.c_str());
+    } else {
+      std::printf("  span trace           : %zu spans -> %s\n",
+                  tracer.span_count(), trace_path.c_str());
+    }
+  }
+
+  if (dump_metrics) {
+    std::printf("\n%s", obs::Registry::global().to_prometheus().c_str());
+  }
 
   if (durable != nullptr) {
     if (const util::Status compacted = durable->compact(); !compacted.ok()) {

@@ -7,9 +7,19 @@
 // checks the intent against trace + fresh measurements — including the
 // paper's caveat that hops in non-UPIN-enabled domains make a passing
 // verdict merely "uncertain".
+//
+//   upin_session [--metrics] [--trace-out <file>]
+//
+// --metrics dumps the metrics registry (Prometheus text format) after
+// the session; --trace-out writes the measurement campaign's
+// virtual-clock span tree to a file.
 #include <cstdio>
+#include <fstream>
+#include <string_view>
 
 #include "measure/testsuite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "scion/scionlab.hpp"
 #include "upin/controller.hpp"
 #include "upin/explorer.hpp"
@@ -17,8 +27,23 @@
 #include "upin/verifier.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace upin;
+
+  bool dump_metrics = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics] [--trace-out <file>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   const scion::ScionlabEnv env = scion::scionlab_topology();
   apps::ScionHost host(env, 42, env.user_as, "10.0.8.1");
@@ -33,6 +58,8 @@ int main() {
   measure::TestSuiteConfig config;
   config.iterations = 12;
   config.server_ids = {{3}};  // Ireland
+  obs::SpanTracer campaign_spans("campaign");
+  if (!trace_path.empty()) config.tracer = &campaign_spans;
   measure::TestSuite suite(host, db, config);
   if (!suite.run().ok()) return 1;
 
@@ -100,6 +127,20 @@ int main() {
       std::printf(" %s", ia.to_string().c_str());
     }
     std::printf("\n");
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::trunc);
+    out << campaign_spans.render();
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace: %s\n", trace_path.c_str());
+    } else {
+      std::printf("\nspan trace: %zu spans -> %s\n",
+                  campaign_spans.span_count(), trace_path.c_str());
+    }
+  }
+  if (dump_metrics) {
+    std::printf("\n%s", obs::Registry::global().to_prometheus().c_str());
   }
   return 0;
 }

@@ -1,11 +1,14 @@
 #include "docdb/journal.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/crc32.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace upin::docdb {
@@ -15,6 +18,44 @@ using util::Status;
 using util::Value;
 
 namespace {
+
+/// Write-path metrics, resolved once per process: the hot paths touch
+/// pre-registered references, never the registry lock.  Latencies here
+/// are *wall-clock* (the disk is real even when the network is virtual),
+/// so they are deliberately absent from the determinism contract.
+struct JournalMetrics {
+  obs::Counter& events_enqueued;
+  obs::Counter& backpressure_stalls;
+  obs::Counter& groups_committed;
+  obs::Counter& bytes_written;
+  obs::LatencyHistogram& group_size;
+  obs::LatencyHistogram& flush_latency_us;
+  obs::LatencyHistogram& sync_wait_us;
+
+  static JournalMetrics& get() {
+    static JournalMetrics metrics{
+        obs::Registry::global().counter("upin_journal_events_enqueued_total"),
+        obs::Registry::global().counter(
+            "upin_journal_backpressure_stalls_total"),
+        obs::Registry::global().counter("upin_journal_groups_committed_total"),
+        obs::Registry::global().counter("upin_journal_bytes_written_total"),
+        obs::Registry::global().histogram("upin_journal_group_size", 0.0,
+                                          256.0, 32),
+        obs::Registry::global().histogram("upin_journal_flush_latency_us", 0.0,
+                                          5000.0, 50),
+        obs::Registry::global().histogram("upin_journal_sync_wait_us", 0.0,
+                                          5000.0, 50),
+    };
+    return metrics;
+  }
+};
+
+using WallClock = std::chrono::steady_clock;
+
+double elapsed_us(WallClock::time_point since) {
+  return std::chrono::duration<double, std::micro>(WallClock::now() - since)
+      .count();
+}
 
 constexpr std::string_view kCrcPrefix = "crc32=";
 constexpr std::size_t kCrcHexDigits = 8;
@@ -203,7 +244,12 @@ bool Journal::writer_running() const noexcept { return writer_.joinable(); }
 
 std::uint64_t Journal::enqueue(std::string payload) {
   if (queue_ == nullptr) return 0;
-  return queue_->push(std::move(payload));
+  JournalMetrics& metrics = JournalMetrics::get();
+  bool stalled = false;
+  const std::uint64_t seq = queue_->push(std::move(payload), &stalled);
+  if (seq != 0) metrics.events_enqueued.add();
+  if (stalled) metrics.backpressure_stalls.add();
+  return seq;
 }
 
 std::uint64_t Journal::enqueued_seq() const {
@@ -212,12 +258,15 @@ std::uint64_t Journal::enqueued_seq() const {
 
 Status Journal::sync(std::uint64_t seq) {
   if (queue_ == nullptr) return flush();  // no pipeline: direct durability
+  const WallClock::time_point begin = WallClock::now();
   std::unique_lock<std::mutex> lock(sync_mutex_);
   sync_cv_.wait(lock, [&] { return flushed_seq_ >= seq; });
+  JournalMetrics::get().sync_wait_us.observe(elapsed_us(begin));
   return writer_status_;
 }
 
 void Journal::writer_loop() {
+  JournalMetrics& metrics = JournalMetrics::get();
   std::vector<std::string> group;
   std::string buffer;
   while (queue_->pop_all(group)) {
@@ -228,6 +277,7 @@ void Journal::writer_loop() {
       buffer += frame(payload);
       buffer += '\n';
     }
+    const WallClock::time_point begin = WallClock::now();
     Status wrote = Status::success();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -242,6 +292,15 @@ void Journal::writer_loop() {
         }
       }
     }
+    const double flush_us = elapsed_us(begin);
+    metrics.groups_committed.add();
+    metrics.bytes_written.add(buffer.size());
+    metrics.group_size.observe(static_cast<double>(group.size()));
+    metrics.flush_latency_us.observe(flush_us);
+    util::Log::debug([&] {
+      return util::format("journal group_commit size=%zu bytes=%zu flush_us=%.0f",
+                          group.size(), buffer.size(), flush_us);
+    });
     {
       const std::lock_guard<std::mutex> lock(sync_mutex_);
       flushed_seq_ += group.size();

@@ -1,14 +1,42 @@
 #include "measure/parallel_survey.hpp"
 
 #include <chrono>
+#include <memory>
 #include <mutex>
 
 #include "apps/host.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace upin::measure {
 
 using util::Result;
+
+namespace {
+
+struct SurveyMetrics {
+  obs::Counter& destinations_completed;
+  obs::Counter& destinations_failed;
+  obs::Gauge& workers_active;
+  /// Per-worker wall time is real elapsed time (scheduling, disk), so
+  /// this histogram — like the journal latencies — is outside the
+  /// fixed-seed determinism contract.
+  obs::LatencyHistogram& worker_wall_ms;
+
+  static SurveyMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static SurveyMetrics metrics{
+        registry.counter("upin_survey_destinations_completed_total"),
+        registry.counter("upin_survey_destinations_failed_total"),
+        registry.gauge("upin_survey_workers_active"),
+        registry.histogram("upin_survey_worker_wall_ms", 0.0, 10000.0, 50),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Result<ParallelSurveyResult> run_parallel_survey(
     const scion::ScionlabEnv& env, docdb::Database& db,
@@ -40,26 +68,46 @@ Result<ParallelSurveyResult> run_parallel_survey(
 
   ParallelSurveyResult result;
   std::mutex merge_mutex;
+  SurveyMetrics& metrics = SurveyMetrics::get();
+
+  // Worker span trees, indexed by destination: built concurrently, each
+  // on its own replica timeline, merged in index order afterwards.
+  std::vector<std::unique_ptr<obs::SpanTracer>> worker_tracers(
+      server_ids.size());
 
   util::ThreadPool pool(config.threads);
   util::parallel_for(pool, server_ids.size(), [&](std::size_t index) {
+    metrics.workers_active.add(1);
+    const auto worker_start = std::chrono::steady_clock::now();
     // One replica VM per destination: own host, own virtual timeline.
     apps::ScionHost host(env, config.seed, env.user_as, "10.0.8.1",
                          config.net_config);
     TestSuiteConfig worker_config = config.suite;
     worker_config.server_ids = {{server_ids[index]}};
     worker_config.some_only = false;
+    if (config.tracer != nullptr) {
+      worker_tracers[index] = std::make_unique<obs::SpanTracer>(
+          "destination " + std::to_string(server_ids[index]));
+      worker_config.tracer = worker_tracers[index].get();
+    }
     TestSuite suite(host, db, worker_config);
     const util::Status run = suite.run();
+    metrics.worker_wall_ms.observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - worker_start)
+            .count());
+    metrics.workers_active.add(-1);
 
     const std::lock_guard<std::mutex> lock(merge_mutex);
     if (!run.ok()) {
       ++result.destinations_failed;
+      metrics.destinations_failed.add();
       util::Log::warn("parallel survey: destination " +
                       std::to_string(server_ids[index]) +
                       " failed: " + run.error().message);
       return;
     }
+    metrics.destinations_completed.add();
     const TestSuiteProgress& p = suite.progress();
     result.progress.destinations_visited += p.destinations_visited;
     result.progress.paths_collected += p.paths_collected;
@@ -82,6 +130,14 @@ Result<ParallelSurveyResult> run_parallel_survey(
     result.progress.units_skipped += p.units_skipped;
     result.progress.checkpoints_recorded += p.checkpoints_recorded;
   });
+
+  // Deterministic merge: destination subtrees attach in index order, not
+  // completion order.
+  if (config.tracer != nullptr) {
+    for (std::unique_ptr<obs::SpanTracer>& worker : worker_tracers) {
+      if (worker != nullptr) config.tracer->adopt(std::move(*worker));
+    }
+  }
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -28,6 +28,11 @@ struct ParallelSurveyConfig {
   std::size_t threads = 0;     ///< 0 = hardware concurrency
   std::uint64_t seed = 42;     ///< replica seed (shared: determinism)
   simnet::NetworkConfig net_config;
+  /// Optional campaign tracer.  Each worker records its own
+  /// `destination <id>` subtree on its replica timeline; the subtrees are
+  /// grafted under this tracer's root in destination order, so the merged
+  /// tree is identical no matter how the OS scheduled the workers.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 struct ParallelSurveyResult {

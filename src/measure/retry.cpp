@@ -3,10 +3,71 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace upin::measure {
 
 using util::ErrorCode;
 using util::SimTime;
+
+namespace {
+
+/// Fault-recovery metrics.  All of these are driven by virtual-time logic
+/// (backoff schedules, breaker cooldowns), so two fixed-seed runs produce
+/// identical values — they are part of the determinism contract.
+struct RecoveryMetrics {
+  obs::Counter& retries;
+  // Per-taxonomy-class retry counters ("retries by fault class").
+  obs::Counter& retries_timeout;
+  obs::Counter& retries_unreachable;
+  obs::Counter& retries_garbled;
+  obs::Counter& retries_storage;
+  obs::Counter& retries_other;
+  obs::Counter& budget_exhausted;
+  obs::Counter& breaker_opened;
+  obs::Counter& breaker_half_open;
+  obs::Counter& breaker_closed;
+
+  static RecoveryMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static RecoveryMetrics metrics{
+        registry.counter("upin_measure_retries_total"),
+        registry.counter("upin_measure_retries_timeout_total"),
+        registry.counter("upin_measure_retries_unreachable_total"),
+        registry.counter("upin_measure_retries_garbled_total"),
+        registry.counter("upin_measure_retries_storage_total"),
+        registry.counter("upin_measure_retries_other_total"),
+        registry.counter("upin_measure_retry_budget_exhausted_total"),
+        registry.counter("upin_measure_breaker_open_transitions_total"),
+        registry.counter("upin_measure_breaker_half_open_probes_total"),
+        registry.counter("upin_measure_breaker_close_transitions_total"),
+    };
+    return metrics;
+  }
+
+  [[nodiscard]] obs::Counter& retries_for(FaultKind kind) noexcept {
+    switch (kind) {
+      case FaultKind::kTimeout: return retries_timeout;
+      case FaultKind::kUnreachable: return retries_unreachable;
+      case FaultKind::kGarbled: return retries_garbled;
+      case FaultKind::kStorage: return retries_storage;
+      case FaultKind::kOther: return retries_other;
+    }
+    return retries_other;
+  }
+};
+
+}  // namespace
+
+void record_retry_attempt(ErrorCode code) noexcept {
+  RecoveryMetrics& metrics = RecoveryMetrics::get();
+  metrics.retries.add();
+  metrics.retries_for(classify_fault(code)).add();
+}
+
+void record_retry_budget_exhausted() noexcept {
+  RecoveryMetrics::get().budget_exhausted.add();
+}
 
 const char* to_string(FaultKind kind) noexcept {
   switch (kind) {
@@ -41,6 +102,10 @@ FaultKind classify_fault(ErrorCode code) noexcept {
 }
 
 void FaultTaxonomy::record(FaultKind kind) noexcept {
+  obs::Registry::global()
+      .counter(std::string("upin_measure_faults_") + to_string(kind) +
+               "_total")
+      .add();
   switch (kind) {
     case FaultKind::kTimeout: ++timeouts; break;
     case FaultKind::kUnreachable: ++unreachable; break;
@@ -89,12 +154,14 @@ bool CircuitBreaker::allow(SimTime now) noexcept {
     case State::kHalfOpen:
       if (probe_in_flight_) return false;
       probe_in_flight_ = true;
+      RecoveryMetrics::get().breaker_half_open.add();
       return true;
   }
   return true;
 }
 
 void CircuitBreaker::record_success() noexcept {
+  if (open_) RecoveryMetrics::get().breaker_closed.add();
   consecutive_failures_ = 0;
   open_ = false;
   probe_in_flight_ = false;
@@ -108,6 +175,7 @@ void CircuitBreaker::record_failure(SimTime now) noexcept {
     open_ = true;
     opened_at_ = now;
     ++trips_;
+    RecoveryMetrics::get().breaker_opened.add();
     return;
   }
   ++consecutive_failures_;
@@ -115,6 +183,7 @@ void CircuitBreaker::record_failure(SimTime now) noexcept {
     open_ = true;
     opened_at_ = now;
     ++trips_;
+    RecoveryMetrics::get().breaker_opened.add();
   }
 }
 

@@ -83,6 +83,11 @@ struct RetryStats {
   std::size_t budget_exhausted = 0;  ///< operations cut off by the budget
 };
 
+// Global-registry hooks for the retry loop, out-of-line so the template
+// below does not pull the metrics layer into every includer.
+void record_retry_attempt(util::ErrorCode code) noexcept;
+void record_retry_budget_exhausted() noexcept;
+
 /// Run `op` under `policy` on the shared virtual clock.  Failed transient
 /// attempts back off (advancing the clock) and retry; the final attempt's
 /// error is returned unchanged.  Jitter is keyed by (label, attempt,
@@ -108,10 +113,12 @@ template <typename T>
     const double spent = util::to_seconds(clock.now() - start);
     if (spent + backoff > policy.timeout_budget_s) {
       ++stats.budget_exhausted;
+      record_retry_budget_exhausted();
       return result;
     }
     clock.advance(util::sim_seconds(backoff));
     ++stats.retries;
+    record_retry_attempt(result.error().code);
   }
 }
 

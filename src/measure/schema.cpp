@@ -234,4 +234,14 @@ Result<CampaignCheckpoint> parse_checkpoint_document(const Document& doc) {
   return checkpoint;
 }
 
+Document metrics_document(const std::string& id, const std::string& stage,
+                          util::SimTime clock, Value snapshot) {
+  JsonObject doc;
+  doc.set("_id", Value(id));
+  doc.set("stage", Value(stage));
+  doc.set("clock_ns", Value(clock.count()));
+  doc.set("metrics", std::move(snapshot));
+  return Value(std::move(doc));
+}
+
 }  // namespace upin::measure

@@ -33,6 +33,11 @@ inline constexpr const char* kPathsStats = "paths_stats";
 /// the unit's batch commits, so a killed campaign restarts without
 /// re-measuring finished work.
 inline constexpr const char* kCampaignCheckpoints = "campaign_checkpoints";
+/// Self-describing runs: JSON snapshots of the metrics registry, written
+/// alongside the data they describe ("latest" refreshed at every
+/// checkpoint, "final" at campaign end) so a database file alone answers
+/// how its campaign behaved — no logs required.
+inline constexpr const char* kCampaignMetrics = "campaign_metrics";
 
 /// "2_15" for path 15 of destination 2.
 [[nodiscard]] std::string path_doc_id(int server_id, int path_index);
@@ -112,5 +117,12 @@ struct CampaignCheckpoint {
 
 [[nodiscard]] util::Result<CampaignCheckpoint> parse_checkpoint_document(
     const docdb::Document& doc);
+
+/// campaign_metrics document: a registry snapshot stamped with the stage
+/// it was taken at ("checkpoint" or "final") and the virtual clock.
+[[nodiscard]] docdb::Document metrics_document(const std::string& id,
+                                               const std::string& stage,
+                                               util::SimTime clock,
+                                               util::Value snapshot);
 
 }  // namespace upin::measure

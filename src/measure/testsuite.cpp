@@ -4,6 +4,9 @@
 #include <climits>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 #include "util/sha256.hpp"
 #include "util/strings.hpp"
@@ -16,6 +19,44 @@ using util::ErrorCode;
 using util::Result;
 using util::Status;
 using util::Value;
+
+namespace {
+
+/// Campaign-engine metrics.  Everything here advances with virtual-time
+/// logic only, so fixed-seed runs reproduce the values exactly.
+struct SuiteMetrics {
+  obs::Counter& pings;
+  obs::Counter& ping_failures;
+  obs::Counter& bwtests;
+  obs::Counter& bwtest_failures;
+  obs::Counter& path_tests;
+  obs::Counter& breaker_skips;
+  obs::Counter& stats_inserted;
+  obs::Counter& batches_inserted;
+  obs::Counter& batches_rejected;
+  obs::Counter& checkpoints;
+  obs::Counter& units_skipped;
+
+  static SuiteMetrics& get() {
+    obs::Registry& registry = obs::Registry::global();
+    static SuiteMetrics metrics{
+        registry.counter("upin_measure_pings_total"),
+        registry.counter("upin_measure_ping_failures_total"),
+        registry.counter("upin_measure_bwtests_total"),
+        registry.counter("upin_measure_bwtest_failures_total"),
+        registry.counter("upin_measure_path_tests_total"),
+        registry.counter("upin_measure_breaker_skips_total"),
+        registry.counter("upin_measure_stats_inserted_total"),
+        registry.counter("upin_measure_batches_inserted_total"),
+        registry.counter("upin_measure_batches_rejected_total"),
+        registry.counter("upin_measure_checkpoints_total"),
+        registry.counter("upin_measure_units_skipped_total"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 TestSuite::TestSuite(apps::ScionHost& host, docdb::Database& db,
                      TestSuiteConfig config)
@@ -127,10 +168,13 @@ Status TestSuite::store_batch(std::vector<Document> docs) {
         db_.collection(kPathsStats).insert_many(std::move(docs));
     if (!inserted.ok()) {
       ++progress_.batches_rejected;
+      SuiteMetrics::get().batches_rejected.add();
       return Status(inserted.error());
     }
     progress_.stats_inserted += batch_size;
     ++progress_.batches_inserted;
+    SuiteMetrics::get().stats_inserted.add(batch_size);
+    SuiteMetrics::get().batches_inserted.add();
     return Status::success();
   }
 
@@ -143,6 +187,7 @@ Status TestSuite::store_batch(std::vector<Document> docs) {
       host_.address().local.ia, key.public_key);
   if (!cert.ok()) {
     ++progress_.batches_rejected;
+    SuiteMetrics::get().batches_rejected.add();
     return Status(cert.error());
   }
   std::string payload;
@@ -160,10 +205,13 @@ Status TestSuite::store_batch(std::vector<Document> docs) {
       scion::TrustStore::encode_credential(credential));
   if (!inserted.ok()) {
     ++progress_.batches_rejected;
+    SuiteMetrics::get().batches_rejected.add();
     return Status(inserted.error());
   }
   progress_.stats_inserted += batch_size;
   ++progress_.batches_inserted;
+  SuiteMetrics::get().stats_inserted.add(batch_size);
+  SuiteMetrics::get().batches_inserted.add();
   return Status::success();
 }
 
@@ -208,7 +256,23 @@ CircuitBreaker& TestSuite::breaker_for(int server_id) {
   return it->second;
 }
 
+void TestSuite::record_metrics_snapshot(const std::string& id,
+                                        const std::string& stage) {
+  docdb::Collection& metrics = db_.collection(kCampaignMetrics);
+  metrics.delete_by_id(id);
+  Result<std::string> inserted = metrics.insert_one(metrics_document(
+      id, stage, host_.clock().now(), obs::Registry::global().snapshot()));
+  if (!inserted.ok()) {
+    util::Log::warn("campaign_metrics snapshot failed: " +
+                    inserted.error().message);
+  }
+}
+
 Status TestSuite::run_unit(const Destination& destination, int iteration) {
+  SuiteMetrics& metrics = SuiteMetrics::get();
+  const obs::ScopedSpan unit_span(
+      config_.tracer, host_.clock(),
+      util::format("unit s%d i%d", destination.server_id, iteration));
   docdb::Collection& paths = db_.collection(kPaths);
   util::JsonObject query;
   query.set("server_id", Value(destination.server_id));
@@ -238,8 +302,11 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     // stop hammering it and accept partial results for the unit.
     if (!breaker.allow(host_.clock().now())) {
       ++progress_.breaker_skips;
+      metrics.breaker_skips.add();
       continue;
     }
+    const obs::ScopedSpan path_span(config_.tracer, host_.clock(),
+                                    "path " + record.value().id);
     bool operation_failed = false;
 
     StatsSample sample;
@@ -254,12 +321,17 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     ping_options.count = config_.ping_count;
     ping_options.interval_s = config_.ping_interval_s;
     ping_options.sequence = record.value().sequence;
-    Result<apps::PingReport> ping = run_with_retry<apps::PingReport>(
-        config_.retry, host_.clock(), "ping:" + sample.path_id,
-        progress_.retry,
-        [&] { return host_.ping(destination.address, ping_options); });
+    metrics.pings.add();
+    Result<apps::PingReport> ping = [&] {
+      const obs::ScopedSpan probe_span(config_.tracer, host_.clock(), "ping");
+      return run_with_retry<apps::PingReport>(
+          config_.retry, host_.clock(), "ping:" + sample.path_id,
+          progress_.retry,
+          [&] { return host_.ping(destination.address, ping_options); });
+    }();
     if (!ping.ok()) {
       ++progress_.ping_failures;
+      metrics.ping_failures.add();
       note_failure(destination.server_id, ping.error());
       breaker.record_failure(host_.clock().now());
       util::Log::warn("ping " + sample.path_id +
@@ -282,6 +354,9 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
       apps::BwtestOptions options;
       options.cs_spec = spec;
       options.sequence = record.value().sequence;
+      metrics.bwtests.add();
+      const obs::ScopedSpan probe_span(config_.tracer, host_.clock(),
+                                       std::string(label));
       return run_with_retry<apps::BwtestReport>(
           config_.retry, host_.clock(),
           std::string(label) + ":" + sample.path_id, progress_.retry,
@@ -296,6 +371,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
       sample.bw_down_64 = small.value().server_to_client.achieved_mbps;
     } else {
       ++progress_.bwtest_failures;
+      metrics.bwtest_failures.add();
       note_failure(destination.server_id, small.error());
       operation_failed = true;
     }
@@ -304,6 +380,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
       sample.bw_down_mtu = mtu.value().server_to_client.achieved_mbps;
     } else {
       ++progress_.bwtest_failures;
+      metrics.bwtest_failures.add();
       note_failure(destination.server_id, mtu.error());
       operation_failed = true;
     }
@@ -317,6 +394,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     sample.timestamp = host_.clock().now();
     batch.push_back(stats_document(sample));
     ++progress_.path_tests_run;
+    metrics.path_tests.add();
 
     host_.clock().advance(util::sim_seconds(config_.inter_test_gap_s));
   }
@@ -349,10 +427,14 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
         checkpoints.insert_one(checkpoint_document(checkpoint));
     if (inserted.ok()) {
       ++progress_.checkpoints_recorded;
+      metrics.checkpoints.add();
     } else {
       util::Log::warn("checkpoint insert failed: " +
                       inserted.error().message);
       progress_.errors.record(FaultKind::kStorage);
+    }
+    if (config_.metrics_snapshots) {
+      record_metrics_snapshot("latest", "checkpoint");
     }
   }
 
@@ -368,6 +450,12 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
 
 Status TestSuite::run_tests() {
   const std::vector<Destination> destinations = selected_destinations();
+  obs::ProgressReporter reporter(
+      util::sim_seconds(config_.progress_report_interval_s));
+  std::size_t units_done = 0;
+  const std::size_t units_total =
+      destinations.size() * static_cast<std::size_t>(
+                                std::max(config_.iterations, 0));
 
   // Resume planning.  Destinations with checkpoint history skip exactly
   // the recorded (destination, iteration) units, restoring the clock and
@@ -417,6 +505,7 @@ Status TestSuite::run_tests() {
                            checkpoint.value().breaker_open,
                            checkpoint.value().breaker_opened_at);
               ++progress_.units_skipped;
+              SuiteMetrics::get().units_skipped.add();
               continue;
             }
           }
@@ -426,6 +515,16 @@ Status TestSuite::run_tests() {
       }
       const Status unit = run_unit(destination, iteration);
       if (!unit.ok()) return unit;
+      ++units_done;
+      reporter.tick(host_.clock().now(), [&] {
+        return util::format(
+            "campaign progress units=%zu/%zu path_tests=%zu failures=%zu "
+            "retries=%zu breaker_skips=%zu clock_s=%.0f",
+            units_done, units_total, progress_.path_tests_run,
+            progress_.errors.total(), progress_.retry.retries,
+            progress_.breaker_skips,
+            util::to_seconds(host_.clock().now()));
+      });
     }
   }
   return Status::success();
@@ -438,7 +537,11 @@ Status TestSuite::run() {
     const Status collected = collect_paths();
     if (!collected.ok()) return collected;
   }
-  return run_tests();
+  const Status tested = run_tests();
+  if (tested.ok() && config_.metrics_snapshots) {
+    record_metrics_snapshot("final", "final");
+  }
+  return tested;
 }
 
 }  // namespace upin::measure

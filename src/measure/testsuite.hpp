@@ -33,6 +33,10 @@
 #include "measure/schema.hpp"
 #include "scion/trust.hpp"
 
+namespace upin::obs {
+class SpanTracer;
+}  // namespace upin::obs
+
 namespace upin::measure {
 
 /// CLI-equivalent configuration (paper §5.1).
@@ -74,6 +78,16 @@ struct TestSuiteConfig {
   /// this many committed batches.  0 = never.  Tests use this to exercise
   /// kill-then-resume; the aborted run reports kDataLoss.
   std::size_t crash_after_batches = 0;
+
+  /// Optional virtual-clock span tracer.  When set, the suite records the
+  /// campaign -> unit -> path -> probe timeline into it; when null (the
+  /// default) the instrumentation is free.
+  obs::SpanTracer* tracer = nullptr;
+  /// Refresh the `campaign_metrics` "latest" snapshot at every checkpoint
+  /// (the "final" snapshot at campaign end is always written).
+  bool metrics_snapshots = true;
+  /// Virtual-time cadence of the structured progress log lines.
+  double progress_report_interval_s = 600.0;
 };
 
 /// Run counters for reporting and tests.
@@ -141,6 +155,9 @@ class TestSuite {
   /// retry / breaker policy, and commit the batch plus its checkpoint.
   [[nodiscard]] util::Status run_unit(const Destination& destination,
                                       int iteration);
+  /// Store a registry snapshot under `id` in campaign_metrics.
+  void record_metrics_snapshot(const std::string& id,
+                               const std::string& stage);
   /// Record a post-retry operation failure for `destination`.
   void note_failure(int server_id, const util::Error& error);
   [[nodiscard]] CircuitBreaker& breaker_for(int server_id);

@@ -1,0 +1,58 @@
+// report.hpp — periodic structured progress reporting.
+//
+// The paper's campaign announced progress through its bash wrapper at
+// every iteration; here the cadence is decoupled from the workload.
+// ProgressReporter fires on a virtual-time interval and hands the caller
+// a lazy message builder, so a filtered log level costs one comparison
+// per tick and zero formatting.  Messages follow the structured
+// `key=value` convention so runs can be grepped like the metric dumps.
+#pragma once
+
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace upin::obs {
+
+/// Emits at most one log line per virtual-time interval.  Single-threaded
+/// by design — each survey worker owns its own reporter, like its tracer.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(util::SimDuration interval,
+                            util::LogLevel level = util::LogLevel::kInfo)
+      : interval_(interval.count() > 0 ? interval : util::sim_seconds(1.0)),
+        level_(level),
+        next_(interval_) {}
+
+  /// True when `now` has crossed the next report mark.  Advances the mark
+  /// past `now` (skipping missed intervals, not replaying them — virtual
+  /// time can jump far in one probe).
+  [[nodiscard]] bool due(util::SimTime now) noexcept {
+    if (now < next_) return false;
+    while (next_ <= now) next_ += interval_;
+    return true;
+  }
+
+  /// Log the builder's message iff the interval elapsed and the level
+  /// passes the filter.  The builder runs at most once per interval.
+  template <typename Builder>
+  void tick(util::SimTime now, Builder&& builder) {
+    if (!util::Log::enabled(level_)) return;
+    if (!due(now)) return;
+    util::Log::write(level_, std::forward<Builder>(builder));
+  }
+
+  /// Unconditional final report (end of campaign), bypassing the timer.
+  template <typename Builder>
+  void final(Builder&& builder) {
+    util::Log::write(level_, std::forward<Builder>(builder));
+  }
+
+ private:
+  util::SimDuration interval_;
+  util::LogLevel level_;
+  util::SimTime next_;
+};
+
+}  // namespace upin::obs

@@ -1,0 +1,102 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace upin::obs {
+
+namespace {
+
+/// Latest timestamp anywhere in the subtree — the effective end of a span
+/// that was never explicitly closed (the root, or an adopted worker tree
+/// cut short by a crash-injection point).
+util::SimTime subtree_extent(const Span& span) {
+  util::SimTime extent = std::max(span.start, span.end);
+  for (const std::unique_ptr<Span>& child : span.children) {
+    extent = std::max(extent, subtree_extent(*child));
+  }
+  return extent;
+}
+
+std::size_t count_spans(const Span& span) {
+  std::size_t total = 1;
+  for (const std::unique_ptr<Span>& child : span.children) {
+    total += count_spans(*child);
+  }
+  return total;
+}
+
+void render_node(const Span& span, std::size_t depth, std::string& out) {
+  const util::SimTime end =
+      span.end == util::SimTime::zero() ? subtree_extent(span) : span.end;
+  out.append(depth * 2, ' ');
+  out += util::format("%s [%lld..%lld]\n", span.name.c_str(),
+                      static_cast<long long>(span.start.count()),
+                      static_cast<long long>(end.count()));
+  for (const std::unique_ptr<Span>& child : span.children) {
+    render_node(*child, depth + 1, out);
+  }
+}
+
+util::Value node_to_json(const Span& span) {
+  const util::SimTime end =
+      span.end == util::SimTime::zero() ? subtree_extent(span) : span.end;
+  util::Value::Array children;
+  children.reserve(span.children.size());
+  for (const std::unique_ptr<Span>& child : span.children) {
+    children.push_back(node_to_json(*child));
+  }
+  return util::Value::object(
+      {{"name", util::Value(span.name)},
+       {"start_ns", util::Value(span.start.count())},
+       {"end_ns", util::Value(end.count())},
+       {"children", util::Value(std::move(children))}});
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer(std::string root_name)
+    : root_(std::make_unique<Span>()) {
+  root_->name = std::move(root_name);
+  open_stack_.push_back(root_.get());
+}
+
+Span& SpanTracer::open(std::string name, util::SimTime start) {
+  Span* parent = open_stack_.back();
+  auto child = std::make_unique<Span>();
+  child->name = std::move(name);
+  child->start = start;
+  Span& ref = *child;
+  parent->children.push_back(std::move(child));
+  open_stack_.push_back(&ref);
+  return ref;
+}
+
+void SpanTracer::close(util::SimTime end) {
+  // The root stays on the stack: its extent is derived at render time so
+  // an unbalanced close (crash-injection mid-unit) can't corrupt it.
+  if (open_stack_.size() <= 1) return;
+  open_stack_.back()->end = end;
+  open_stack_.pop_back();
+}
+
+void SpanTracer::adopt(SpanTracer&& worker) {
+  open_stack_.back()->children.push_back(std::move(worker.root_));
+  worker.open_stack_.clear();
+}
+
+std::size_t SpanTracer::span_count() const noexcept {
+  return count_spans(*root_);
+}
+
+std::string SpanTracer::render() const {
+  std::string out;
+  render_node(*root_, 0, out);
+  return out;
+}
+
+util::Value SpanTracer::to_json() const { return node_to_json(*root_); }
+
+}  // namespace upin::obs

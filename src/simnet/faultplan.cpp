@@ -1,9 +1,38 @@
 #include "simnet/faultplan.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace upin::simnet {
 
 using util::Rng;
 using util::SimTime;
+
+namespace {
+
+/// Activation counters: how often each fault class actually intercepted
+/// an operation (a scheduled window that no probe lands in counts zero).
+/// Lets a run's metric dump answer "was the breaker reacting to injected
+/// faults or to a bug?" without replaying the schedule.
+struct FaultMetrics {
+  obs::Counter& server_down;
+  obs::Counter& slow_responder;
+  obs::Counter& link_flap;
+  obs::Counter& garbled;
+
+  static FaultMetrics& get() {
+    static FaultMetrics metrics{
+        obs::Registry::global().counter(
+            "upin_simnet_fault_server_down_hits_total"),
+        obs::Registry::global().counter("upin_simnet_fault_slow_hits_total"),
+        obs::Registry::global().counter(
+            "upin_simnet_fault_link_flap_hits_total"),
+        obs::Registry::global().counter("upin_simnet_fault_garbled_hits_total"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 FaultPlan::FaultPlan(std::uint64_t seed, FaultPlanConfig config)
     : config_(config), master_(seed) {}
@@ -63,25 +92,33 @@ std::vector<FaultWindow> FaultPlan::link_flap_windows(std::uint32_t from,
 
 bool FaultPlan::server_down(std::uint32_t node, SimTime t) const {
   if (config_.server_down_per_hour <= 0.0) return false;
-  return covers(server_down_windows(node), t);
+  const bool hit = covers(server_down_windows(node), t);
+  if (hit) FaultMetrics::get().server_down.add();
+  return hit;
 }
 
 bool FaultPlan::slow_responder(std::uint32_t node, SimTime t) const {
   if (config_.slow_per_hour <= 0.0) return false;
-  return covers(slow_windows(node), t);
+  const bool hit = covers(slow_windows(node), t);
+  if (hit) FaultMetrics::get().slow_responder.add();
+  return hit;
 }
 
 bool FaultPlan::link_flapped(std::uint32_t from, std::uint32_t to,
                              SimTime t) const {
   if (config_.link_flap_per_hour <= 0.0) return false;
-  return covers(link_flap_windows(from, to), t);
+  const bool hit = covers(link_flap_windows(from, to), t);
+  if (hit) FaultMetrics::get().link_flap.add();
+  return hit;
 }
 
 bool FaultPlan::garbled(std::string_view op_label, SimTime t) const {
   if (config_.garble_prob <= 0.0) return false;
   Rng rng = master_.fork("fault:garble:" + std::string(op_label) + ":" +
                          std::to_string(t.count()));
-  return rng.bernoulli(config_.garble_prob);
+  const bool hit = rng.bernoulli(config_.garble_prob);
+  if (hit) FaultMetrics::get().garbled.add();
+  return hit;
 }
 
 }  // namespace upin::simnet

@@ -33,9 +33,14 @@ class BoundedQueue {
 
   /// Block until there is room (backpressure), then enqueue `item`.
   /// Returns the item's 1-based sequence number, or 0 if the queue was
-  /// closed (the item is dropped).
-  std::uint64_t push(T item) {
+  /// closed (the item is dropped).  When `stalled` is non-null it is set
+  /// to whether the call found the queue full and had to wait — the
+  /// signal the metrics layer counts as a backpressure stall.
+  std::uint64_t push(T item, bool* stalled = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (stalled != nullptr) {
+      *stalled = !closed_ && items_.size() >= capacity_;
+    }
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return 0;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 namespace upin::util {
 
@@ -29,10 +30,49 @@ class Log {
 
   static void write(LogLevel level, std::string_view message);
 
+  /// Would a message at `level` pass the filter?  The gate behind the
+  /// lazy overloads, public so callers can skip expensive setup too.
+  [[nodiscard]] static bool enabled(LogLevel lvl) noexcept {
+    return lvl >= level();
+  }
+
   static void debug(std::string_view message) { write(LogLevel::kDebug, message); }
   static void info(std::string_view message) { write(LogLevel::kInfo, message); }
   static void warn(std::string_view message) { write(LogLevel::kWarn, message); }
   static void error(std::string_view message) { write(LogLevel::kError, message); }
+
+  // Lazy overloads: pass a callable returning the message and it is only
+  // invoked — no formatting, no allocation — when the level is enabled.
+  // Debug-level instrumentation on hot paths (journal writer, retry loop)
+  // therefore costs one atomic load at the default kWarn.
+  template <typename Builder>
+    requires std::is_invocable_v<Builder&>
+  static void write(LogLevel lvl, Builder&& builder) {
+    if (!enabled(lvl)) return;
+    const std::string message(builder());
+    write(lvl, std::string_view(message));
+  }
+
+  template <typename Builder>
+    requires std::is_invocable_v<Builder&>
+  static void debug(Builder&& builder) {
+    write(LogLevel::kDebug, std::forward<Builder>(builder));
+  }
+  template <typename Builder>
+    requires std::is_invocable_v<Builder&>
+  static void info(Builder&& builder) {
+    write(LogLevel::kInfo, std::forward<Builder>(builder));
+  }
+  template <typename Builder>
+    requires std::is_invocable_v<Builder&>
+  static void warn(Builder&& builder) {
+    write(LogLevel::kWarn, std::forward<Builder>(builder));
+  }
+  template <typename Builder>
+    requires std::is_invocable_v<Builder&>
+  static void error(Builder&& builder) {
+    write(LogLevel::kError, std::forward<Builder>(builder));
+  }
 };
 
 }  // namespace upin::util

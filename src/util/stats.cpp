@@ -104,13 +104,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   assert(hi > lo);
 }
 
+std::size_t bucket_index(double lo, double width, std::size_t bins,
+                         double sample) noexcept {
+  if (bins == 0) return 0;
+  if (std::isnan(sample)) return 0;
+  const double offset = (sample - lo) / width;
+  if (!(offset > 0.0)) return 0;  // at-or-below lo, and -inf
+  if (offset >= static_cast<double>(bins)) return bins - 1;  // above hi, +inf
+  return static_cast<std::size_t>(offset);
+}
+
 void Histogram::add(double sample) noexcept {
-  const double offset = (sample - lo_) / width_;
-  std::size_t bin = 0;
-  if (offset > 0.0) {
-    bin = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
-  }
-  ++counts_[bin];
+  ++counts_[bucket_index(lo_, width_, counts_.size(), sample)];
   ++total_;
 }
 

@@ -62,6 +62,15 @@ struct BoxStats {
 /// Compute box statistics.  Asserts on an empty sample.
 [[nodiscard]] BoxStats box_stats(std::span<const double> samples);
 
+/// Fixed-width bucket math shared by Histogram and the metrics layer
+/// (obs::LatencyHistogram).  Samples outside [lo, lo + width*bins) are
+/// clamped into the edge bins.  Non-finite input is guarded: NaN and -inf
+/// land in bin 0, +inf in the last bin — the cast of an unbounded offset
+/// to an index would otherwise be undefined behaviour.
+[[nodiscard]] std::size_t bucket_index(double lo, double width,
+                                       std::size_t bins,
+                                       double sample) noexcept;
+
 /// Fixed-width histogram over [lo, hi) with `bins` bins; samples outside
 /// the range are clamped into the edge bins.
 class Histogram {

@@ -1,0 +1,79 @@
+// Tests for obs/report: virtual-time progress cadence and lazy building.
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace upin::obs {
+namespace {
+
+class ReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Log::set_level(util::LogLevel::kInfo);
+    util::Log::set_sink([this](util::LogLevel, std::string_view message) {
+      captured_.emplace_back(message);
+    });
+  }
+  void TearDown() override {
+    util::Log::set_sink(nullptr);
+    util::Log::set_level(util::LogLevel::kWarn);
+  }
+  std::vector<std::string> captured_;
+};
+
+TEST_F(ReporterTest, FiresOncePerInterval) {
+  ProgressReporter reporter(util::sim_seconds(10.0));
+  int built = 0;
+  const auto builder = [&] {
+    ++built;
+    return std::string("progress");
+  };
+  reporter.tick(util::sim_seconds(1.0), builder);   // before first mark
+  reporter.tick(util::sim_seconds(10.0), builder);  // fires
+  reporter.tick(util::sim_seconds(12.0), builder);  // same interval
+  reporter.tick(util::sim_seconds(20.0), builder);  // fires again
+  EXPECT_EQ(built, 2);
+  EXPECT_EQ(captured_.size(), 2u);
+}
+
+TEST_F(ReporterTest, SkipsMissedIntervalsWithoutReplay) {
+  ProgressReporter reporter(util::sim_seconds(10.0));
+  int built = 0;
+  const auto builder = [&] {
+    ++built;
+    return std::string("progress");
+  };
+  // Virtual time can jump across many intervals in one probe; only one
+  // report fires and the mark lands past `now`.
+  reporter.tick(util::sim_seconds(95.0), builder);
+  EXPECT_EQ(built, 1);
+  reporter.tick(util::sim_seconds(99.0), builder);
+  EXPECT_EQ(built, 1);
+  reporter.tick(util::sim_seconds(100.0), builder);
+  EXPECT_EQ(built, 2);
+}
+
+TEST_F(ReporterTest, FilteredLevelNeverInvokesBuilder) {
+  util::Log::set_level(util::LogLevel::kWarn);
+  ProgressReporter reporter(util::sim_seconds(1.0), util::LogLevel::kInfo);
+  bool built = false;
+  reporter.tick(util::sim_seconds(50.0), [&] {
+    built = true;
+    return std::string("expensive");
+  });
+  EXPECT_FALSE(built);
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(ReporterTest, FinalBypassesTimer) {
+  ProgressReporter reporter(util::sim_seconds(1000.0));
+  reporter.final([] { return std::string("done units=5/5"); });
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0], "done units=5/5");
+}
+
+}  // namespace
+}  // namespace upin::obs

@@ -1,0 +1,140 @@
+// Tests for obs/span: virtual-clock span trees, adoption, rendering.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "util/clock.hpp"
+
+namespace upin::obs {
+namespace {
+
+util::SimTime ns(std::int64_t n) { return util::SimTime(n); }
+
+TEST(SpanTracer, BuildsHierarchy) {
+  SpanTracer tracer("campaign");
+  tracer.open("destination 3", ns(0));
+  tracer.open("path 3_0", ns(10));
+  tracer.open("ping", ns(20));
+  tracer.close(ns(30));  // ping
+  tracer.close(ns(40));  // path
+  tracer.close(ns(50));  // destination
+  EXPECT_EQ(tracer.span_count(), 4u);
+  const Span& root = tracer.root();
+  EXPECT_EQ(root.name, "campaign");
+  ASSERT_EQ(root.children.size(), 1u);
+  const Span& destination = *root.children[0];
+  EXPECT_EQ(destination.name, "destination 3");
+  EXPECT_EQ(destination.end, ns(50));
+  ASSERT_EQ(destination.children.size(), 1u);
+  EXPECT_EQ(destination.children[0]->children[0]->name, "ping");
+}
+
+TEST(SpanTracer, RenderIsDeterministicAndIndented) {
+  const auto build = [] {
+    SpanTracer tracer("campaign");
+    tracer.open("unit s1 i0", ns(100));
+    tracer.open("ping", ns(110));
+    tracer.close(ns(200));
+    tracer.close(ns(250));
+    return tracer.render();
+  };
+  const std::string first = build();
+  EXPECT_EQ(first, build());
+  EXPECT_EQ(first,
+            "campaign [0..250]\n"
+            "  unit s1 i0 [100..250]\n"
+            "    ping [110..200]\n");
+}
+
+TEST(SpanTracer, RootExtentDerivedFromChildren) {
+  SpanTracer tracer("campaign");
+  tracer.open("a", ns(5));
+  tracer.close(ns(75));
+  // The root was never closed: its rendered end is the subtree extent.
+  EXPECT_EQ(tracer.render(),
+            "campaign [0..75]\n"
+            "  a [5..75]\n");
+}
+
+TEST(SpanTracer, UnbalancedCloseNeverPopsRoot) {
+  SpanTracer tracer("campaign");
+  tracer.open("a", ns(1));
+  tracer.close(ns(2));
+  tracer.close(ns(3));  // extra close: ignored, root stays open
+  tracer.open("b", ns(4));
+  tracer.close(ns(5));
+  const Span& root = tracer.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[1]->name, "b");
+}
+
+TEST(SpanTracer, AdoptGraftsWorkerTree) {
+  SpanTracer campaign("campaign");
+  SpanTracer worker("destination 4");
+  worker.open("path 4_0", ns(10));
+  worker.close(ns(90));
+  campaign.adopt(std::move(worker));
+  EXPECT_EQ(campaign.span_count(), 3u);
+  const Span& root = campaign.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0]->name, "destination 4");
+  EXPECT_EQ(root.children[0]->children[0]->name, "path 4_0");
+}
+
+TEST(SpanTracer, AdoptionOrderIsCallerControlled) {
+  SpanTracer campaign("campaign");
+  SpanTracer w2("destination 2");
+  SpanTracer w1("destination 1");
+  // Adopt in destination order regardless of construction order.
+  campaign.adopt(std::move(w1));
+  campaign.adopt(std::move(w2));
+  const Span& root = campaign.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "destination 1");
+  EXPECT_EQ(root.children[1]->name, "destination 2");
+}
+
+TEST(SpanTracer, JsonShape) {
+  SpanTracer tracer("campaign");
+  tracer.open("ping", ns(7));
+  tracer.close(ns(9));
+  const util::Value json = tracer.to_json();
+  EXPECT_EQ(json.get("name")->as_string(), "campaign");
+  ASSERT_TRUE(json.get("children")->is_array());
+  const util::Value& child = json.get("children")->as_array()[0];
+  EXPECT_EQ(child.get("name")->as_string(), "ping");
+  EXPECT_EQ(child.get("start_ns")->as_int(), 7);
+  EXPECT_EQ(child.get("end_ns")->as_int(), 9);
+}
+
+TEST(ScopedSpan, FollowsVirtualClock) {
+  util::VirtualClock clock;
+  SpanTracer tracer("campaign");
+  clock.advance(ns(100));
+  {
+    const ScopedSpan unit(&tracer, clock, "unit");
+    clock.advance(ns(50));
+    {
+      const ScopedSpan probe(&tracer, clock, "probe");
+      clock.advance(ns(25));
+    }
+  }
+  const Span& unit = *tracer.root().children[0];
+  EXPECT_EQ(unit.start, ns(100));
+  EXPECT_EQ(unit.end, ns(175));
+  const Span& probe = *unit.children[0];
+  EXPECT_EQ(probe.start, ns(150));
+  EXPECT_EQ(probe.end, ns(175));
+}
+
+TEST(ScopedSpan, NullTracerIsNoop) {
+  util::VirtualClock clock;
+  const ScopedSpan span(nullptr, clock, "ignored");
+  // Nothing to assert beyond "does not crash".
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace upin::obs

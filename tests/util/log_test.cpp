@@ -51,6 +51,46 @@ TEST_F(LogTest, LevelRoundTrip) {
   EXPECT_EQ(Log::level(), LogLevel::kInfo);
 }
 
+TEST_F(LogTest, LazyBuilderRunsWhenEnabled) {
+  int built = 0;
+  Log::debug([&] {
+    ++built;
+    return std::string("built once");
+  });
+  EXPECT_EQ(built, 1);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "built once");
+}
+
+TEST_F(LogTest, LazyBuilderNotInvokedWhenFiltered) {
+  Log::set_level(LogLevel::kError);
+  bool built = false;
+  Log::debug([&] {
+    built = true;
+    return std::string("expensive formatting");
+  });
+  Log::info([&] {
+    built = true;
+    return std::string("expensive formatting");
+  });
+  Log::warn([&] {
+    built = true;
+    return std::string("expensive formatting");
+  });
+  EXPECT_FALSE(built);  // the whole point of the lazy overloads
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, EnabledMatchesLevelFilter) {
+  Log::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+}
+
 TEST(LogLevelNames, Stable) {
   EXPECT_STREQ(to_string(LogLevel::kDebug), "debug");
   EXPECT_STREQ(to_string(LogLevel::kWarn), "warn");

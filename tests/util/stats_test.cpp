@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace upin::util {
@@ -163,6 +165,47 @@ TEST(Histogram, BoundaryLandsInUpperBin) {
   Histogram h(0.0, 10.0, 5);
   h.add(2.0);  // exactly on the 0/1 edge -> bin 1
   EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(BucketIndex, EmptyLayoutIsBinZero) {
+  EXPECT_EQ(bucket_index(0.0, 1.0, 0, 5.0), 0u);
+}
+
+TEST(BucketIndex, SingleBinSwallowsEverything) {
+  EXPECT_EQ(bucket_index(0.0, 10.0, 1, -3.0), 0u);
+  EXPECT_EQ(bucket_index(0.0, 10.0, 1, 5.0), 0u);
+  EXPECT_EQ(bucket_index(0.0, 10.0, 1, 99.0), 0u);
+}
+
+TEST(BucketIndex, BoundariesLandInUpperBin) {
+  // [0,10) in 5 bins of width 2: an exact edge belongs to the bin above.
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, 0.0), 0u);
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, 2.0), 1u);
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, 4.0), 2u);
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, 9.999), 4u);
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, 10.0), 4u);  // clamped at hi
+}
+
+TEST(BucketIndex, NonFiniteGuard) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, inf), 4u);
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, -inf), 0u);
+  EXPECT_EQ(bucket_index(0.0, 2.0, 5, std::nan("")), 0u);
+}
+
+TEST(Histogram, EmptyHistogramReadsAsZeros) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t bin = 0; bin < 5; ++bin) EXPECT_EQ(h.count(bin), 0u);
+}
+
+TEST(Histogram, InfinitiesClampToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 2u);
 }
 
 TEST(Pearson, PerfectCorrelations) {
