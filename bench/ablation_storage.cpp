@@ -8,6 +8,7 @@
 // destination actually produces.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
@@ -155,6 +156,59 @@ void BM_InsertBatchedParallel(benchmark::State& state) {
   }
 }
 
+// Compact-under-load: the write gate lets compact() run against live
+// writers instead of requiring a quiesced database.  This measures what
+// a mid-campaign journal rewrite costs the writers (and itself): each
+// iteration is one compact() while four survey threads keep batching.
+// The upin_compact_* counters land in the report via state.counters.
+void BM_CompactUnderLoad(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  const std::string path = temp_journal("compact");
+  std::filesystem::remove(path);
+  auto db = std::move(docdb::Database::open(path).value());
+  docdb::Collection& coll = db->collection(measure::kPathsStats);
+  const std::uint64_t runs_before = journal_counter("upin_compact_runs_total");
+  const std::uint64_t records_before =
+      journal_counter("upin_compact_records_total");
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&coll, &done, batch, w] {
+      int iter = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const std::string path_id =
+            "c" + std::to_string(w) + "_" + std::to_string(iter++);
+        std::vector<docdb::Document> docs;
+        docs.reserve(static_cast<std::size_t>(batch));
+        for (int i = 0; i < batch; ++i) {
+          docs.push_back(make_stats_doc(i, path_id));
+        }
+        benchmark::DoNotOptimize(coll.insert_many(std::move(docs)));
+      }
+    });
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->compact());
+  }
+  done.store(true);
+  for (auto& t : writers) t.join();
+
+  state.counters["compact_runs"] = static_cast<double>(
+      journal_counter("upin_compact_runs_total") - runs_before);
+  state.counters["compact_failures"] = static_cast<double>(
+      journal_counter("upin_compact_failures_total"));
+  state.counters["records_per_compact"] =
+      state.iterations() > 0
+          ? static_cast<double>(
+                journal_counter("upin_compact_records_total") -
+                records_before) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  db.reset();
+  std::filesystem::remove(path);
+}
+
 BENCHMARK(BM_InsertOneByOne)->Arg(8)->Arg(24)->Arg(96);
 BENCHMARK(BM_InsertBatched)->Arg(8)->Arg(24)->Arg(96);
 BENCHMARK(BM_InsertBatchedParallel)
@@ -163,6 +217,7 @@ BENCHMARK(BM_InsertBatchedParallel)
     ->Arg(96)
     ->Threads(4)
     ->UseRealTime();
+BENCHMARK(BM_CompactUnderLoad)->Arg(24)->UseRealTime();
 
 }  // namespace
 

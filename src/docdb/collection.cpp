@@ -31,11 +31,23 @@ void Collection::emit_sync(SyncTicket* ticket) {
   emit(event);
 }
 
-void Collection::await_sync(const SyncTicket& ticket) {
-  const Status flushed = ticket.wait();
+Status Collection::await_sync(const SyncTicket& ticket) {
+  Status flushed = ticket.wait();
   if (!flushed.ok()) {
     util::Log::error("journal sync failed: " + flushed.error().message);
+    flushed = Status(ErrorCode::kDataLoss,
+                     "journal sync failed: " + flushed.error().message);
   }
+  return flushed;
+}
+
+std::shared_lock<std::shared_mutex> Collection::gate_lock() const {
+  return write_gate_ == nullptr ? std::shared_lock<std::shared_mutex>()
+                                : std::shared_lock(*write_gate_);
+}
+
+void Collection::set_write_gate(std::shared_mutex* gate) {
+  write_gate_ = gate;
 }
 
 Result<std::string> Collection::prepare_document(Document& doc) {
@@ -76,6 +88,7 @@ Result<std::string> Collection::insert_one(Document doc) {
 
   SyncTicket ticket;
   {
+    const std::shared_lock gate = gate_lock();
     const std::unique_lock lock(mutex_);
     if (id_to_slot_.contains(id.value())) {
       return util::Error{ErrorCode::kConflict,
@@ -87,7 +100,8 @@ Result<std::string> Collection::insert_one(Document doc) {
     emit(event);
     emit_sync(&ticket);
   }
-  await_sync(ticket);
+  const Status durable = await_sync(ticket);
+  if (!durable.ok()) return Result<std::string>(durable.error());
   return id;
 }
 
@@ -122,6 +136,7 @@ Result<std::vector<std::string>> Collection::insert_many(
 
   SyncTicket ticket;
   {
+    const std::shared_lock gate = gate_lock();
     const std::unique_lock lock(mutex_);
     for (const std::string& id : ids) {
       if (id_to_slot_.contains(id)) {
@@ -138,7 +153,10 @@ Result<std::vector<std::string>> Collection::insert_many(
     // One durability point for the whole batch (§4.2.2 trade-off).
     if (!docs.empty()) emit_sync(&ticket);
   }
-  await_sync(ticket);
+  const Status durable = await_sync(ticket);
+  if (!durable.ok()) {
+    return Result<std::vector<std::string>>(durable.error());
+  }
   return ids;
 }
 
@@ -226,6 +244,7 @@ Result<std::size_t> Collection::update_many(const Filter& filter,
   SyncTicket ticket;
   std::size_t modified = 0;
   {
+    const std::shared_lock gate = gate_lock();
     const std::unique_lock lock(mutex_);
     for (const std::size_t position : candidates_locked(filter)) {
       Slot& slot = slots_[position];
@@ -250,7 +269,8 @@ Result<std::size_t> Collection::update_many(const Filter& filter,
     }
     if (modified > 0) emit_sync(&ticket);
   }
-  await_sync(ticket);
+  const Status durable = await_sync(ticket);
+  if (!durable.ok()) return Result<std::size_t>(durable.error());
   return modified;
 }
 
@@ -258,6 +278,7 @@ std::size_t Collection::delete_many(const Filter& filter) {
   SyncTicket ticket;
   std::size_t removed = 0;
   {
+    const std::shared_lock gate = gate_lock();
     const std::unique_lock lock(mutex_);
     for (const std::size_t position : candidates_locked(filter)) {
       Slot& slot = slots_[position];
@@ -277,13 +298,16 @@ std::size_t Collection::delete_many(const Filter& filter) {
     }
     if (removed > 0) emit_sync(&ticket);
   }
-  await_sync(ticket);
+  // Count-returning API: a sync failure is logged by await_sync but not
+  // reported — the deletions are applied in memory either way.
+  (void)await_sync(ticket);
   return removed;
 }
 
 bool Collection::delete_by_id(std::string_view id) {
   SyncTicket ticket;
   {
+    const std::shared_lock gate = gate_lock();
     const std::unique_lock lock(mutex_);
     const auto it = id_to_slot_.find(std::string(id));
     if (it == id_to_slot_.end()) return false;
@@ -299,7 +323,8 @@ bool Collection::delete_by_id(std::string_view id) {
     emit(event);
     emit_sync(&ticket);
   }
-  await_sync(ticket);
+  // Bool-returning API: sync failures are logged by await_sync only.
+  (void)await_sync(ticket);
   return true;
 }
 

@@ -69,10 +69,13 @@ class Collection {
 
   /// Insert one document.  A missing `_id` is assigned ("doc_<n>");
   /// a duplicate `_id` is a kConflict.  Returns the document's id.
+  /// On a journaled collection a failed durability sync is reported as
+  /// kDataLoss: the document is in memory but may not be on disk.
   util::Result<std::string> insert_one(Document doc);
 
   /// Atomic batch insert: either every document is inserted or none
   /// (first conflicting/invalid id reported).  Returns the ids in order.
+  /// Durability-sync failures surface as kDataLoss, as for insert_one.
   util::Result<std::vector<std::string>> insert_many(std::vector<Document> docs);
 
   /// Fetch by id.
@@ -115,6 +118,13 @@ class Collection {
   /// expected to stamp kSync tickets.  Install it before concurrent use.
   void set_observer(std::function<void(MutationEvent&)> observer);
 
+  /// Install the owning database's write gate.  Every mutating call
+  /// holds it shared for the mutate+emit window; Database::compact()
+  /// holds it exclusive, so a snapshot is always a superset of every
+  /// frame the journal writer could still commit to the pre-compact
+  /// file.  Install it before concurrent use.
+  void set_write_gate(std::shared_mutex* gate);
+
  private:
   struct Slot {
     Document doc;
@@ -133,8 +143,13 @@ class Collection {
   void emit(MutationEvent& event);
   /// Emit the kSync durability point, stamping `ticket`.
   void emit_sync(SyncTicket* ticket);
-  /// Await a stamped ticket (call *without* mutex_ held); logs failures.
-  static void await_sync(const SyncTicket& ticket);
+  /// Await a stamped ticket (call *without* mutex_ or the write gate
+  /// held).  A failure means the mutation is in memory but its journal
+  /// frame may not be durable.
+  [[nodiscard]] static util::Status await_sync(const SyncTicket& ticket);
+  /// Shared hold on the database write gate (no-op when none installed).
+  /// Acquire *before* mutex_ — same order as Database::compact().
+  [[nodiscard]] std::shared_lock<std::shared_mutex> gate_lock() const;
 
   [[nodiscard]] bool journaled() const {
     return has_observer_.load(std::memory_order_acquire);
@@ -148,6 +163,7 @@ class Collection {
   std::atomic<std::uint64_t> next_auto_id_{1};
   std::atomic<bool> has_observer_{false};
   std::function<void(MutationEvent&)> observer_;
+  std::shared_mutex* write_gate_ = nullptr;  ///< owned by the Database
 };
 
 }  // namespace upin::docdb

@@ -1,8 +1,5 @@
 #include "docdb/database.hpp"
 
-#include <filesystem>
-#include <system_error>
-
 #include "util/log.hpp"
 
 namespace upin::docdb {
@@ -20,10 +17,14 @@ Result<std::unique_ptr<Database>> Database::open(const std::string& path,
                                                  const DatabaseOptions& options) {
   auto db = std::make_unique<Database>();
   db->journal_ = std::make_unique<Journal>();
+  Vfs& fs = options.vfs == nullptr ? Vfs::real() : *options.vfs;
 
   // Replay first (journal not yet open for append, observers suppressed).
   db->replaying_ = true;
   ReplayReport report;
+  ReplayOptions replay_options;
+  replay_options.salvage = options.salvage_mode;
+  if (options.salvage_mode) replay_options.quarantine_path = path + ".quarantine";
   const Status replayed = Journal::replay(path, [&](const JournalRecord& record) -> Status {
     Collection& coll = db->collection(record.collection);
     if (record.op == "create_collection") {
@@ -50,7 +51,7 @@ Result<std::unique_ptr<Database>> Database::open(const std::string& path,
       return Status::success();
     }
     return Status(ErrorCode::kParseError, "unknown journal op: " + record.op);
-  }, &report);
+  }, &report, replay_options);
   db->replaying_ = false;
   if (!replayed.ok()) return Result<std::unique_ptr<Database>>(replayed.error());
   if (report.torn_tail) {
@@ -61,23 +62,34 @@ Result<std::unique_ptr<Database>> Database::open(const std::string& path,
                     " records recovered");
     // Cut the garbage tail off before appending, or the next record would
     // concatenate onto it and corrupt the journal for good.
-    std::error_code resize_error;
-    std::filesystem::resize_file(path, report.valid_prefix_bytes,
-                                 resize_error);
-    if (resize_error) {
+    const Status cut = fs.truncate(path, report.valid_prefix_bytes);
+    if (!cut.ok()) {
       return Result<std::unique_ptr<Database>>(util::Error{
           ErrorCode::kDataLoss,
-          "cannot truncate torn journal tail: " + resize_error.message()});
+          "cannot truncate torn journal tail: " + cut.error().message});
     }
   }
 
-  const Status opened = db->journal_->open(path);
+  const Status opened = db->journal_->open(path, options.vfs);
   if (!opened.ok()) return Result<std::unique_ptr<Database>>(opened.error());
   db->journal_->start_writer(options.journal_queue_depth);
+  if (report.quarantined_records > 0) {
+    util::Log::warn("journal " + path + ": quarantined " +
+                    std::to_string(report.quarantined_records) +
+                    " corrupt record(s) to " + report.quarantine_path +
+                    "; compacting");
+    // Scrub: rewrite the journal from the salvaged state so the corrupt
+    // lines are gone and a later *strict* open succeeds.
+    const Status scrubbed = db->compact();
+    if (!scrubbed.ok()) {
+      return Result<std::unique_ptr<Database>>(scrubbed.error());
+    }
+  }
   return db;
 }
 
 void Database::attach_observer(Collection& coll) {
+  coll.set_write_gate(&write_gate_);
   coll.set_observer([this](MutationEvent& event) {
     if (replaying_ || journal_ == nullptr || !journal_->is_open()) return;
     if (event.kind == MutationEvent::Kind::kSync) {
@@ -104,6 +116,10 @@ void Database::attach_observer(Collection& coll) {
 }
 
 Collection& Database::collection(const std::string& name) {
+  // Creating a collection enqueues a journal frame, so it must not race
+  // a compact() snapshot — same shared hold (and same gate-before-lock
+  // order) as every Collection mutator.
+  const std::shared_lock gate(write_gate_);
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = collections_.find(name);
   if (it == collections_.end()) {
@@ -221,6 +237,11 @@ std::vector<JournalRecord> Database::snapshot_records() const {
 
 Status Database::compact() {
   if (journal_ == nullptr) return Status::success();
+  // Exclusive gate: no mutator is inside its mutate+emit window, so once
+  // rewrite() drains the writer queue the snapshot covers every frame
+  // that could ever reach the pre-compact file — nothing is lost and
+  // nothing is double-applied on replay.
+  const std::unique_lock gate(write_gate_);
   return journal_->rewrite(snapshot_records());
 }
 

@@ -10,11 +10,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "docdb/collection.hpp"
 #include "docdb/journal.hpp"
+#include "docdb/vfs.hpp"
 
 namespace upin::docdb {
 
@@ -29,6 +31,15 @@ struct DatabaseOptions {
   /// queues absorb burstier parallel surveys at the cost of a larger
   /// at-crash unflushed tail for calls that have not yet returned.
   std::size_t journal_queue_depth = Journal::kDefaultQueueDepth;
+  /// Strict (false, default): a corrupt newline-terminated journal line
+  /// fails open() with kParseError.  Salvage (true): corrupt mid-file
+  /// records are quarantined to `<path>.quarantine` (header naming line
+  /// and reason, then the raw line), the rest replays, and the journal
+  /// is immediately compacted so later strict opens succeed.
+  bool salvage_mode = false;
+  /// Storage backend (nullptr = the real filesystem).  Must outlive the
+  /// database.  Tests plug a FaultVfs in here.
+  Vfs* vfs = nullptr;
 };
 
 /// An embedded multi-collection document database.
@@ -78,7 +89,10 @@ class Database {
   // ---- durability ------------------------------------------------------
 
   /// Rewrite the journal from live state (drops deleted/overwritten
-  /// history).  No-op for in-memory databases.
+  /// history).  Safe against concurrent mutators: the write gate is held
+  /// exclusively, so the snapshot is a superset of every frame the
+  /// group-commit writer could still put in the old file.  No-op for
+  /// in-memory databases.
   [[nodiscard]] util::Status compact();
 
   [[nodiscard]] bool is_durable() const noexcept { return journal_ != nullptr; }
@@ -91,6 +105,9 @@ class Database {
   // std::map keeps pointers stable and names sorted for listings.
   std::map<std::string, std::unique_ptr<Collection>> collections_;
   std::unique_ptr<Journal> journal_;
+  /// Mutators hold this shared (before any collection lock); compact()
+  /// holds it exclusive while snapshotting + rewriting the journal.
+  std::shared_mutex write_gate_;
   WriteGuard write_guard_;
   mutable std::mutex guard_mutex_;
   bool replaying_ = false;

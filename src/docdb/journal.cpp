@@ -2,7 +2,7 @@
 
 #include <chrono>
 #include <condition_variable>
-#include <cstdio>
+#include <fstream>
 #include <string_view>
 #include <vector>
 
@@ -28,6 +28,11 @@ struct JournalMetrics {
   obs::Counter& backpressure_stalls;
   obs::Counter& groups_committed;
   obs::Counter& bytes_written;
+  obs::Counter& io_errors;
+  obs::Counter& quarantined_records;
+  obs::Counter& compact_runs;
+  obs::Counter& compact_failures;
+  obs::Counter& compact_records;
   obs::LatencyHistogram& group_size;
   obs::LatencyHistogram& flush_latency_us;
   obs::LatencyHistogram& sync_wait_us;
@@ -39,6 +44,12 @@ struct JournalMetrics {
             "upin_journal_backpressure_stalls_total"),
         obs::Registry::global().counter("upin_journal_groups_committed_total"),
         obs::Registry::global().counter("upin_journal_bytes_written_total"),
+        obs::Registry::global().counter("upin_journal_io_errors_total"),
+        obs::Registry::global().counter(
+            "upin_journal_quarantined_records_total"),
+        obs::Registry::global().counter("upin_compact_runs_total"),
+        obs::Registry::global().counter("upin_compact_failures_total"),
+        obs::Registry::global().counter("upin_compact_records_total"),
         obs::Registry::global().histogram("upin_journal_group_size", 0.0,
                                           256.0, 32),
         obs::Registry::global().histogram("upin_journal_flush_latency_us", 0.0,
@@ -160,15 +171,19 @@ Status SyncTicket::wait() const {
 
 Journal::~Journal() { close(); }
 
-Status Journal::open(const std::string& path) {
+Status Journal::open(const std::string& path, Vfs* vfs) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (out_.is_open()) out_.close();
+  if (out_ != nullptr) out_->close();
   path_ = path;
-  out_.open(path, std::ios::app);
-  if (!out_) {
+  if (vfs != nullptr) vfs_ = vfs;
+  util::Result<std::unique_ptr<File>> opened = this->vfs().open_append(path);
+  if (!opened.ok()) {
+    out_.reset();
     open_flag_.store(false, std::memory_order_release);
-    return Status(ErrorCode::kDataLoss, "cannot open journal: " + path);
+    return Status(ErrorCode::kDataLoss,
+                  "cannot open journal: " + opened.error().message);
   }
+  out_ = std::move(opened).value();
   open_flag_.store(true, std::memory_order_release);
   return Status::success();
 }
@@ -181,7 +196,10 @@ void Journal::close() {
   stop_writer();
   const std::lock_guard<std::mutex> lock(mutex_);
   open_flag_.store(false, std::memory_order_release);
-  if (out_.is_open()) out_.close();
+  if (out_ != nullptr) {
+    out_->close();
+    out_.reset();
+  }
 }
 
 std::string Journal::encode(const JournalRecord& record) {
@@ -212,24 +230,28 @@ std::string Journal::encode_create_collection(const std::string& collection) {
 
 Status Journal::append(const JournalRecord& record) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!out_.is_open()) {
+  if (out_ == nullptr || !out_->is_open()) {
     return Status(ErrorCode::kDataLoss, "journal is not open");
   }
-  out_ << frame(encode(record)) << '\n';
-  if (!out_) {
-    return Status(ErrorCode::kDataLoss, "journal write failed: " + path_);
+  const Status wrote = out_->append(frame(encode(record)) + "\n");
+  if (!wrote.ok()) {
+    JournalMetrics::get().io_errors.add();
+    return Status(ErrorCode::kDataLoss,
+                  "journal write failed: " + wrote.error().message);
   }
   return Status::success();
 }
 
 Status Journal::flush() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!out_.is_open()) {
+  if (out_ == nullptr || !out_->is_open()) {
     return Status(ErrorCode::kDataLoss, "journal is not open");
   }
-  out_.flush();
-  if (!out_) {
-    return Status(ErrorCode::kDataLoss, "journal flush failed: " + path_);
+  const Status synced = out_->sync();
+  if (!synced.ok()) {
+    JournalMetrics::get().io_errors.add();
+    return Status(ErrorCode::kDataLoss,
+                  "journal flush failed: " + synced.error().message);
   }
   return Status::success();
 }
@@ -281,17 +303,18 @@ void Journal::writer_loop() {
     Status wrote = Status::success();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (!out_.is_open()) {
+      if (out_ == nullptr || !out_->is_open()) {
         wrote = Status(ErrorCode::kDataLoss, "journal is not open");
       } else {
-        out_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-        out_.flush();  // one write + one flush per group
-        if (!out_) {
-          wrote = Status(ErrorCode::kDataLoss,
-                         "journal group commit failed: " + path_);
+        wrote = out_->append(buffer);  // one write + one fsync per group
+        if (wrote.ok()) wrote = out_->sync();
+        if (!wrote.ok()) {
+          wrote = Status(ErrorCode::kDataLoss, "journal group commit failed: " +
+                                                   wrote.error().message);
         }
       }
     }
+    if (!wrote.ok()) metrics.io_errors.add();
     const double flush_us = elapsed_us(begin);
     metrics.groups_committed.add();
     metrics.bytes_written.add(buffer.size());
@@ -319,6 +342,13 @@ Status Journal::replay(
     const std::string& path,
     const std::function<Status(const JournalRecord&)>& replay,
     ReplayReport* report) {
+  return Journal::replay(path, replay, report, ReplayOptions{});
+}
+
+Status Journal::replay(
+    const std::string& path,
+    const std::function<Status(const JournalRecord&)>& replay,
+    ReplayReport* report, const ReplayOptions& options) {
   ReplayReport local_report;
   if (report == nullptr) report = &local_report;
   *report = ReplayReport{};
@@ -356,13 +386,34 @@ Status Journal::replay(
     if (!why.empty()) {
       // A bad line with no trailing newline is the signature of a crash
       // mid-append: recover the prefix, drop the tail.  Anywhere else
-      // the file is genuinely corrupt — refuse to guess.
+      // the file is genuinely corrupt — refuse to guess (strict), or
+      // quarantine the line and keep going (salvage).
       if (!newline_terminated) {
         report->torn_tail = true;
         report->torn_tail_line = line_number;
         report->valid_prefix_bytes = line_start;
         report->detail = "crash-truncated final record dropped (" + why + ")";
         return Status::success();
+      }
+      if (options.salvage) {
+        std::ofstream quarantine(options.quarantine_path,
+                                 std::ios::binary | std::ios::app);
+        quarantine << "# " << path << " line " << line_number << ": " << why
+                   << '\n'
+                   << line << '\n';
+        if (!quarantine) {
+          util::Log::warn("cannot write quarantine sidecar " +
+                          options.quarantine_path);
+        }
+        ++report->quarantined_records;
+        if (report->first_quarantined_line == 0) {
+          report->first_quarantined_line = line_number;
+        }
+        report->quarantine_path = options.quarantine_path;
+        JournalMetrics::get().quarantined_records.add();
+        util::Log::warn("journal " + path + " line " +
+                        std::to_string(line_number) + " quarantined: " + why);
+        continue;
       }
       return Status(ErrorCode::kParseError,
                     "journal line " + std::to_string(line_number) +
@@ -377,8 +428,24 @@ Status Journal::replay(
 }
 
 Status Journal::rewrite(const std::vector<JournalRecord>& records) {
+  JournalMetrics& metrics = JournalMetrics::get();
+  metrics.compact_runs.add();
+  const Status result = rewrite_impl(records);
+  if (result.ok()) {
+    metrics.compact_records.add(records.size());
+  } else {
+    metrics.compact_failures.add();
+    metrics.io_errors.add();
+  }
+  return result;
+}
+
+Status Journal::rewrite_impl(const std::vector<JournalRecord>& records) {
   // Quiesce: every frame enqueued before this call must be on disk,
   // or the writer would later append stale frames onto the fresh file.
+  // (The owning Database additionally gates mutations for the duration,
+  // so nothing new is enqueued; holding mutex_ below keeps the writer
+  // thread parked even if something slips through.)
   if (queue_ != nullptr) {
     const Status drained = sync(queue_->pushed());
     if (!drained.ok()) return drained;
@@ -387,30 +454,57 @@ Status Journal::rewrite(const std::vector<JournalRecord>& records) {
   if (path_.empty()) {
     return Status(ErrorCode::kDataLoss, "journal has no path");
   }
+  Vfs& fs = vfs();
   const std::string temp_path = path_ + ".tmp";
   {
-    std::ofstream temp(temp_path, std::ios::trunc);
-    if (!temp) {
-      return Status(ErrorCode::kDataLoss, "cannot open " + temp_path);
+    util::Result<std::unique_ptr<File>> opened = fs.open_trunc(temp_path);
+    if (!opened.ok()) {
+      return Status(ErrorCode::kDataLoss,
+                    "cannot open " + temp_path + ": " + opened.error().message);
     }
+    const std::unique_ptr<File> temp = std::move(opened).value();
     for (const JournalRecord& record : records) {
-      temp << frame(encode(record)) << '\n';
+      const Status wrote = temp->append(frame(encode(record)) + "\n");
+      if (!wrote.ok()) {
+        return Status(ErrorCode::kDataLoss,
+                      "write failed: " + wrote.error().message);
+      }
     }
-    temp.flush();
-    if (!temp) {
-      return Status(ErrorCode::kDataLoss, "write failed: " + temp_path);
+    // fsync the temp *before* the rename: otherwise the rename can become
+    // durable while the contents are not, and a crash leaves a renamed
+    // but empty/partial journal — losing every committed record.
+    const Status synced = temp->sync();
+    if (!synced.ok()) {
+      return Status(ErrorCode::kDataLoss,
+                    "fsync failed: " + synced.error().message);
     }
   }
-  if (out_.is_open()) out_.close();
-  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
-    open_flag_.store(false, std::memory_order_release);
-    return Status(ErrorCode::kDataLoss, "rename failed: " + path_);
+  if (out_ != nullptr) {
+    out_->close();
+    out_.reset();
   }
-  out_.open(path_, std::ios::app);
-  if (!out_) {
+  const Status renamed = fs.rename(temp_path, path_);
+  if (!renamed.ok()) {
     open_flag_.store(false, std::memory_order_release);
-    return Status(ErrorCode::kDataLoss, "cannot reopen journal: " + path_);
+    return Status(ErrorCode::kDataLoss,
+                  "rename failed: " + renamed.error().message);
   }
+  // fsync the parent directory: until the directory entry is durable a
+  // crash can resurrect the old journal (with stale, already-compacted
+  // history) in place of the new one.
+  const Status dir_synced = fs.sync_parent_dir(path_);
+  if (!dir_synced.ok()) {
+    open_flag_.store(false, std::memory_order_release);
+    return Status(ErrorCode::kDataLoss,
+                  "directory fsync failed: " + dir_synced.error().message);
+  }
+  util::Result<std::unique_ptr<File>> reopened = fs.open_append(path_);
+  if (!reopened.ok()) {
+    open_flag_.store(false, std::memory_order_release);
+    return Status(ErrorCode::kDataLoss,
+                  "cannot reopen journal: " + reopened.error().message);
+  }
+  out_ = std::move(reopened).value();
   return Status::success();
 }
 

@@ -11,7 +11,7 @@
 //  * the group-commit pipeline — producers enqueue() pre-encoded record
 //    payloads into a bounded MPSC queue and sync() on a durability
 //    ticket; a dedicated writer thread drains the queue in groups and
-//    commits each group with ONE write + ONE flush.  This takes framing,
+//    commits each group with ONE write + ONE fsync.  This takes framing,
 //    CRC and file I/O off the mutating threads (and off the collection
 //    lock), which is what lets parallel surveys batch their storage the
 //    way the paper batches MongoDB insertions (§4.2.2).
@@ -26,14 +26,16 @@
 #pragma once
 
 #include <atomic>
-#include <fstream>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "docdb/document.hpp"
+#include "docdb/vfs.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/result.hpp"
 
@@ -60,6 +62,21 @@ struct ReplayReport {
   /// record would concatenate onto the garbage tail.
   std::size_t valid_prefix_bytes = 0;
   std::string detail;              ///< human-readable account of the tail
+  // ---- salvage mode only ----
+  std::size_t quarantined_records = 0;  ///< corrupt mid-file lines dropped
+  std::size_t first_quarantined_line = 0;  ///< 1-based, 0 if none
+  std::string quarantine_path;     ///< sidecar written to (empty if none)
+};
+
+/// Recovery policy for replay().
+struct ReplayOptions {
+  /// Strict (false, default): a corrupt newline-terminated line anywhere
+  /// fails hard with kParseError.  Salvage (true): such lines are
+  /// appended verbatim to the `quarantine_path` sidecar — with a header
+  /// naming the source line and the reason — and replay continues with
+  /// the rest.  The torn-tail contract is unchanged in both modes.
+  bool salvage = false;
+  std::string quarantine_path;  ///< required when salvage is on
 };
 
 class Journal;
@@ -89,7 +106,10 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
   /// Open (creating if needed) the journal at `path` for appending.
-  [[nodiscard]] util::Status open(const std::string& path);
+  /// `vfs` is the storage backend (nullptr = the real filesystem); it
+  /// must outlive the journal.
+  [[nodiscard]] util::Status open(const std::string& path,
+                                  Vfs* vfs = nullptr);
   [[nodiscard]] bool is_open() const noexcept;
   /// Stop the writer thread (draining and committing every queued
   /// frame), then close the file.
@@ -97,11 +117,11 @@ class Journal {
 
   // ---- synchronous path (tools, tests) -------------------------------
 
-  /// Append one record to the OS buffer (no flush — call flush() at a
-  /// durability point; batches share one flush, see §4.2.2).
+  /// Append one record to the OS (visible, not yet durable — call
+  /// flush() at a durability point; batches share one fsync, see §4.2.2).
   [[nodiscard]] util::Status append(const JournalRecord& record);
 
-  /// Flush buffered records to the file.
+  /// Make appended records durable (fsync through the VFS).
   [[nodiscard]] util::Status flush();
 
   // ---- group-commit pipeline -----------------------------------------
@@ -157,20 +177,38 @@ class Journal {
       const std::function<util::Status(const JournalRecord&)>& replay,
       ReplayReport* report = nullptr);
 
-  /// Atomically replace the journal contents with `records`
-  /// (write temp + rename).  Quiesces the writer pipeline first, so
-  /// every frame enqueued before the call is committed before the swap.
+  /// Replay with an explicit recovery policy (see ReplayOptions): salvage
+  /// mode quarantines corrupt mid-file records instead of failing hard.
+  [[nodiscard]] static util::Status replay(
+      const std::string& path,
+      const std::function<util::Status(const JournalRecord&)>& replay,
+      ReplayReport* report, const ReplayOptions& options);
+
+  /// Atomically replace the journal contents with `records`.  Quiesces
+  /// the writer pipeline first (every frame enqueued before the call is
+  /// committed before the swap — the file mutex then keeps the writer
+  /// parked for the duration), writes the temp file, fsyncs it, renames
+  /// it over the journal and fsyncs the parent directory, so no crash
+  /// point can lose committed records or resurrect the old journal.
   [[nodiscard]] util::Status rewrite(const std::vector<JournalRecord>& records);
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   static std::string encode(const JournalRecord& record);
+  [[nodiscard]] util::Status rewrite_impl(
+      const std::vector<JournalRecord>& records);
   void writer_loop();
   void stop_writer();
 
+  /// Backend in use (never null after open()).
+  [[nodiscard]] Vfs& vfs() const noexcept {
+    return vfs_ == nullptr ? Vfs::real() : *vfs_;
+  }
+
   std::string path_;
-  std::ofstream out_;
+  Vfs* vfs_ = nullptr;                ///< storage seam; not owned
+  std::unique_ptr<File> out_;
   std::mutex mutex_;                  ///< guards out_ (file I/O)
   std::atomic<bool> open_flag_{false};
 

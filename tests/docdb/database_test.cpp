@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <thread>
 
@@ -235,6 +237,154 @@ TEST(Database, CompactOnInMemoryIsNoop) {
   Database db;
   EXPECT_TRUE(db.compact().ok());
   EXPECT_FALSE(db.is_durable());
+}
+
+TEST_F(DurableDatabaseTest, InsertsWhileCompactingLoseNothing) {
+  // Satellite: compact() racing the group-commit pipeline.  Writers
+  // hammer the collection while the main thread compacts repeatedly;
+  // the write gate must guarantee that every insert whose call returned
+  // is in the post-compact journal (no loss, no duplication).
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 120;
+  {
+    auto opened = Database::open(path_);
+    ASSERT_TRUE(opened.ok());
+    Database& db = *opened.value();
+    Collection& coll = db.collection("c");
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&coll, w] {
+        for (int i = 0; i < kPerWriter; ++i) {
+          const std::string id =
+              "w" + std::to_string(w) + "_" + std::to_string(i);
+          EXPECT_TRUE(
+              coll.insert_one(Value::object({{"_id", id}, {"n", i}})).ok());
+        }
+      });
+    }
+    std::thread compactor([&db, &done] {
+      while (!done.load()) {
+        EXPECT_TRUE(db.compact().ok());
+      }
+    });
+    for (auto& t : writers) t.join();
+    done.store(true);
+    compactor.join();
+    ASSERT_TRUE(db.compact().ok());
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  Collection& replayed = reopened.value()->collection("c");
+  ASSERT_EQ(replayed.size(),
+            static_cast<std::size_t>(kWriters * kPerWriter));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      EXPECT_TRUE(replayed
+                      .find_by_id("w" + std::to_string(w) + "_" +
+                                  std::to_string(i))
+                      .ok());
+    }
+  }
+}
+
+// --------------------------------------------------------- salvage mode
+
+class SalvageDatabaseTest : public DurableDatabaseTest {
+ protected:
+  void SetUp() override {
+    DurableDatabaseTest::SetUp();
+    quarantine_ = path_ + ".quarantine";
+    std::filesystem::remove(quarantine_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(quarantine_);
+    DurableDatabaseTest::TearDown();
+  }
+
+  /// Build a journal with three documents, then flip one payload byte of
+  /// the middle insert (newline kept: mid-file corruption, not a torn
+  /// tail).
+  void corrupt_middle_record() {
+    {
+      auto db = Database::open(path_);
+      ASSERT_TRUE(db.ok());
+      for (const char* id : {"a", "b", "c"}) {
+        ASSERT_TRUE(db.value()
+                        ->collection("paths")
+                        .insert_one(Value::object({{"_id", id}, {"v", 1}}))
+                        .ok());
+      }
+    }
+    std::string content;
+    {
+      std::ifstream in(path_, std::ios::binary);
+      content.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    const std::size_t victim = content.find("\"b\"");
+    ASSERT_NE(victim, std::string::npos);
+    content[victim + 1] = 'z';
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string quarantine_;
+};
+
+TEST_F(SalvageDatabaseTest, StrictOpenFailsOnMidfileCorruption) {
+  corrupt_middle_record();
+  const auto failed = Database::open(path_);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, ErrorCode::kParseError);
+  EXPECT_FALSE(std::filesystem::exists(quarantine_))
+      << "strict mode must not write sidecars";
+}
+
+TEST_F(SalvageDatabaseTest, SalvageOpenQuarantinesAndScrubs) {
+  corrupt_middle_record();
+  DatabaseOptions options;
+  options.salvage_mode = true;
+  {
+    auto salvaged = Database::open(path_, options);
+    ASSERT_TRUE(salvaged.ok());
+    Collection& coll = salvaged.value()->collection("paths");
+    EXPECT_EQ(coll.size(), 2u);
+    EXPECT_TRUE(coll.find_by_id("a").ok());
+    EXPECT_FALSE(coll.find_by_id("b").ok()) << "the corrupt record is gone";
+    EXPECT_TRUE(coll.find_by_id("c").ok());
+  }
+  // The sidecar names the dropped record.
+  ASSERT_TRUE(std::filesystem::exists(quarantine_));
+  std::string sidecar;
+  {
+    std::ifstream in(quarantine_);
+    sidecar.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  EXPECT_NE(sidecar.find("checksum mismatch"), std::string::npos);
+  EXPECT_NE(sidecar.find("crc32="), std::string::npos);
+
+  // Salvage compacted the journal on open, so a later *strict* open
+  // succeeds: the corruption was quarantined, not left in place.
+  auto strict = Database::open(path_);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict.value()->collection("paths").size(), 2u);
+}
+
+TEST_F(SalvageDatabaseTest, SalvageOpenOnCleanJournalWritesNoSidecar) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        db.value()->collection("c").insert_one(doc(R"({"_id": "a"})")).ok());
+  }
+  DatabaseOptions options;
+  options.salvage_mode = true;
+  auto reopened = Database::open(path_, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->collection("c").size(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(quarantine_));
 }
 
 TEST(WriteGuard, RejectsWithoutCredentialWhenGuarded) {

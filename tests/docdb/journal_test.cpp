@@ -325,6 +325,180 @@ TEST_F(JournalTest, MixedLegacyAndChecksummedLinesReplay) {
   EXPECT_EQ(ids, (std::vector<std::string>{"legacy", "framed"}));
 }
 
+TEST_F(JournalTest, InterleavedLegacyAndFramedLinesReplayInOrder) {
+  // A journal that grew across format generations: bare JSON lines
+  // interleaved with CRC-framed ones, in both orders.
+  {
+    std::ofstream out(path_);
+    out << R"({"op":"insert","coll":"c","id":"l1","doc":{"_id":"l1"}})"
+        << "\n";
+  }
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("f1")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << R"({"op":"insert","coll":"c","id":"l2","doc":{"_id":"l2"}})"
+        << "\n";
+  }
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("f2")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  std::vector<std::string> ids;
+  ReplayReport report;
+  ASSERT_TRUE(Journal::replay(
+                  path_,
+                  [&](const JournalRecord& record) {
+                    ids.push_back(record.id);
+                    return util::Status::success();
+                  },
+                  &report)
+                  .ok());
+  EXPECT_EQ(ids, (std::vector<std::string>{"l1", "f1", "l2", "f2"}));
+  EXPECT_EQ(report.records_applied, 4u);
+  EXPECT_FALSE(report.torn_tail);
+}
+
+TEST_F(JournalTest, TornTailAfterLegacyLineIsDetected) {
+  std::size_t intact_bytes = 0;
+  {
+    std::ofstream out(path_);
+    out << R"({"op":"insert","coll":"c","id":"legacy","doc":{"_id":"l"}})"
+        << "\n";
+    out.flush();
+    intact_bytes = static_cast<std::size_t>(out.tellp());
+    out << R"({"op":"ins)";  // crash mid-append of a legacy-format line
+  }
+  std::vector<std::string> ids;
+  ReplayReport report;
+  ASSERT_TRUE(Journal::replay(
+                  path_,
+                  [&](const JournalRecord& record) {
+                    ids.push_back(record.id);
+                    return util::Status::success();
+                  },
+                  &report)
+                  .ok());
+  EXPECT_EQ(ids, std::vector<std::string>{"legacy"});
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.torn_tail_line, 2u);
+  EXPECT_EQ(report.valid_prefix_bytes, intact_bytes);
+}
+
+// ------------------------------------------------------- salvage mode
+
+class SalvageTest : public JournalTest {
+ protected:
+  void SetUp() override {
+    JournalTest::SetUp();
+    quarantine_ = path_ + ".quarantine";
+    std::filesystem::remove(quarantine_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(quarantine_);
+    JournalTest::TearDown();
+  }
+
+  /// Write three framed records and flip one payload byte of the middle
+  /// one (newline kept, so it reads as mid-file corruption).
+  void write_bitflipped_journal() {
+    {
+      Journal journal;
+      ASSERT_TRUE(journal.open(path_).ok());
+      for (const char* id : {"a", "b", "c"}) {
+        ASSERT_TRUE(journal.append(insert_record(id)).ok());
+      }
+      ASSERT_TRUE(journal.flush().ok());
+    }
+    std::string content;
+    {
+      std::ifstream in(path_, std::ios::binary);
+      content.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    const std::size_t victim = content.find("\"b\"");
+    ASSERT_NE(victim, std::string::npos);
+    content[victim + 1] = 'z';
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string quarantine_;
+};
+
+TEST_F(SalvageTest, StrictReplayStillFailsHard) {
+  write_bitflipped_journal();
+  const auto status = Journal::replay(
+      path_, [](const JournalRecord&) { return util::Status::success(); });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kParseError);
+}
+
+TEST_F(SalvageTest, SalvageQuarantinesCorruptLineAndReplaysRest) {
+  write_bitflipped_journal();
+  ReplayOptions options;
+  options.salvage = true;
+  options.quarantine_path = quarantine_;
+  std::vector<std::string> ids;
+  ReplayReport report;
+  ASSERT_TRUE(Journal::replay(
+                  path_,
+                  [&](const JournalRecord& record) {
+                    ids.push_back(record.id);
+                    return util::Status::success();
+                  },
+                  &report, options)
+                  .ok());
+  EXPECT_EQ(ids, (std::vector<std::string>{"a", "c"}))
+      << "the corrupt middle record is dropped, its neighbors replay";
+  EXPECT_EQ(report.records_applied, 2u);
+  EXPECT_EQ(report.quarantined_records, 1u);
+  EXPECT_EQ(report.first_quarantined_line, 2u);
+  EXPECT_EQ(report.quarantine_path, quarantine_);
+
+  // The sidecar names the source line and reason, then carries the raw
+  // bytes so nothing is destroyed, only set aside.
+  std::ifstream in(quarantine_);
+  std::string header;
+  std::string raw;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, raw));
+  EXPECT_NE(header.find("line 2"), std::string::npos);
+  EXPECT_NE(header.find("checksum mismatch"), std::string::npos);
+  EXPECT_TRUE(raw.starts_with("crc32="));
+}
+
+TEST_F(SalvageTest, SalvageLeavesTornTailContractUnchanged) {
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path_).ok());
+    ASSERT_TRUE(journal.append(insert_record("a")).ok());
+    ASSERT_TRUE(journal.flush().ok());
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "crc32=0123abcd {\"op\":\"ins";  // torn, not quarantined
+  }
+  ReplayOptions options;
+  options.salvage = true;
+  options.quarantine_path = quarantine_;
+  ReplayReport report;
+  ASSERT_TRUE(Journal::replay(
+                  path_,
+                  [](const JournalRecord&) { return util::Status::success(); },
+                  &report, options)
+                  .ok());
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.quarantined_records, 0u);
+  EXPECT_FALSE(std::filesystem::exists(quarantine_));
+}
+
 // ------------------------------------------ group-commit pipeline tests
 
 TEST_F(JournalTest, PipelineEnqueueSyncReplayRoundTrip) {
