@@ -15,10 +15,13 @@ using util::SimTime;
 
 ScionHost::ScionHost(const scion::ScionlabEnv& env, std::uint64_t seed,
                      IsdAsn local_as, std::string local_host_ip,
-                     simnet::NetworkConfig net_config)
+                     simnet::NetworkConfig net_config, HostConfig config)
     : env_(env),
       beaconing_(env.topology),
       compiled_(env.topology.compile(seed, net_config)),
+      config_(config),
+      control_plane_(seed, config.control_plane, env.topology, beaconing_,
+                     compiled_.node_of, compiled_.network.faults(), local_as),
       local_as_(local_as),
       local_host_ip_(std::move(local_host_ip)) {}
 
@@ -38,7 +41,9 @@ Result<std::vector<PathListing>> ScionHost::showpaths(
     return util::Error{ErrorCode::kNotFound,
                        "unknown destination AS " + dst.to_string()};
   }
-  std::vector<Path> paths = beaconing_.paths(local_as_, dst);
+  control_plane_.sync(clock_.now());
+  std::vector<Path> paths =
+      control_plane_.annotated_paths(local_as_, dst, clock_.now());
   if (paths.size() > options.max_paths) paths.resize(options.max_paths);
 
   std::vector<PathListing> listings;
@@ -48,13 +53,16 @@ Result<std::vector<PathListing>> ScionHost::showpaths(
     listing.path = paths[i];
     // Path status reflects current liveness: a hop inside an active hard
     // outage window makes the path show "timeout", as in the real
-    // `showpaths` output.
-    for (const scion::PathHop& hop : listing.path.hops()) {
-      const auto node = compiled_.node_of.find(hop.ia);
-      if (node != compiled_.node_of.end() &&
-          compiled_.network.outage_drop(node->second, clock_.now()) >= 1.0) {
-        listing.path.set_status("timeout");
-        break;
+    // `showpaths` output.  A delivered revocation ("revoked") wins over
+    // the data-plane view; stale lifetime flags lose to both.
+    if (listing.path.status() != "revoked") {
+      for (const scion::PathHop& hop : listing.path.hops()) {
+        const auto node = compiled_.node_of.find(hop.ia);
+        if (node != compiled_.node_of.end() &&
+            compiled_.network.outage_drop(node->second, clock_.now()) >= 1.0) {
+          listing.path.set_status("timeout");
+          break;
+        }
       }
     }
     std::string render =
@@ -71,14 +79,27 @@ Result<std::vector<PathListing>> ScionHost::showpaths(
   return listings;
 }
 
-Result<Path> ScionHost::pick_path(IsdAsn dst,
-                                  const std::string& sequence) const {
-  const std::vector<Path> paths = beaconing_.paths(local_as_, dst);
+Result<Path> ScionHost::pick_path(IsdAsn dst, const std::string& sequence) {
+  const SimTime now = clock_.now();
+  control_plane_.sync(now);
+  const std::vector<Path> paths =
+      control_plane_.annotated_paths(local_as_, dst, now);
   if (paths.empty()) {
     return util::Error{ErrorCode::kUnreachable,
                        "no path to " + dst.to_string()};
   }
-  if (sequence.empty()) return paths.front();
+
+  if (sequence.empty()) {
+    // Best live path: skip anything with a delivered revocation.  This is
+    // host-level failover — the ranking is untouched, dead paths just
+    // drop out until their fault window heals.
+    for (const Path& candidate : paths) {
+      if (candidate.status() != "revoked") return candidate;
+    }
+    return util::Error{ErrorCode::kRevoked,
+                       "all paths to " + dst.to_string() +
+                           " are revoked by the control plane"};
+  }
 
   Result<Path> wanted = Path::parse_sequence(sequence);
   if (!wanted.ok()) return wanted;
@@ -91,10 +112,42 @@ Result<Path> ScionHost::pick_path(IsdAsn dst,
         break;
       }
     }
-    if (same) return candidate;
+    if (same) {
+      if (candidate.status() == "revoked") {
+        // The revocation was delivered before send time: fail without
+        // putting a single probe on the wire (the churn invariant).
+        return util::Error{ErrorCode::kRevoked,
+                           "path revoked by control plane: " + sequence};
+      }
+      return candidate;
+    }
   }
   return util::Error{ErrorCode::kNotFound,
                      "no discovered path matches sequence: " + sequence};
+}
+
+util::Error ScionHost::classify_dead_path(const Path& path,
+                                          util::Error original) const {
+  // A probe train that died mid-flight is reclassified with the
+  // control-plane taxonomy: a revocation delivered inside the window
+  // explains the death better than a generic timeout, and an elapsed
+  // lifetime better than nothing.  Garbled answers keep their class —
+  // the server responded, so the path itself was alive.
+  if (original.code != ErrorCode::kTimeout &&
+      original.code != ErrorCode::kUnreachable) {
+    return original;
+  }
+  if (control_plane_.path_revoked(path, clock_.now())) {
+    return util::Error{ErrorCode::kRevoked,
+                       "path revoked mid-probe: " + path.to_string() +
+                           " (" + original.message + ")"};
+  }
+  if (path.expired(clock_.now())) {
+    return util::Error{ErrorCode::kExpired,
+                       "path lifetime expired mid-probe: " + path.to_string() +
+                           " (" + original.message + ")"};
+  }
+  return original;
 }
 
 Result<std::vector<simnet::NodeId>> ScionHost::route_of(
@@ -137,20 +190,35 @@ Result<PingReport> ScionHost::ping(const SnetAddress& dst,
   if (!stats.ok()) {
     // Failed commands still burn wall clock: a timed-out or garbled run
     // occupied its full schedule before the client gave up, while an
-    // unreachable destination fails fast (~1 s for the SCMP error).
+    // unreachable destination fails fast (the SCMP error returns after
+    // config().scmp_error_fail_fast_s).
     if (stats.error().code == ErrorCode::kTimeout ||
         stats.error().code == ErrorCode::kBadResponse) {
       clock_.advance(util::sim_seconds(static_cast<double>(options.count) *
                                        options.interval_s));
     } else if (stats.error().code == ErrorCode::kUnreachable) {
-      clock_.advance(util::sim_seconds(1.0));
+      clock_.advance(util::sim_seconds(config_.scmp_error_fail_fast_s));
     }
-    return Result<PingReport>(stats.error());
+    control_plane_.sync(clock_.now());
+    return Result<PingReport>(
+        classify_dead_path(path.value(), stats.error()));
   }
 
   // The command occupies the timeline for count * interval.
   clock_.advance(util::sim_seconds(static_cast<double>(options.count) *
                                    options.interval_s));
+
+  if (stats.value().sent() > 0 && stats.value().lost() == stats.value().sent()) {
+    // Every probe died on the wire — a flapped link, not a dark server.
+    // If the control plane delivered a covering revocation by the end of
+    // the run, report that instead of silent 100 % loss.
+    control_plane_.sync(clock_.now());
+    if (control_plane_.path_revoked(path.value(), clock_.now())) {
+      return Result<PingReport>(util::Error{
+          ErrorCode::kRevoked,
+          "path revoked mid-probe: " + path.value().to_string()});
+    }
+  }
 
   PingReport report;
   report.path = std::move(path).value();
@@ -212,7 +280,12 @@ Result<BwtestReport> ScionHost::bwtestclient(const SnetAddress& server,
         result.error().code == util::ErrorCode::kTimeout) {
       clock_.advance(util::sim_seconds(*spec.duration_s));
     } else if (result.error().code == util::ErrorCode::kUnreachable) {
-      clock_.advance(util::sim_seconds(1.0));
+      clock_.advance(util::sim_seconds(config_.scmp_error_fail_fast_s));
+    }
+    if (!result.ok()) {
+      control_plane_.sync(clock_.now());
+      return Result<simnet::BwtestResult>(
+          classify_dead_path(path.value(), result.error()));
     }
     return result;
   };

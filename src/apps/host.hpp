@@ -21,10 +21,21 @@
 
 #include "apps/bwspec.hpp"
 #include "scion/beacon.hpp"
+#include "scion/control_plane.hpp"
 #include "scion/scionlab.hpp"
 #include "util/clock.hpp"
 
 namespace upin::apps {
+
+/// Host-level behaviour knobs (beyond the network model itself).
+struct HostConfig {
+  /// How long a failed command burns before the SCMP error arrives when
+  /// the destination is unreachable (`scion ping`'s fail-fast, formerly a
+  /// hardcoded ~1 s).
+  double scmp_error_fail_fast_s = 1.0;
+  /// Path cache + revocation propagation tuning.
+  scion::ControlPlaneConfig control_plane;
+};
 
 /// Result of `scion address`.
 struct AddressInfo {
@@ -83,7 +94,7 @@ class ScionHost {
   /// `local_host_ip` is this host's address within its AS.
   ScionHost(const scion::ScionlabEnv& env, std::uint64_t seed,
             scion::IsdAsn local_as, std::string local_host_ip,
-            simnet::NetworkConfig net_config = {});
+            simnet::NetworkConfig net_config = {}, HostConfig config = {});
 
   ScionHost(const ScionHost&) = delete;
   ScionHost& operator=(const ScionHost&) = delete;
@@ -117,6 +128,12 @@ class ScionHost {
   [[nodiscard]] const simnet::Network& network() const noexcept {
     return compiled_.network;
   }
+  /// Path lookup cache + revocation state for this host.  Mutable even on
+  /// const hosts: lookups touch LRU order and deliver pending revocations.
+  [[nodiscard]] scion::ControlPlane& control_plane() const noexcept {
+    return control_plane_;
+  }
+  [[nodiscard]] const HostConfig& config() const noexcept { return config_; }
 
   /// Translate a path into the simnet route of its ASes.
   [[nodiscard]] util::Result<std::vector<simnet::NodeId>> route_of(
@@ -124,13 +141,22 @@ class ScionHost {
 
  private:
   /// Path selected by `sequence` (validated against discovered paths), or
-  /// the best (first-ranked) path when the sequence is empty.
+  /// the best (first-ranked) live path when the sequence is empty.  Never
+  /// returns a path whose revocation was delivered before now — a pinned
+  /// revoked sequence fails with kRevoked without touching the network.
   [[nodiscard]] util::Result<scion::Path> pick_path(
-      scion::IsdAsn dst, const std::string& sequence) const;
+      scion::IsdAsn dst, const std::string& sequence);
+
+  /// Reclassify a probe that died mid-flight: revocation delivered inside
+  /// the probe window beats expiry beats the original error.
+  [[nodiscard]] util::Error classify_dead_path(const scion::Path& path,
+                                               util::Error original) const;
 
   const scion::ScionlabEnv& env_;
   scion::Beaconing beaconing_;
   scion::Topology::Compiled compiled_;
+  HostConfig config_;
+  mutable scion::ControlPlane control_plane_;
   util::VirtualClock clock_;
   scion::IsdAsn local_as_;
   std::string local_host_ip_;

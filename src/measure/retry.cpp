@@ -22,11 +22,15 @@ struct RecoveryMetrics {
   obs::Counter& retries_unreachable;
   obs::Counter& retries_garbled;
   obs::Counter& retries_storage;
+  obs::Counter& retries_revoked;
+  obs::Counter& retries_expired;
   obs::Counter& retries_other;
   obs::Counter& budget_exhausted;
   obs::Counter& breaker_opened;
   obs::Counter& breaker_half_open;
   obs::Counter& breaker_closed;
+  obs::Counter& revocation_failovers;
+  obs::LatencyHistogram& failover_latency_ms;
 
   static RecoveryMetrics& get() {
     obs::Registry& registry = obs::Registry::global();
@@ -36,11 +40,16 @@ struct RecoveryMetrics {
         registry.counter("upin_measure_retries_unreachable_total"),
         registry.counter("upin_measure_retries_garbled_total"),
         registry.counter("upin_measure_retries_storage_total"),
+        registry.counter("upin_measure_retries_revoked_total"),
+        registry.counter("upin_measure_retries_expired_total"),
         registry.counter("upin_measure_retries_other_total"),
         registry.counter("upin_measure_retry_budget_exhausted_total"),
         registry.counter("upin_measure_breaker_open_transitions_total"),
         registry.counter("upin_measure_breaker_half_open_probes_total"),
         registry.counter("upin_measure_breaker_close_transitions_total"),
+        registry.counter("upin_measure_revocation_failover_total"),
+        registry.histogram("upin_measure_failover_latency_ms", 0.0, 2000.0,
+                           40),
     };
     return metrics;
   }
@@ -51,6 +60,8 @@ struct RecoveryMetrics {
       case FaultKind::kUnreachable: return retries_unreachable;
       case FaultKind::kGarbled: return retries_garbled;
       case FaultKind::kStorage: return retries_storage;
+      case FaultKind::kRevoked: return retries_revoked;
+      case FaultKind::kExpired: return retries_expired;
       case FaultKind::kOther: return retries_other;
     }
     return retries_other;
@@ -69,12 +80,20 @@ void record_retry_budget_exhausted() noexcept {
   RecoveryMetrics::get().budget_exhausted.add();
 }
 
+void record_revocation_failover(SimTime latency) noexcept {
+  RecoveryMetrics& metrics = RecoveryMetrics::get();
+  metrics.revocation_failovers.add();
+  metrics.failover_latency_ms.observe(util::to_millis(latency));
+}
+
 const char* to_string(FaultKind kind) noexcept {
   switch (kind) {
     case FaultKind::kTimeout: return "timeout";
     case FaultKind::kUnreachable: return "unreachable";
     case FaultKind::kGarbled: return "garbled";
     case FaultKind::kStorage: return "storage";
+    case FaultKind::kRevoked: return "revoked";
+    case FaultKind::kExpired: return "expired";
     case FaultKind::kOther: return "other";
   }
   return "other";
@@ -93,6 +112,10 @@ FaultKind classify_fault(ErrorCode code) noexcept {
     case ErrorCode::kConflict:
     case ErrorCode::kPermissionDenied:
       return FaultKind::kStorage;
+    case ErrorCode::kRevoked:
+      return FaultKind::kRevoked;
+    case ErrorCode::kExpired:
+      return FaultKind::kExpired;
     case ErrorCode::kInvalidArgument:
     case ErrorCode::kParseError:
     case ErrorCode::kInternal:
@@ -111,6 +134,8 @@ void FaultTaxonomy::record(FaultKind kind) noexcept {
     case FaultKind::kUnreachable: ++unreachable; break;
     case FaultKind::kGarbled: ++garbled; break;
     case FaultKind::kStorage: ++storage; break;
+    case FaultKind::kRevoked: ++revoked; break;
+    case FaultKind::kExpired: ++expired; break;
     case FaultKind::kOther: ++other; break;
   }
 }
@@ -119,7 +144,11 @@ double RetryPolicy::backoff_s(int attempt, util::Rng& rng) const {
   const double exponent = static_cast<double>(std::max(attempt, 1) - 1);
   double backoff = initial_backoff_s * std::pow(backoff_multiplier, exponent);
   backoff = std::min(backoff, max_backoff_s);
-  if (jitter_frac > 0.0) {
+  if (jitter_mode == BackoffJitter::kFull) {
+    // AWS-style full jitter: the whole delay is drawn uniformly, so two
+    // destinations failing off the same fault window desynchronize.
+    backoff = rng.uniform(0.0, backoff);
+  } else if (jitter_frac > 0.0) {
     backoff *= rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
   }
   return std::max(backoff, 0.0);
@@ -133,6 +162,11 @@ bool RetryPolicy::retryable(ErrorCode code) noexcept {
       return true;
     case FaultKind::kStorage:
     case FaultKind::kOther:
+      return false;
+    case FaultKind::kRevoked:
+    case FaultKind::kExpired:
+      // The control plane *knows* the path is dead; a backoff-scale wait
+      // rarely outlives the revocation.  Fail over instead of retrying.
       return false;
   }
   return false;

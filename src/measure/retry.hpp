@@ -30,12 +30,15 @@
 
 namespace upin::measure {
 
-/// The campaign-level fault taxonomy (paper §4.1.2 fault classes).
+/// The campaign-level fault taxonomy (paper §4.1.2 fault classes, plus
+/// the control-plane lifetime classes introduced with path revocation).
 enum class FaultKind {
   kTimeout,      ///< operation exhausted its time budget
   kUnreachable,  ///< destination down / no path
   kGarbled,      ///< server answered with garbage
   kStorage,      ///< database / journal write failed
+  kRevoked,      ///< path revoked by the control plane before/ during use
+  kExpired,      ///< path lifetime elapsed without re-beaconing
   kOther,        ///< anything else (argument errors, internal bugs)
 };
 
@@ -50,12 +53,25 @@ struct FaultTaxonomy {
   std::size_t unreachable = 0;
   std::size_t garbled = 0;
   std::size_t storage = 0;
+  std::size_t revoked = 0;
+  std::size_t expired = 0;
   std::size_t other = 0;
 
   void record(FaultKind kind) noexcept;
   [[nodiscard]] std::size_t total() const noexcept {
-    return timeouts + unreachable + garbled + storage + other;
+    return timeouts + unreachable + garbled + storage + revoked + expired +
+           other;
   }
+};
+
+/// How backoff jitter is drawn.
+enum class BackoffJitter {
+  /// Backoff scaled by U[1-j, 1+j].  Narrow band: destinations that fail
+  /// together inside a shared fault window retry nearly in lockstep.
+  kScaled,
+  /// Full jitter (U[0, backoff]): decorrelates retry storms after a
+  /// shared fault window at the cost of a smaller expected backoff.
+  kFull,
 };
 
 /// Bounded-retry policy with exponential backoff in virtual time.
@@ -65,7 +81,8 @@ struct RetryPolicy {
   double initial_backoff_s = 0.5;  ///< sleep before the second attempt
   double backoff_multiplier = 2.0;
   double max_backoff_s = 8.0;
-  double jitter_frac = 0.2;        ///< backoff scaled by U[1-j, 1+j]
+  double jitter_frac = 0.2;        ///< kScaled: backoff scaled by U[1-j, 1+j]
+  BackoffJitter jitter_mode = BackoffJitter::kScaled;
   double timeout_budget_s = 90.0;  ///< virtual-time ceiling per operation
 
   /// Backoff before attempt `attempt + 1` (attempt >= 1), jittered by
@@ -87,6 +104,11 @@ struct RetryStats {
 // below does not pull the metrics layer into every includer.
 void record_retry_attempt(util::ErrorCode code) noexcept;
 void record_retry_budget_exhausted() noexcept;
+
+/// A controller moved traffic off a revoked path onto a live alternative
+/// without burning retry/breaker budget.  `latency` is how long traffic
+/// stayed on the dead path after its revocation was delivered.
+void record_revocation_failover(util::SimTime latency) noexcept;
 
 /// Run `op` under `policy` on the shared virtual clock.  Failed transient
 /// attempts back off (advancing the clock) and retry; the final attempt's

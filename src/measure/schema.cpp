@@ -200,6 +200,9 @@ Document checkpoint_document(const CampaignCheckpoint& checkpoint) {
   doc.set("breaker_failures", Value(checkpoint.breaker_failures));
   doc.set("breaker_open", Value(checkpoint.breaker_open));
   doc.set("breaker_opened_at_ns", Value(checkpoint.breaker_opened_at.count()));
+  if (!checkpoint.path_cache.is_null()) {
+    doc.set("path_cache", checkpoint.path_cache);
+  }
   return Value(std::move(doc));
 }
 
@@ -230,6 +233,10 @@ Result<CampaignCheckpoint> parse_checkpoint_document(const Document& doc) {
   if (const Value* opened_at = doc.get("breaker_opened_at_ns");
       opened_at != nullptr && opened_at->is_int()) {
     checkpoint.breaker_opened_at = util::SimTime(opened_at->as_int());
+  }
+  if (const Value* path_cache = doc.get("path_cache");
+      path_cache != nullptr && path_cache->is_object()) {
+    checkpoint.path_cache = *path_cache;
   }
   return checkpoint;
 }

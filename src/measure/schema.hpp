@@ -110,6 +110,11 @@ struct CampaignCheckpoint {
   int breaker_failures = 0;
   bool breaker_open = false;
   util::SimTime breaker_opened_at{};
+  /// Path-cache snapshot (scion::PathCache::snapshot()) taken at
+  /// clock_end; null for pre-control-plane checkpoints.  Restoring it
+  /// keeps the resumed cache trajectory — and therefore hit/stale/miss
+  /// behaviour — bit-identical to the uninterrupted run.
+  util::Value path_cache{};
 };
 
 [[nodiscard]] docdb::Document checkpoint_document(

@@ -308,6 +308,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     const obs::ScopedSpan path_span(config_.tracer, host_.clock(),
                                     "path " + record.value().id);
     bool operation_failed = false;
+    bool data_plane_failed = false;
 
     StatsSample sample;
     sample.path_id = record.value().id;
@@ -333,7 +334,13 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
       ++progress_.ping_failures;
       metrics.ping_failures.add();
       note_failure(destination.server_id, ping.error());
-      breaker.record_failure(host_.clock().now());
+      // Control-plane deaths (revoked/expired) are authoritative facts
+      // about the path, not evidence the destination is failing: they
+      // must not burn breaker budget.
+      if (ping.error().code != ErrorCode::kRevoked &&
+          ping.error().code != ErrorCode::kExpired) {
+        breaker.record_failure(host_.clock().now());
+      }
       util::Log::warn("ping " + sample.path_id +
                       " failed: " + ping.error().message);
       continue;  // server failure: skip this path, keep the campaign
@@ -374,6 +381,8 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
       metrics.bwtest_failures.add();
       note_failure(destination.server_id, small.error());
       operation_failed = true;
+      data_plane_failed |= small.error().code != ErrorCode::kRevoked &&
+                           small.error().code != ErrorCode::kExpired;
     }
     if (mtu.ok()) {
       sample.bw_up_mtu = mtu.value().client_to_server.achieved_mbps;
@@ -383,10 +392,14 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
       metrics.bwtest_failures.add();
       note_failure(destination.server_id, mtu.error());
       operation_failed = true;
+      data_plane_failed |= mtu.error().code != ErrorCode::kRevoked &&
+                           mtu.error().code != ErrorCode::kExpired;
     }
 
     if (operation_failed) {
-      breaker.record_failure(host_.clock().now());
+      // Same rule as the ping leg: only data-plane faults count against
+      // the breaker — a revoked path says nothing about server health.
+      if (data_plane_failed) breaker.record_failure(host_.clock().now());
     } else {
       breaker.record_success();
     }
@@ -420,6 +433,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     checkpoint.breaker_failures = breaker.consecutive_failures();
     checkpoint.breaker_open = breaker.is_open();
     checkpoint.breaker_opened_at = breaker.opened_at();
+    checkpoint.path_cache = host_.control_plane().checkpoint();
     docdb::Collection& checkpoints = db_.collection(kCampaignCheckpoints);
     checkpoints.delete_by_id(
         checkpoint_doc_id(destination.server_id, iteration));
@@ -504,6 +518,15 @@ Status TestSuite::run_tests() {
                   .restore(checkpoint.value().breaker_failures,
                            checkpoint.value().breaker_open,
                            checkpoint.value().breaker_opened_at);
+              if (!checkpoint.value().path_cache.is_null()) {
+                const Status restored = host_.control_plane().restore(
+                    checkpoint.value().path_cache,
+                    checkpoint.value().clock_end);
+                if (!restored.ok()) {
+                  util::Log::warn("path-cache restore failed: " +
+                                  restored.error().message);
+                }
+              }
               ++progress_.units_skipped;
               SuiteMetrics::get().units_skipped.add();
               continue;

@@ -12,6 +12,16 @@ Beaconing::Beaconing(const Topology& topology, BeaconConfig config)
     : topology_(topology), config_(config) {
   compute_up_segments();
   compute_core_paths();
+  // Stamp the lifetime window on every precomputed segment.  Beaconing
+  // happens once at virtual time zero; re-beaconing is modelled by the
+  // path cache re-resolving, so the window is fixed per Beaconing.
+  const util::SimTime expires = util::sim_seconds(config_.segment_lifetime_s);
+  for (auto& [leaf, segments] : up_by_leaf_) {
+    for (Segment& segment : segments) {
+      segment.created_at = util::SimTime::zero();
+      segment.expires_at = expires;
+    }
+  }
 }
 
 void Beaconing::compute_up_segments() {
@@ -75,9 +85,11 @@ std::vector<Segment> Beaconing::core_segments(IsdAsn from, IsdAsn to) const {
   std::vector<Segment> result;
   const auto it = core_from_.find(from);
   if (it == core_from_.end()) return result;
+  const util::SimTime expires = util::sim_seconds(config_.segment_lifetime_s);
   for (const std::vector<IsdAsn>& path : it->second) {
     if (path.back() == to) {
-      result.push_back(Segment{Segment::Type::kCore, path});
+      result.push_back(Segment{Segment::Type::kCore, path,
+                               util::SimTime::zero(), expires});
     }
   }
   return result;
@@ -90,6 +102,8 @@ std::vector<Segment> Beaconing::down_segments(IsdAsn core, IsdAsn leaf) const {
     Segment down;
     down.type = Segment::Type::kDown;
     down.ases.assign(up.ases.rbegin(), up.ases.rend());
+    down.created_at = up.created_at;
+    down.expires_at = up.expires_at;
     result.push_back(std::move(down));
   }
   return result;
@@ -120,7 +134,12 @@ Path Beaconing::materialize(const std::vector<IsdAsn>& ases) const {
           simnet::haversine_km(from->location, to->location));
     }
   }
-  return Path(std::move(hops), mtu, latency);
+  Path path(std::move(hops), mtu, latency);
+  // A combined path inherits the tightest segment lifetime; all segments
+  // share one beaconing round here, so the window is uniform.
+  path.set_lifetime(util::SimTime::zero(),
+                    util::sim_seconds(config_.segment_lifetime_s));
+  return path;
 }
 
 std::vector<Path> Beaconing::paths(IsdAsn src, IsdAsn dst) const {

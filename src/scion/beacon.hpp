@@ -24,6 +24,11 @@ struct Segment {
   enum class Type { kUp, kCore, kDown };
   Type type = Type::kUp;
   std::vector<IsdAsn> ases;
+  /// Lifetime window stamped at beaconing time: segments are valid from
+  /// `created_at` until `expires_at` (SCION defaults to 6 h), after which
+  /// they must be re-beaconed or served flagged stale.
+  util::SimTime created_at{};
+  util::SimTime expires_at{};
 };
 
 /// Limits on segment exploration; defaults cover SCIONLab-scale graphs.
@@ -31,6 +36,8 @@ struct BeaconConfig {
   std::size_t max_up_segment_ases = 4;    ///< leaf..core inclusive
   std::size_t max_core_segment_ases = 5;  ///< coreA..coreB inclusive
   std::size_t max_paths = 256;            ///< combination cutoff per pair
+  /// Segment lifetime in virtual seconds (SCION's default is 6 hours).
+  double segment_lifetime_s = 21600.0;
 };
 
 /// Precomputed segment store for one topology.

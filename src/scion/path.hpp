@@ -49,6 +49,20 @@ class Path {
   [[nodiscard]] const std::string& status() const noexcept { return status_; }
   void set_status(std::string status) { status_ = std::move(status); }
 
+  /// Control-plane lifetime: when the path was assembled from beacons and
+  /// when its segments expire.  A default-constructed window (0, 0) means
+  /// "no lifetime information" and never reads as expired.
+  [[nodiscard]] util::SimTime created_at() const noexcept { return created_at_; }
+  [[nodiscard]] util::SimTime expires_at() const noexcept { return expires_at_; }
+  void set_lifetime(util::SimTime created_at, util::SimTime expires_at) noexcept {
+    created_at_ = created_at;
+    expires_at_ = expires_at;
+  }
+  /// True once the segment lifetime has elapsed (re-beaconing overdue).
+  [[nodiscard]] bool expired(util::SimTime now) const noexcept {
+    return expires_at_ > util::SimTime::zero() && now >= expires_at_;
+  }
+
   /// Ordered set of ISDs the path traverses (paper §5.3 stores this per
   /// measurement to test whether ISD membership predicts performance).
   [[nodiscard]] std::set<std::uint16_t> isd_set() const;
@@ -73,6 +87,8 @@ class Path {
   double mtu_ = 0.0;
   util::SimDuration static_latency_{};
   std::string status_ = "alive";
+  util::SimTime created_at_{};
+  util::SimTime expires_at_{};
 };
 
 }  // namespace upin::scion

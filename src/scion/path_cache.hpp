@@ -1,0 +1,131 @@
+// path_cache.hpp — a path-server-style lookup cache for combined paths.
+//
+// Segment combination (`Beaconing::paths`) enumerates every up × core ×
+// down candidate on each call; at SCIONLab scale that is already hundreds
+// of combinations per AS pair, and the ROADMAP's internet-scale topology
+// item makes it the dominant cost.  Real SCION deployments answer path
+// lookups from a path-server cache instead.  This cache mirrors that:
+//
+//   * keyed by (src, dst) AS pair, bounded size, LRU eviction;
+//   * entries carry a TTL; past it the entry is refreshed, but within a
+//     configurable grace window the *old* paths are served immediately,
+//     flagged stale (stale-while-revalidate);
+//   * lookups that resolve to zero paths are cached too (negative
+//     entries) with their own, shorter TTL;
+//   * revocation delivery marks covering entries dirty, forcing a
+//     re-resolve on next use;
+//   * when the resolver itself is unavailable (beaconing inside a fault
+//     window) stale entries are served at any age — graceful degradation
+//     over a hard miss.
+//
+// Because `Beaconing::paths` is a pure function of the topology, a cached
+// answer filtered by revocation state is always content-identical to a
+// fresh recombination under the same filter — the invariant the
+// `fig4_reachability --churn` bench pins.
+//
+// The cache is checkpointable: `snapshot()`/`restore()` round-trip the
+// complete observable state (entries, LRU order, timestamps, flags) as a
+// util::Value so a crashed campaign resumes with the identical cache
+// trajectory.  Not thread-safe; one cache belongs to one host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scion/path.hpp"
+#include "util/clock.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace upin::scion {
+
+struct PathCacheConfig {
+  bool enabled = true;
+  std::size_t capacity = 256;   ///< entries (AS pairs), LRU-evicted
+  double ttl_s = 300.0;         ///< entry freshness window
+  double stale_serve_s = 60.0;  ///< grace window: serve stale + revalidate
+  double negative_ttl_s = 30.0;  ///< lifetime of cached empty answers
+};
+
+/// Outcome of one cache lookup.
+struct PathCacheLookup {
+  std::vector<Path> paths;
+  bool hit = false;       ///< served from the cache (fresh or stale)
+  bool stale = false;     ///< served past its TTL (flagged on each path)
+  bool negative = false;  ///< served from a cached empty answer
+  bool refreshed = false;  ///< this lookup re-resolved the entry
+};
+
+class PathCache {
+ public:
+  /// Resolves (src, dst) to paths — in practice Beaconing::paths.
+  using Resolver = std::function<std::vector<Path>(IsdAsn, IsdAsn)>;
+
+  /// Local per-instance counters (the obs registry is process-global and
+  /// shared across hosts; tests want the per-cache view).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale_served = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t negative_hits = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  explicit PathCache(PathCacheConfig config = {});
+
+  /// Look up paths src→dst at `now`.  `resolver_available` is false while
+  /// beaconing is inside a fault window: no refresh happens and stale
+  /// entries are served at any age.
+  [[nodiscard]] PathCacheLookup lookup(IsdAsn src, IsdAsn dst,
+                                       util::SimTime now,
+                                       const Resolver& resolve,
+                                       bool resolver_available = true);
+
+  /// Mark every entry containing a path matching `covered` dirty; dirty
+  /// entries re-resolve on their next lookup.  Returns entries marked.
+  std::size_t invalidate_if(const std::function<bool(const Path&)>& covered);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const PathCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Complete observable state (entries in LRU order, timestamps, flags)
+  /// for campaign checkpointing.  restore() replaces the current content;
+  /// the local Stats counters are not part of the snapshot (the obs
+  /// registry carries the metrics story).
+  [[nodiscard]] util::Value snapshot() const;
+  [[nodiscard]] util::Status restore(const util::Value& value);
+
+ private:
+  struct Entry {
+    std::string key;
+    IsdAsn src{};
+    IsdAsn dst{};
+    std::vector<Path> paths;
+    util::SimTime resolved_at{};
+    bool negative = false;
+    bool dirty = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  [[nodiscard]] static std::string make_key(IsdAsn src, IsdAsn dst);
+  void refresh(Entry& entry, util::SimTime now, const Resolver& resolve);
+  void touch(EntryList::iterator it);
+  void evict_to_capacity();
+  [[nodiscard]] static std::vector<Path> flag_stale(std::vector<Path> paths);
+
+  PathCacheConfig config_{};
+  EntryList entries_;  ///< front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> index_;
+  Stats stats_{};
+};
+
+}  // namespace upin::scion

@@ -1,0 +1,121 @@
+// revocation.hpp — SCMP-style path revocation, derived from fault windows.
+//
+// In SCION a failed link or dark path server does not wait to be
+// rediscovered by data-plane timeouts: border routers originate SCMP
+// revocation messages that propagate to path servers and subscribed end
+// hosts, which drop the covered segments immediately.  This module plays
+// that role for the simulated testbed: every `simnet::FaultPlan`
+// link-flap and server-down window emits one revocation event, delivered
+// to the host after a bounded, seeded propagation delay.  A path is
+// *revoked* between delivery and the end of the underlying fault window —
+// the gap between fault start and delivery is exactly the interval in
+// which probes still legitimately die on the wire.
+//
+// The whole schedule is a pure function of (seed, config, fault plan), so
+// revocation state needs no checkpointing: a resumed campaign rebuilds
+// the identical log and only the delivery cursor must be fast-forwarded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "scion/path.hpp"
+#include "scion/topology.hpp"
+#include "simnet/faultplan.hpp"
+#include "simnet/network.hpp"
+#include "util/clock.hpp"
+
+namespace upin::scion {
+
+/// Propagation-delay bounds for revocation delivery (virtual seconds).
+struct RevocationConfig {
+  bool enabled = true;
+  double min_delay_s = 0.05;  ///< fastest SCMP propagation to the host
+  double max_delay_s = 0.5;   ///< slowest (bounded, never unbounded)
+};
+
+/// One SCMP revocation event.
+struct Revocation {
+  enum class Kind {
+    kLinkDown,    ///< a directed AS-level link is flapped
+    kServerDown,  ///< a destination AS is dark (its server is down)
+  };
+  Kind kind = Kind::kLinkDown;
+  IsdAsn from{};  ///< link source, or the dark AS itself for kServerDown
+  IsdAsn to{};    ///< link target, == `from` for kServerDown
+  util::SimTime fault_start{};   ///< underlying fault window opens
+  util::SimTime fault_end{};     ///< fault heals; the revocation expires
+  util::SimTime delivered_at{};  ///< host learns of it (start + delay)
+};
+
+/// The precomputed, delivery-ordered revocation schedule for one host.
+///
+/// Liveness queries are pure functions of virtual time; `poll()` is the
+/// only stateful part (a monotone delivery cursor driving cache
+/// invalidation).
+class RevocationLog {
+ public:
+  RevocationLog() = default;  ///< inert log: nothing is ever revoked
+
+  RevocationLog(std::uint64_t seed, RevocationConfig config,
+                const Topology& topology,
+                const std::unordered_map<IsdAsn, simnet::NodeId>& node_of,
+                const simnet::FaultPlan& faults);
+
+  [[nodiscard]] const std::vector<Revocation>& events() const noexcept {
+    return events_;
+  }
+
+  /// Directed link (from, to) covered by a delivered, unexpired
+  /// revocation at `t`?
+  [[nodiscard]] bool link_revoked(IsdAsn from, IsdAsn to,
+                                  util::SimTime t) const;
+
+  /// AS `ia` covered by a delivered server-down revocation at `t`?
+  [[nodiscard]] bool as_revoked(IsdAsn ia, util::SimTime t) const;
+
+  /// Is `path` unusable at `t`?  True when any adjacent hop pair is
+  /// link-revoked (either direction — probes are round trips) or the
+  /// destination AS is revoked.  Matches the fault classes the data plane
+  /// injects: only the destination's server-down matters en route.
+  [[nodiscard]] bool path_revoked(const Path& path, util::SimTime t) const;
+
+  /// Same check over a bare AS chain (selection-layer path summaries).
+  [[nodiscard]] bool hops_revoked(const std::vector<IsdAsn>& ases,
+                                  util::SimTime t) const;
+
+  /// Delivery time of the earliest revocation covering `path` at `t`,
+  /// or nullopt when the path is not revoked.  Failover latency is
+  /// measured from this instant.
+  [[nodiscard]] std::optional<util::SimTime> revoked_since(
+      const Path& path, util::SimTime t) const;
+
+  /// Deliver every event with delivered_at <= now that the cursor has not
+  /// yet passed, invoking `on_deliver` per event (cache invalidation) and
+  /// bumping upin_revocations_applied_total.  Returns how many fired.
+  std::size_t poll(util::SimTime now,
+                   const std::function<void(const Revocation&)>& on_deliver);
+
+  /// Fast-forward the cursor past every event delivered by `now` without
+  /// invoking callbacks or metrics — used when restoring a checkpoint
+  /// whose cache state already reflects those deliveries.
+  void advance_cursor_to(util::SimTime now) noexcept;
+
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+
+ private:
+  [[nodiscard]] bool covered(const std::vector<std::size_t>& indices,
+                             util::SimTime t) const noexcept;
+
+  std::vector<Revocation> events_;  ///< sorted by delivered_at
+  /// Secondary indices into events_ for O(per-entity) liveness queries.
+  std::unordered_map<IsdAsn, std::unordered_map<IsdAsn, std::vector<std::size_t>>>
+      by_link_;
+  std::unordered_map<IsdAsn, std::vector<std::size_t>> by_as_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace upin::scion

@@ -158,6 +158,13 @@ std::optional<std::string> PathSelector::rejection_reason(
                         request.min_samples);
   }
 
+  // Control-plane liveness: a delivered, unexpired revocation disqualifies
+  // the path no matter how good its measurement history looks.
+  if (control_plane_ != nullptr && liveness_clock_ != nullptr &&
+      control_plane_->hops_revoked(summary.hops, liveness_clock_->now())) {
+    return std::string("path revoked by control plane");
+  }
+
   // Sovereignty / governance constraints over every hop.
   for (const scion::IsdAsn& hop : summary.hops) {
     const scion::AsInfo* info = topology_.find_as(hop);

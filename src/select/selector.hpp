@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "docdb/database.hpp"
+#include "scion/control_plane.hpp"
 #include "scion/topology.hpp"
 #include "select/request.hpp"
+#include "util/clock.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -67,6 +69,15 @@ class PathSelector {
   /// `topology` supplies the AS metadata for sovereignty filters.
   PathSelector(const docdb::Database& db, const scion::Topology& topology);
 
+  /// Attach control-plane liveness: selections made after this reject
+  /// paths whose revocation was delivered by `clock->now()`.  Both
+  /// pointers must outlive the selector; pass nullptrs to detach.
+  void attach_liveness(const scion::ControlPlane* control_plane,
+                       const util::VirtualClock* clock) noexcept {
+    control_plane_ = control_plane;
+    liveness_clock_ = clock;
+  }
+
   /// Aggregate every measured path of `server_id`.  When `since_ms` is
   /// set, only measurements taken at or after that virtual timestamp
   /// contribute (freshness window).
@@ -100,6 +111,8 @@ class PathSelector {
 
   const docdb::Database& db_;
   const scion::Topology& topology_;
+  const scion::ControlPlane* control_plane_ = nullptr;
+  const util::VirtualClock* liveness_clock_ = nullptr;
 };
 
 }  // namespace upin::select

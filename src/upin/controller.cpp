@@ -1,9 +1,12 @@
 #include "upin/controller.hpp"
 
+#include "measure/retry.hpp"
+
 namespace upin::upinfw {
 
 using util::ErrorCode;
 using util::Result;
+using util::SimTime;
 
 PathController::PathController(apps::ScionHost& host,
                                const select::PathSelector& selector)
@@ -47,7 +50,57 @@ Result<apps::PingReport> PathController::ping(
   if (it != active_.end()) {
     pinned.sequence = it->second.chosen.summary.sequence;
   }
-  return host_.ping(address.value(), pinned);
+  Result<apps::PingReport> report = host_.ping(address.value(), pinned);
+  if (!report.ok() && it != active_.end() &&
+      (report.error().code == ErrorCode::kRevoked ||
+       report.error().code == ErrorCode::kExpired)) {
+    // The pinned path died under the control plane, not the data plane:
+    // fail over inside the intent's policy instead of burning the retry
+    // and breaker budget on a path known to be dead.
+    std::optional<Result<apps::PingReport>> failed_over =
+        failover_ping(server_id, address.value(), options);
+    if (failed_over.has_value()) return *std::move(failed_over);
+  }
+  return report;
+}
+
+std::optional<Result<apps::PingReport>> PathController::failover_ping(
+    int server_id, const scion::SnetAddress& address,
+    const apps::PingOptions& options) {
+  const auto it = active_.find(server_id);
+  if (it == active_.end()) return std::nullopt;
+  ActiveIntent& intent = it->second;
+  scion::ControlPlane& control_plane = host_.control_plane();
+  const SimTime detected_at = host_.clock().now();
+
+  // How long traffic sat on the dead path after its revocation arrived.
+  std::optional<SimTime> revoked_since;
+  const util::Result<scion::Path> dead =
+      scion::Path::parse_sequence(intent.chosen.summary.sequence);
+  if (dead.ok()) {
+    revoked_since = control_plane.revoked_since(dead.value(), detected_at);
+  }
+
+  Result<select::Selection> selection = selector_.select(intent.request);
+  if (!selection.ok()) return std::nullopt;
+  for (const select::RankedPath& candidate : selection.value().ranked) {
+    if (candidate.summary.path_id == intent.chosen.summary.path_id) continue;
+    if (control_plane.hops_revoked(candidate.summary.hops,
+                                   host_.clock().now())) {
+      continue;
+    }
+    apps::PingOptions failover = options;
+    failover.sequence = candidate.summary.sequence;
+    Result<apps::PingReport> retried = host_.ping(address, failover);
+    if (!retried.ok()) continue;  // next-best candidate
+    intent.chosen = candidate;
+    ++failovers_;
+    measure::record_revocation_failover(
+        revoked_since.has_value() ? detected_at - *revoked_since
+                                  : util::SimTime::zero());
+    return retried;
+  }
+  return std::nullopt;
 }
 
 Result<std::vector<int>> PathController::reresolve_all() {

@@ -42,8 +42,19 @@ class PathController {
 
   /// Ping the destination over its pinned path (falls back to the best
   /// discovered path when nothing is pinned — the SCION default).
+  ///
+  /// Graceful failover: when the pinned path has been revoked by the
+  /// control plane, the controller re-selects within the intent's policy,
+  /// re-pins the best live alternative and pings over it instead of
+  /// surfacing the failure — recording a revocation_failover taxonomy
+  /// event plus the failover latency (time traffic sat on the dead path
+  /// after its revocation was delivered).  kRevoked is returned only when
+  /// no policy-conformant live alternative exists.
   util::Result<apps::PingReport> ping(int server_id,
                                       const apps::PingOptions& options = {});
+
+  /// Revocation failovers performed by this controller.
+  [[nodiscard]] std::size_t failovers() const noexcept { return failovers_; }
 
   /// Re-resolve every active intent against current data; returns the
   /// destinations whose pinned path changed.
@@ -52,9 +63,16 @@ class PathController {
  private:
   [[nodiscard]] util::Result<scion::SnetAddress> address_of(int server_id) const;
 
+  /// Attempt the failover described on ping(); nullopt when no viable
+  /// alternative was found (the caller surfaces the original error).
+  [[nodiscard]] std::optional<util::Result<apps::PingReport>> failover_ping(
+      int server_id, const scion::SnetAddress& address,
+      const apps::PingOptions& options);
+
   apps::ScionHost& host_;
   const select::PathSelector& selector_;
   std::map<int, ActiveIntent> active_;
+  std::size_t failovers_ = 0;
 };
 
 }  // namespace upin::upinfw

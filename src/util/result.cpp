@@ -14,6 +14,8 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kConflict: return "conflict";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kRevoked: return "revoked";
+    case ErrorCode::kExpired: return "expired";
   }
   return "unknown";
 }

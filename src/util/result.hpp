@@ -24,6 +24,8 @@ enum class ErrorCode {
   kParseError,        ///< serialization / deserialization failure
   kConflict,          ///< duplicate _id or conflicting update
   kInternal,          ///< invariant violation inside this library
+  kRevoked,           ///< path revoked by the control plane (SCMP revocation)
+  kExpired,           ///< path/segment lifetime elapsed without re-beaconing
 };
 
 /// Human-readable name of an ErrorCode (stable, for logs and tests).

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace upin::apps {
 namespace {
 
@@ -279,6 +281,131 @@ TEST_F(HostTest, DeterministicAcrossIdenticalHosts) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(*a.value().stats.avg_ms(), *b.value().stats.avg_ms());
+}
+
+// --------------------------------------------- control-plane lifetimes
+
+TEST(HostLifetimes, ScmpFailFastKnobControlsUnreachableCost) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  simnet::FaultPlanConfig faults;
+  faults.server_down_per_hour = 4.0;
+  simnet::NetworkConfig net;
+  net.server_error_prob = 0.0;
+  net.faults = faults;
+  HostConfig config;
+  config.scmp_error_fail_fast_s = 2.5;  // formerly a hardcoded ~1 s
+  // Keep the raw data-plane error: with revocations on, the SCMP
+  // revocation would reclassify the failure before we could time it.
+  config.control_plane.revocation.enabled = false;
+  ScionHost host(env, 42, env.user_as, "10.0.8.1", net, config);
+
+  const auto listings = host.showpaths(kIreland, {});
+  ASSERT_TRUE(listings.ok());
+  const auto route = host.route_of(listings.value().front().path);
+  ASSERT_TRUE(route.ok());
+  const auto windows =
+      host.network().faults().server_down_windows(route.value().back());
+  ASSERT_FALSE(windows.empty());
+  host.clock().advance_to(windows.front().start + util::sim_seconds(1.0));
+
+  const util::SimTime before = host.clock().now();
+  const auto report = host.ping({kIreland, "172.31.43.7"}, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, util::ErrorCode::kUnreachable);
+  EXPECT_DOUBLE_EQ(util::to_seconds(host.clock().now() - before), 2.5)
+      << "the SCMP error must arrive after exactly the configured delay";
+}
+
+TEST(HostLifetimes, PingOnDeliveredRevocationFailsWithoutBurningClock) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  simnet::FaultPlanConfig faults;
+  faults.link_flap_per_hour = 6.0;
+  simnet::NetworkConfig net;
+  net.server_error_prob = 0.0;
+  net.faults = faults;
+  ScionHost host(env, 42, env.user_as, "10.0.8.1", net);
+
+  ShowpathsOptions options;
+  options.max_paths = 40;
+  const auto listings = host.showpaths(kIreland, options);
+  ASSERT_TRUE(listings.ok());
+
+  // Scan virtual time for an instant where some discovered path has a
+  // delivered, unexpired revocation.
+  const scion::ControlPlane& control_plane = host.control_plane();
+  const scion::Path* revoked = nullptr;
+  util::SimTime when{};
+  for (double t = 0.0; t < 24.0 * 3600.0 && revoked == nullptr; t += 30.0) {
+    for (const PathListing& listing : listings.value()) {
+      if (control_plane.path_revoked(listing.path, util::sim_seconds(t))) {
+        revoked = &listing.path;
+        when = util::sim_seconds(t);
+        break;
+      }
+    }
+  }
+  ASSERT_NE(revoked, nullptr) << "the flap storm must revoke some path";
+  host.clock().advance_to(when);
+
+  PingOptions ping_options;
+  ping_options.sequence = revoked->sequence();
+  const util::SimTime before = host.clock().now();
+  const auto report = host.ping({kIreland, "172.31.43.7"}, ping_options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, util::ErrorCode::kRevoked);
+  EXPECT_EQ(host.clock().now(), before)
+      << "a pre-delivered revocation fails before any probe hits the wire";
+}
+
+TEST(HostLifetimes, MidProbeTimeoutOnExpiredPathClassifiedAsExpired) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  simnet::FaultPlanConfig faults;
+  faults.slow_per_hour = 4.0;  // timeouts, no revocations involved
+  simnet::NetworkConfig net;
+  net.server_error_prob = 0.0;
+  net.faults = faults;
+  ScionHost host(env, 42, env.user_as, "10.0.8.1", net);
+
+  // Find a slow-responder window of the Ireland node after the 6 h
+  // segment lifetime has elapsed, so the timed-out probe train dies on a
+  // path that is expired but not revoked.
+  const auto listings = host.showpaths(kIreland, {});
+  ASSERT_TRUE(listings.ok());
+  const auto route = host.route_of(listings.value().front().path);
+  ASSERT_TRUE(route.ok());
+  const double expiry_s = 21600.0;
+  const auto windows =
+      host.network().faults().slow_windows(route.value().back());
+  const auto late = std::find_if(
+      windows.begin(), windows.end(), [&](const simnet::FaultWindow& w) {
+        return w.start > util::sim_seconds(expiry_s);
+      });
+  ASSERT_NE(late, windows.end()) << "need a slow window past segment expiry";
+  host.clock().advance_to(late->start + util::sim_seconds(1.0));
+
+  const auto report = host.ping({kIreland, "172.31.43.7"}, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, util::ErrorCode::kExpired)
+      << report.error().message;
+  EXPECT_NE(report.error().message.find("expired mid-probe"),
+            std::string::npos);
+}
+
+TEST(HostLifetimes, ExpiredPathsServedStaleWhileBeaconingIsUp) {
+  const scion::ScionlabEnv env = scion::scionlab_topology();
+  ScionHost host(env, 42, env.user_as, "10.0.8.1");
+  host.clock().advance_to(util::sim_seconds(21600.0 + 60.0));
+  ShowpathsOptions extended;
+  extended.extended = true;
+  const auto listings = host.showpaths(kIreland, extended);
+  ASSERT_TRUE(listings.ok());
+  ASSERT_FALSE(listings.value().empty());
+  for (const PathListing& listing : listings.value()) {
+    EXPECT_EQ(listing.path.status(), "stale")
+        << "past its lifetime a path degrades to stale, never vanishes";
+  }
+  // Stale paths still carry traffic (graceful degradation).
+  EXPECT_TRUE(host.ping({kIreland, "172.31.43.7"}, {}).ok());
 }
 
 }  // namespace

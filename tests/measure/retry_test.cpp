@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/clock.hpp"
 
 namespace upin::measure {
@@ -24,6 +26,8 @@ TEST(ClassifyFault, CoversEveryErrorCode) {
   EXPECT_EQ(classify_fault(ErrorCode::kDataLoss), FaultKind::kStorage);
   EXPECT_EQ(classify_fault(ErrorCode::kConflict), FaultKind::kStorage);
   EXPECT_EQ(classify_fault(ErrorCode::kPermissionDenied), FaultKind::kStorage);
+  EXPECT_EQ(classify_fault(ErrorCode::kRevoked), FaultKind::kRevoked);
+  EXPECT_EQ(classify_fault(ErrorCode::kExpired), FaultKind::kExpired);
   EXPECT_EQ(classify_fault(ErrorCode::kInvalidArgument), FaultKind::kOther);
   EXPECT_EQ(classify_fault(ErrorCode::kParseError), FaultKind::kOther);
   EXPECT_EQ(classify_fault(ErrorCode::kInternal), FaultKind::kOther);
@@ -37,13 +41,18 @@ TEST(FaultTaxonomyCounters, RecordAndTotal) {
   taxonomy.record(FaultKind::kUnreachable);
   taxonomy.record(FaultKind::kGarbled);
   taxonomy.record(FaultKind::kStorage);
+  taxonomy.record(FaultKind::kRevoked);
+  taxonomy.record(FaultKind::kRevoked);
+  taxonomy.record(FaultKind::kExpired);
   taxonomy.record(FaultKind::kOther);
   EXPECT_EQ(taxonomy.timeouts, 2u);
   EXPECT_EQ(taxonomy.unreachable, 1u);
   EXPECT_EQ(taxonomy.garbled, 1u);
   EXPECT_EQ(taxonomy.storage, 1u);
+  EXPECT_EQ(taxonomy.revoked, 2u);
+  EXPECT_EQ(taxonomy.expired, 1u);
   EXPECT_EQ(taxonomy.other, 1u);
-  EXPECT_EQ(taxonomy.total(), 6u);
+  EXPECT_EQ(taxonomy.total(), 9u);
 }
 
 TEST(FaultKindNames, AreStable) {
@@ -51,6 +60,8 @@ TEST(FaultKindNames, AreStable) {
   EXPECT_STREQ(to_string(FaultKind::kUnreachable), "unreachable");
   EXPECT_STREQ(to_string(FaultKind::kGarbled), "garbled");
   EXPECT_STREQ(to_string(FaultKind::kStorage), "storage");
+  EXPECT_STREQ(to_string(FaultKind::kRevoked), "revoked");
+  EXPECT_STREQ(to_string(FaultKind::kExpired), "expired");
   EXPECT_STREQ(to_string(FaultKind::kOther), "other");
 }
 
@@ -88,6 +99,46 @@ TEST(RetryPolicyBackoff, RetryableOnlyForTransientFaults) {
   EXPECT_FALSE(RetryPolicy::retryable(ErrorCode::kPermissionDenied));
   EXPECT_FALSE(RetryPolicy::retryable(ErrorCode::kParseError));
   EXPECT_FALSE(RetryPolicy::retryable(ErrorCode::kDataLoss));
+  // Control-plane verdicts are authoritative: failing over beats waiting.
+  EXPECT_FALSE(RetryPolicy::retryable(ErrorCode::kRevoked));
+  EXPECT_FALSE(RetryPolicy::retryable(ErrorCode::kExpired));
+}
+
+TEST(RetryPolicyBackoff, FullJitterSpansZeroToBase) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 4.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 8.0;
+  policy.jitter_mode = BackoffJitter::kFull;
+  util::Rng rng(11);
+  double lo = 1e9, hi = -1e9, sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double backoff = policy.backoff_s(1, rng);
+    EXPECT_GE(backoff, 0.0);
+    EXPECT_LE(backoff, 4.0);
+    lo = std::min(lo, backoff);
+    hi = std::max(hi, backoff);
+    sum += backoff;
+  }
+  // Full jitter actually uses the whole band, unlike the scaled mode.
+  EXPECT_LT(lo, 0.5) << "draws should reach near zero";
+  EXPECT_GT(hi, 3.5) << "draws should reach near the base backoff";
+  EXPECT_NEAR(sum / 1000.0, 2.0, 0.3) << "mean ~ base/2";
+}
+
+TEST(RetryPolicyBackoff, FullJitterStillClampsToMaxAndIsSeeded) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 4.0;
+  policy.backoff_multiplier = 4.0;
+  policy.max_backoff_s = 6.0;
+  policy.jitter_mode = BackoffJitter::kFull;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    util::Rng rng(3);
+    EXPECT_LE(policy.backoff_s(attempt, rng), 6.0);
+  }
+  // Same seed, same draw: the schedule is a pure function of the rng.
+  util::Rng rng_a(42), rng_b(42);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(2, rng_a), policy.backoff_s(2, rng_b));
 }
 
 TEST(RunWithRetry, SuccessOnFirstAttemptLeavesClockAlone) {

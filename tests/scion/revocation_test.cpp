@@ -1,0 +1,192 @@
+// Tests for scion/revocation: SCMP-style revocation events derived from
+// FaultPlan windows — bounded seeded delivery delay, the
+// delivery-to-heal active interval, directional coverage, and the
+// delivery cursor the cache-invalidation sync loop drives.
+#include "scion/revocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scion/scionlab.hpp"
+
+namespace upin::scion {
+namespace {
+
+using util::SimTime;
+
+/// Fixture: the 35-AS SCIONLab topology under an aggressive fault plan,
+/// so both revocation kinds have plenty of windows to derive from.
+class RevocationTest : public ::testing::Test {
+ protected:
+  RevocationTest() : env_(scionlab_topology()) {
+    simnet::FaultPlanConfig fault_config;
+    fault_config.link_flap_per_hour = 2.0;
+    fault_config.server_down_per_hour = 2.0;
+    faults_ = simnet::FaultPlan(99, fault_config);
+    node_of_ = env_.topology.compile(99).node_of;
+  }
+
+  RevocationLog make_log(RevocationConfig config = {}) const {
+    return RevocationLog(42, config, env_.topology, node_of_, faults_);
+  }
+
+  ScionlabEnv env_;
+  simnet::FaultPlan faults_;
+  std::unordered_map<IsdAsn, simnet::NodeId> node_of_;
+};
+
+TEST_F(RevocationTest, EmitsBothKindsWithDelayInsideConfiguredBounds) {
+  const RevocationConfig config{.min_delay_s = 0.05, .max_delay_s = 0.5};
+  const RevocationLog log = make_log(config);
+  ASSERT_FALSE(log.events().empty());
+  bool saw_link = false;
+  bool saw_server = false;
+  SimTime previous = SimTime::zero();
+  for (const Revocation& event : log.events()) {
+    saw_link |= event.kind == Revocation::Kind::kLinkDown;
+    saw_server |= event.kind == Revocation::Kind::kServerDown;
+    const SimTime delay = event.delivered_at - event.fault_start;
+    EXPECT_GE(delay, util::sim_seconds(config.min_delay_s));
+    EXPECT_LE(delay, util::sim_seconds(config.max_delay_s));
+    EXPECT_GE(event.delivered_at, previous) << "events sorted by delivery";
+    previous = event.delivered_at;
+  }
+  EXPECT_TRUE(saw_link);
+  EXPECT_TRUE(saw_server);
+}
+
+TEST_F(RevocationTest, ScheduleIsAPureFunctionOfTheSeed) {
+  const RevocationLog a = make_log();
+  const RevocationLog b = make_log();
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].delivered_at, b.events()[i].delivered_at);
+    EXPECT_EQ(a.events()[i].from, b.events()[i].from);
+    EXPECT_EQ(a.events()[i].to, b.events()[i].to);
+  }
+}
+
+TEST_F(RevocationTest, DisabledConfigOrInertPlanEmitsNothing) {
+  EXPECT_TRUE(make_log(RevocationConfig{.enabled = false}).events().empty());
+  const RevocationLog inert(42, RevocationConfig{}, env_.topology, node_of_,
+                            simnet::FaultPlan{});
+  EXPECT_TRUE(inert.events().empty());
+  EXPECT_FALSE(
+      inert.as_revoked(env_.user_as, util::sim_seconds(1.0)));
+}
+
+TEST_F(RevocationTest, ActiveExactlyFromDeliveryToFaultEnd) {
+  const RevocationLog log = make_log();
+  const auto link = std::find_if(
+      log.events().begin(), log.events().end(), [](const Revocation& e) {
+        return e.kind == Revocation::Kind::kLinkDown;
+      });
+  ASSERT_NE(link, log.events().end());
+
+  const auto revoked = [&](SimTime t) {
+    return log.link_revoked(link->from, link->to, t);
+  };
+  // Inside the fault window but before the SCMP arrived: the host does
+  // not know yet — probes may still die on the wire, legitimately.
+  EXPECT_FALSE(revoked(link->fault_start));
+  EXPECT_FALSE(revoked(link->delivered_at - util::SimTime(1)));
+  EXPECT_TRUE(revoked(link->delivered_at));
+  EXPECT_TRUE(revoked(link->fault_end - util::SimTime(1)));
+  // The fault healed: the revocation expires with it.
+  EXPECT_FALSE(revoked(link->fault_end));
+}
+
+TEST_F(RevocationTest, PathCoverageChecksBothLinkDirectionsAndDestination) {
+  const RevocationLog log = make_log();
+  const auto link = std::find_if(
+      log.events().begin(), log.events().end(), [](const Revocation& e) {
+        return e.kind == Revocation::Kind::kLinkDown;
+      });
+  ASSERT_NE(link, log.events().end());
+  const SimTime when = link->delivered_at;
+
+  // A path traversing the link in the *reverse* direction is revoked
+  // too: probes are round trips.
+  const Path forward({{link->from, 0, 1}, {link->to, 1, 0}}, 1400.0, {});
+  const Path reverse({{link->to, 0, 1}, {link->from, 1, 0}}, 1400.0, {});
+  EXPECT_TRUE(log.path_revoked(forward, when));
+  EXPECT_TRUE(log.path_revoked(reverse, when));
+  EXPECT_TRUE(log.hops_revoked({link->from, link->to}, when));
+  EXPECT_TRUE(log.hops_revoked({link->to, link->from}, when));
+
+  const auto server = std::find_if(
+      log.events().begin(), log.events().end(), [](const Revocation& e) {
+        return e.kind == Revocation::Kind::kServerDown;
+      });
+  ASSERT_NE(server, log.events().end());
+  // Server-down covers paths *ending* at the dark AS; a path merely
+  // passing through it is untouched (matching the data plane, which only
+  // fails operations whose destination is down).
+  EXPECT_TRUE(log.as_revoked(server->from, server->delivered_at));
+  const Path ending({{IsdAsn{17, 1}, 0, 1}, {server->from, 1, 0}}, 1400.0, {});
+  EXPECT_TRUE(log.path_revoked(ending, server->delivered_at));
+  const Path transiting(
+      {{IsdAsn{17, 1}, 0, 1}, {server->from, 1, 2}, {IsdAsn{17, 2}, 2, 0}},
+      1400.0, {});
+  if (!log.hops_revoked({IsdAsn{17, 1}, server->from, IsdAsn{17, 2}},
+                        server->delivered_at)) {
+    EXPECT_FALSE(log.path_revoked(transiting, server->delivered_at));
+  }
+}
+
+TEST_F(RevocationTest, RevokedSinceReportsEarliestCoveringDelivery) {
+  const RevocationLog log = make_log();
+  const auto link = std::find_if(
+      log.events().begin(), log.events().end(), [](const Revocation& e) {
+        return e.kind == Revocation::Kind::kLinkDown;
+      });
+  ASSERT_NE(link, log.events().end());
+  const Path path({{link->from, 0, 1}, {link->to, 1, 0}}, 1400.0, {});
+
+  const auto since = log.revoked_since(path, link->delivered_at);
+  ASSERT_TRUE(since.has_value());
+  EXPECT_LE(*since, link->delivered_at);
+  EXPECT_FALSE(
+      log.revoked_since(path, link->delivered_at - util::SimTime(1))
+          .has_value())
+      << "not yet delivered means not revoked";
+}
+
+TEST_F(RevocationTest, PollDeliversEachEventExactlyOnceInOrder) {
+  RevocationLog log = make_log();
+  ASSERT_GE(log.events().size(), 2u);
+  const SimTime first_delivery = log.events().front().delivered_at;
+
+  std::vector<SimTime> seen;
+  const auto collect = [&](const Revocation& event) {
+    seen.push_back(event.delivered_at);
+  };
+  EXPECT_EQ(log.poll(first_delivery - util::SimTime(1), collect), 0u);
+  EXPECT_EQ(log.poll(first_delivery, collect), 1u);
+  EXPECT_EQ(log.poll(first_delivery, collect), 0u) << "idempotent per instant";
+  EXPECT_EQ(log.cursor(), 1u);
+
+  const std::size_t rest =
+      log.poll(log.events().back().delivered_at, collect);
+  EXPECT_EQ(rest, log.events().size() - 1);
+  EXPECT_EQ(log.cursor(), log.events().size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST_F(RevocationTest, AdvanceCursorSkipsDeliveriesSilently) {
+  RevocationLog log = make_log();
+  ASSERT_GE(log.events().size(), 3u);
+  const SimTime midpoint = log.events()[1].delivered_at;
+  log.advance_cursor_to(midpoint);
+  EXPECT_GE(log.cursor(), 2u);
+
+  // A poll at the same instant finds nothing left to fire — the skipped
+  // events are never re-delivered to the cache-invalidation callback.
+  std::size_t fired = 0;
+  EXPECT_EQ(log.poll(midpoint, [&](const Revocation&) { ++fired; }), 0u);
+  EXPECT_EQ(fired, 0u);
+}
+
+}  // namespace
+}  // namespace upin::scion

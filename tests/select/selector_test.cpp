@@ -276,6 +276,34 @@ TEST_F(SelectorTest, FreshnessWindowRestrictsSamples) {
   }
 }
 
+TEST_F(SelectorTest, FreshnessBoundaryIsInclusive) {
+  // The staleness threshold is $gte: a sample stamped *exactly* at
+  // since_timestamp_ms is still fresh; one millisecond past it is not.
+  std::vector<std::int64_t> timestamps;
+  db_->collection(measure::kPathsStats)
+      .for_each([&](const docdb::Document& doc) {
+        timestamps.push_back(doc.get("timestamp_ms")->as_int());
+      });
+  ASSERT_FALSE(timestamps.empty());
+  const std::int64_t latest =
+      *std::max_element(timestamps.begin(), timestamps.end());
+
+  const auto at_boundary = selector().summarize(3, latest);
+  ASSERT_TRUE(at_boundary.ok());
+  std::size_t samples_at_boundary = 0;
+  for (const PathSummary& s : at_boundary.value()) {
+    samples_at_boundary += s.samples;
+  }
+  EXPECT_GT(samples_at_boundary, 0u)
+      << "a sample taken exactly at the threshold counts as fresh";
+
+  const auto past_boundary = selector().summarize(3, latest + 1);
+  ASSERT_TRUE(past_boundary.ok());
+  for (const PathSummary& s : past_boundary.value()) {
+    EXPECT_EQ(s.samples, 0u) << "nothing is newer than the newest sample";
+  }
+}
+
 TEST_F(SelectorTest, FreshnessWindowInTheFutureRejectsEverything) {
   UserRequest request;
   request.server_id = 3;

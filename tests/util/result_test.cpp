@@ -58,6 +58,8 @@ TEST(ErrorCode, NamesAreStable) {
   EXPECT_STREQ(to_string(ErrorCode::kUnreachable), "unreachable");
   EXPECT_STREQ(to_string(ErrorCode::kConflict), "conflict");
   EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+  EXPECT_STREQ(to_string(ErrorCode::kRevoked), "revoked");
+  EXPECT_STREQ(to_string(ErrorCode::kExpired), "expired");
 }
 
 }  // namespace
