@@ -1,11 +1,14 @@
 #include "docdb/collection.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <mutex>
-#include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "docdb/update.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace upin::docdb {
@@ -15,7 +18,284 @@ using util::Result;
 using util::Status;
 using util::Value;
 
+namespace {
+
+/// Planner instrumentation, resolved once.  The registry has no label
+/// support, so the plan-kind label is spelled as a name suffix.
+struct QueryMetrics {
+  obs::Counter& plans_scan;
+  obs::Counter& plans_index_point;
+  obs::Counter& plans_index_range;
+  obs::Gauge& index_entries;
+  obs::LatencyHistogram& planner_latency_us;
+
+  static QueryMetrics& get() {
+    static QueryMetrics metrics{
+        obs::Registry::global().counter("upin_query_plans_scan_total"),
+        obs::Registry::global().counter("upin_query_plans_index_point_total"),
+        obs::Registry::global().counter("upin_query_plans_index_range_total"),
+        obs::Registry::global().gauge("upin_index_entries"),
+        obs::Registry::global().histogram("upin_query_planner_latency_us", 0.0,
+                                          500.0, 50)};
+    return metrics;
+  }
+};
+
+bool contains_object(const Value& value) {
+  if (value.is_object()) return true;
+  if (value.is_array()) {
+    for (const Value& element : value.as_array()) {
+      if (contains_object(element)) return true;
+    }
+  }
+  return false;
+}
+
+/// Whether an $eq/$in operand can be answered through index keys.
+/// Equality through the index needs `compare_values() == 0` to coincide
+/// with the filter's deep equality, which object operands break (their
+/// order-sensitive key serialization vs the order-insensitive ==).
+/// Array operands only match whole-array keys, which compound columns
+/// don't keep.
+bool key_usable(const Value& operand, const OrderedIndex& index) {
+  if (contains_object(operand)) return false;
+  return !operand.is_array() || index.single_field();
+}
+
+struct CandidatePlan {
+  QueryPlan plan;
+  bool usable = false;
+};
+
+/// Build the best plan one index can offer for the filter's extractable
+/// bounds: consume equalities into a key prefix left to right, then
+/// terminate with either one `$in` fan-out or one range window.
+CandidatePlan build_index_plan(
+    const OrderedIndex& index,
+    const std::vector<std::pair<std::string, std::vector<Filter::Bound>>>&
+        bounds,
+    std::size_t total_clauses) {
+  using Bound = Filter::Bound;
+  CandidatePlan out;
+  const std::size_t columns = index.fields().size();
+
+  std::vector<Value> prefix;
+  const std::vector<Value>* in_list = nullptr;
+  const Value* lower = nullptr;
+  const Value* upper = nullptr;
+  bool lower_inclusive = true;
+  bool upper_inclusive = true;
+  std::size_t consumed = 0;
+  // True when candidates may include documents the consumed clauses
+  // reject — the plan then stays residual even if it consumed everything.
+  bool dirty = false;
+
+  // Missing-field documents fold onto the null key, which the scan path
+  // never matches with eq/range/$in — a constraint admitting null can
+  // therefore pick up documents the scan rejects.  Only the first
+  // column's folds are tracked, so later columns are conservative.
+  const auto null_dirty = [&](std::size_t column) {
+    return column > 0 || index.has_missing();
+  };
+
+  for (std::size_t column = 0; column < columns; ++column) {
+    const std::vector<Bound>* field_bounds = nullptr;
+    for (const auto& [field, list] : bounds) {
+      if (field == index.fields()[column]) {
+        field_bounds = &list;
+        break;
+      }
+    }
+    if (field_bounds == nullptr) break;
+
+    // Equality pins this column and extends the prefix.
+    const Bound* eq = nullptr;
+    for (const Bound& bound : *field_bounds) {
+      if (bound.op == Bound::Op::kEq && key_usable(*bound.operand, index)) {
+        eq = &bound;
+        break;
+      }
+    }
+    if (eq != nullptr) {
+      // An array operand never contains-matches (filter semantics), but
+      // element-expanded keys would surface such documents.
+      if (eq->operand->is_array()) dirty = true;
+      if (eq->operand->is_null() && null_dirty(column)) dirty = true;
+      prefix.push_back(*eq->operand);
+      ++consumed;
+      continue;
+    }
+
+    // $in fans out into one point range per element; terminal.
+    for (const Bound& bound : *field_bounds) {
+      if (bound.op != Bound::Op::kIn) continue;
+      bool ok = true;
+      for (const Value& element : *bound.list) {
+        if (!key_usable(element, index)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      in_list = bound.list;
+      ++consumed;
+      for (const Value& element : *bound.list) {
+        if (element.is_array()) dirty = true;
+        if (element.is_null() && null_dirty(column)) dirty = true;
+      }
+      break;
+    }
+    if (in_list != nullptr) break;
+
+    // Range window on this column; terminal.  Keep the tightest bound
+    // per side — the looser clauses are implied, hence consumed too.
+    std::size_t lower_clauses = 0;
+    std::size_t upper_clauses = 0;
+    for (const Bound& bound : *field_bounds) {
+      switch (bound.op) {
+        case Bound::Op::kGt:
+        case Bound::Op::kGte: {
+          ++lower_clauses;
+          const bool inclusive = bound.op == Bound::Op::kGte;
+          const int c =
+              lower == nullptr ? 1 : compare_values(*bound.operand, *lower);
+          if (c > 0 || (c == 0 && !inclusive)) {
+            lower = bound.operand;
+            lower_inclusive = inclusive;
+          }
+          break;
+        }
+        case Bound::Op::kLt:
+        case Bound::Op::kLte: {
+          ++upper_clauses;
+          const bool inclusive = bound.op == Bound::Op::kLte;
+          const int c =
+              upper == nullptr ? -1 : compare_values(*bound.operand, *upper);
+          if (c < 0 || (c == 0 && !inclusive)) {
+            upper = bound.operand;
+            upper_inclusive = inclusive;
+          }
+          break;
+        }
+        default: break;
+      }
+    }
+    if (lower == nullptr && upper == nullptr) break;
+    if (index.multikey()) {
+      // Whole-array keys sort by type order, so an array with no element
+      // inside the window can still land in it (e.g. [1,2] > 9).  The
+      // residual predicate restores any-element semantics.
+      dirty = true;
+    }
+    if (index.multikey() && lower != nullptr && upper != nullptr) {
+      // Any-element semantics: one element may satisfy the lower bound
+      // and a *different* one the upper ([-5, 100] matches $gt:0,$lt:10),
+      // so intersecting the bounds loses matches.  Keep the lower only.
+      upper = nullptr;
+      upper_clauses = 0;
+    }
+    if (lower != nullptr) consumed += lower_clauses;
+    if (upper != nullptr) consumed += upper_clauses;
+    if ((lower == nullptr || (lower->is_null() && lower_inclusive)) &&
+        null_dirty(column)) {
+      dirty = true;
+    }
+    break;
+  }
+
+  if (consumed == 0) return out;
+  out.usable = true;
+
+  QueryPlan& plan = out.plan;
+  plan.index = &index;
+  plan.consumed_clauses = consumed;
+  plan.total_clauses = total_clauses;
+  plan.residual = consumed < total_clauses || dirty;
+
+  if (in_list != nullptr) {
+    // One point range per distinct element, ascending — the order a
+    // covering sort streams in; deduped so no document repeats.
+    std::vector<const Value*> elements;
+    elements.reserve(in_list->size());
+    for (const Value& element : *in_list) elements.push_back(&element);
+    std::sort(elements.begin(), elements.end(),
+              [](const Value* a, const Value* b) {
+                return compare_values(*a, *b) < 0;
+              });
+    elements.erase(std::unique(elements.begin(), elements.end(),
+                               [](const Value* a, const Value* b) {
+                                 return compare_values(*a, *b) == 0;
+                               }),
+                   elements.end());
+    plan.ranges.reserve(elements.size());
+    for (const Value* element : elements) {
+      OrderedIndex::Range range;
+      range.prefix = prefix;
+      range.prefix.push_back(*element);
+      plan.ranges.push_back(std::move(range));
+    }
+  } else {
+    OrderedIndex::Range range;
+    range.prefix = std::move(prefix);
+    range.lower = lower;
+    range.lower_inclusive = lower_inclusive;
+    range.upper = upper;
+    range.upper_inclusive = upper_inclusive;
+    plan.ranges.push_back(std::move(range));
+  }
+
+  bool all_points = true;
+  for (const OrderedIndex::Range& range : plan.ranges) {
+    if (!range.is_point(columns)) {
+      all_points = false;
+      break;
+    }
+  }
+  plan.kind = all_points ? QueryPlan::Kind::kIndexPoint
+                         : QueryPlan::Kind::kIndexRange;
+
+  // Selectivity estimate: entries/distinct per fully-pinned key; partial
+  // prefixes assume evenly split key populations and windows a fixed
+  // fraction — crude, but it only has to rank plans.
+  const double entries = static_cast<double>(index.entry_count());
+  const double distinct =
+      static_cast<double>(std::max<std::size_t>(1, index.distinct_keys()));
+  const std::size_t pinned =
+      plan.ranges.empty() ? columns : plan.ranges.front().prefix.size();
+  double per_range;
+  if (pinned >= columns) {
+    per_range = entries / distinct;
+  } else {
+    double fraction = 1.0;
+    if (pinned > 0) {
+      fraction /= std::pow(distinct, static_cast<double>(pinned) /
+                                         static_cast<double>(columns));
+    }
+    if (lower != nullptr && upper != nullptr) {
+      fraction /= 3.0;
+    } else if (lower != nullptr || upper != nullptr) {
+      fraction /= 2.0;
+    }
+    per_range = entries * fraction;
+  }
+  plan.estimated_candidates =
+      per_range * static_cast<double>(plan.ranges.size());
+  return out;
+}
+
+}  // namespace
+
 Collection::Collection(std::string name) : name_(std::move(name)) {}
+
+Collection::~Collection() {
+  // Keep the process-wide gauge honest when a database (reopen, test,
+  // bench) tears down: back out this collection's live index entries.
+  std::int64_t entries = 0;
+  for (const auto& index : indexes_) {
+    entries += static_cast<std::int64_t>(index->entry_count());
+  }
+  if (entries != 0) QueryMetrics::get().index_entries.add(-entries);
+}
 
 std::size_t Collection::size() const {
   const std::shared_lock lock(mutex_);
@@ -50,6 +330,24 @@ void Collection::set_write_gate(std::shared_mutex* gate) {
   write_gate_ = gate;
 }
 
+void Collection::index_add_locked(OrderedIndex& index, const Document& doc,
+                                  std::size_t position) {
+  const std::size_t before = index.entry_count();
+  index.add(doc, position);
+  QueryMetrics::get().index_entries.add(
+      static_cast<std::int64_t>(index.entry_count()) -
+      static_cast<std::int64_t>(before));
+}
+
+void Collection::index_remove_locked(OrderedIndex& index, const Document& doc,
+                                     std::size_t position) {
+  const std::size_t before = index.entry_count();
+  index.remove(doc, position);
+  QueryMetrics::get().index_entries.add(
+      static_cast<std::int64_t>(index.entry_count()) -
+      static_cast<std::int64_t>(before));
+}
+
 Result<std::string> Collection::prepare_document(Document& doc) {
   if (!doc.is_object()) {
     return util::Error{ErrorCode::kInvalidArgument,
@@ -74,7 +372,7 @@ void Collection::insert_locked(Document doc, const std::string& id) {
   slots_.push_back(Slot{std::move(doc), true});
   id_to_slot_.emplace(id, position);
   for (const auto& index : indexes_) {
-    index->add(slots_[position].doc, position);
+    index_add_locked(*index, slots_[position].doc, position);
   }
 }
 
@@ -170,59 +468,192 @@ Result<Document> Collection::find_by_id(std::string_view id) const {
   return slots_[it->second].doc;
 }
 
-std::vector<std::size_t> Collection::candidates_locked(
-    const Filter& filter) const {
-  // Planner: a filter pinning an indexed field by equality scans only the
-  // index bucket; everything else scans the collection.
-  for (const auto& index : indexes_) {
-    if (const Value* pinned = filter.equality_on(index->field())) {
-      std::vector<std::size_t> hits = index->lookup(*pinned);
-      std::sort(hits.begin(), hits.end());
-      hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
-      return hits;
+QueryPlan Collection::plan_locked(const Filter& filter,
+                                  const FindOptions* options) const {
+  const auto start = std::chrono::steady_clock::now();
+  QueryMetrics& metrics = QueryMetrics::get();
+
+  QueryPlan plan;  // collection scan until an index beats it
+  plan.total_clauses = filter.clause_count();
+  plan.residual = plan.total_clauses > 0;
+  plan.estimated_candidates = static_cast<double>(id_to_slot_.size());
+
+  const bool force_scan = options != nullptr && options->force_scan;
+  if (!force_scan && !indexes_.empty() && plan.total_clauses > 0) {
+    const auto bounds = filter.extractable_bounds();
+    if (!bounds.empty()) {
+      double best_cost = plan.estimated_candidates;
+      for (const auto& index : indexes_) {
+        CandidatePlan candidate =
+            build_index_plan(*index, bounds, plan.total_clauses);
+        if (!candidate.usable) continue;
+        if (candidate.plan.estimated_candidates < best_cost ||
+            (candidate.plan.estimated_candidates == best_cost &&
+             candidate.plan.consumed_clauses > plan.consumed_clauses)) {
+          best_cost = candidate.plan.estimated_candidates;
+          plan = std::move(candidate.plan);
+        }
+      }
     }
   }
-  std::vector<std::size_t> all;
-  all.reserve(slots_.size());
-  for (std::size_t i = 0; i < slots_.size(); ++i) all.push_back(i);
-  return all;
+
+  // Sort covering: a single-field, non-multikey index on the sort key can
+  // stream results in index order (ranges ascend and are disjoint),
+  // skipping the sort entirely.
+  if (options != nullptr && !options->sort_by.empty()) {
+    const auto sorts = [&](const OrderedIndex& index) {
+      return index.single_field() && !index.multikey() &&
+             index.fields().front() == options->sort_by;
+    };
+    if (plan.kind != QueryPlan::Kind::kScan && sorts(*plan.index)) {
+      plan.covers_sort = true;
+    } else if (plan.kind == QueryPlan::Kind::kScan && !force_scan &&
+               options->limit.has_value()) {
+      // No index consumed the filter, but a bounded sort can still
+      // stream off a full index sweep and stop after skip+limit matches.
+      for (const auto& index : indexes_) {
+        if (!sorts(*index)) continue;
+        plan.kind = QueryPlan::Kind::kIndexRange;
+        plan.index = index.get();
+        plan.ranges.assign(1, OrderedIndex::Range{});
+        plan.covers_sort = true;
+        break;
+      }
+    }
+  }
+
+  switch (plan.kind) {
+    case QueryPlan::Kind::kScan: metrics.plans_scan.add(); break;
+    case QueryPlan::Kind::kIndexPoint: metrics.plans_index_point.add(); break;
+    case QueryPlan::Kind::kIndexRange: metrics.plans_index_range.add(); break;
+  }
+  metrics.planner_latency_us.observe(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return plan;
+}
+
+std::vector<std::size_t> Collection::plan_candidates_locked(
+    const QueryPlan& plan) const {
+  std::vector<std::size_t> out;
+  if (plan.kind == QueryPlan::Kind::kScan || plan.index == nullptr) {
+    out.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) out.push_back(i);
+    return out;
+  }
+  for (const OrderedIndex::Range& range : plan.ranges) {
+    plan.index->collect(range, out);
+  }
+  // Ascending slot order = insertion order, the same order a scan visits.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::vector<Document> Collection::find(const Filter& filter,
                                        const FindOptions& options) const {
   const std::shared_lock lock(mutex_);
-  std::vector<const Document*> matches;
-  for (const std::size_t position : candidates_locked(filter)) {
-    const Slot& slot = slots_[position];
-    if (slot.alive && filter.matches(slot.doc)) matches.push_back(&slot.doc);
-  }
-
-  if (!options.sort_by.empty()) {
-    std::stable_sort(matches.begin(), matches.end(),
-                     [&](const Document* a, const Document* b) {
-                       const Value* va = a->get_path(options.sort_by);
-                       const Value* vb = b->get_path(options.sort_by);
-                       const Value null_value;
-                       const int c = compare_values(va ? *va : null_value,
-                                                    vb ? *vb : null_value);
-                       return options.descending ? c > 0 : c < 0;
-                     });
-  }
+  const QueryPlan plan = plan_locked(filter, &options);
 
   std::vector<Document> out;
-  const std::size_t begin = std::min(options.skip, matches.size());
-  std::size_t end = matches.size();
-  if (options.limit.has_value()) {
-    end = std::min(end, begin + *options.limit);
+  std::size_t to_skip = options.skip;
+  const auto emit_doc = [&](const Document& doc) {
+    if (options.limit.has_value() && out.size() >= *options.limit) return false;
+    if (to_skip > 0) {
+      --to_skip;
+      return true;
+    }
+    out.push_back(doc);
+    return !options.limit.has_value() || out.size() < *options.limit;
+  };
+
+  if (plan.covers_sort) {
+    // Stream straight off index order.  Positions within one key ascend
+    // (insertion order) — exactly what the scan path's stable sort
+    // produces for ties — and the residual filter runs per candidate.
+    bool more = true;
+    const auto visit = [&](const IndexKey&,
+                           const std::vector<std::size_t>& positions) {
+      for (const std::size_t position : positions) {
+        const Slot& slot = slots_[position];
+        if (!slot.alive || !filter.matches(slot.doc)) continue;
+        if (!emit_doc(slot.doc)) {
+          more = false;
+          return false;
+        }
+      }
+      return true;
+    };
+    if (options.descending) {
+      for (auto it = plan.ranges.rbegin(); more && it != plan.ranges.rend();
+           ++it) {
+        plan.index->scan(*it, true, visit);
+      }
+    } else {
+      for (auto it = plan.ranges.begin(); more && it != plan.ranges.end();
+           ++it) {
+        plan.index->scan(*it, false, visit);
+      }
+    }
+    return out;
   }
-  out.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i) out.push_back(*matches[i]);
+
+  const std::vector<std::size_t> candidates = plan_candidates_locked(plan);
+
+  if (options.sort_by.empty()) {
+    // Insertion order: stream with skip/limit, stopping at the cap.
+    for (const std::size_t position : candidates) {
+      const Slot& slot = slots_[position];
+      if (!slot.alive || !filter.matches(slot.doc)) continue;
+      if (!emit_doc(slot.doc)) break;
+    }
+    return out;
+  }
+
+  // Sorted without index cover: order (sort key, position) pairs.  The
+  // position tie-break reproduces the stable sort's insertion order
+  // exactly, which lets a limited query use bounded top-k selection
+  // instead of sorting every match.
+  static const Value kNullValue;
+  std::vector<std::pair<const Value*, std::size_t>> keyed;
+  for (const std::size_t position : candidates) {
+    const Slot& slot = slots_[position];
+    if (!slot.alive || !filter.matches(slot.doc)) continue;
+    const Value* key = slot.doc.get_path(options.sort_by);
+    keyed.emplace_back(key != nullptr ? key : &kNullValue, position);
+  }
+  const auto before = [&](const std::pair<const Value*, std::size_t>& a,
+                          const std::pair<const Value*, std::size_t>& b) {
+    const int c = compare_values(*a.first, *b.first);
+    if (c != 0) return options.descending ? c > 0 : c < 0;
+    return a.second < b.second;
+  };
+  std::size_t keep = keyed.size();
+  if (options.limit.has_value()) {
+    keep = options.skip + *options.limit;
+    if (keep < options.skip || keep > keyed.size()) keep = keyed.size();
+  }
+  if (keep < keyed.size()) {
+    std::partial_sort(keyed.begin(),
+                      keyed.begin() + static_cast<std::ptrdiff_t>(keep),
+                      keyed.end(), before);
+    keyed.resize(keep);
+  } else {
+    std::sort(keyed.begin(), keyed.end(), before);
+  }
+  const std::size_t begin = std::min(options.skip, keyed.size());
+  out.reserve(keyed.size() - begin);
+  for (std::size_t i = begin; i < keyed.size(); ++i) {
+    out.push_back(slots_[keyed[i].second].doc);
+  }
   return out;
 }
 
 Result<Document> Collection::find_one(const Filter& filter) const {
   const std::shared_lock lock(mutex_);
-  for (const std::size_t position : candidates_locked(filter)) {
+  const QueryPlan plan = plan_locked(filter, nullptr);
+  for (const std::size_t position : plan_candidates_locked(plan)) {
     const Slot& slot = slots_[position];
     if (slot.alive && filter.matches(slot.doc)) return slot.doc;
   }
@@ -231,12 +662,60 @@ Result<Document> Collection::find_one(const Filter& filter) const {
 
 std::size_t Collection::count(const Filter& filter) const {
   const std::shared_lock lock(mutex_);
+  const QueryPlan plan = plan_locked(filter, nullptr);
+  if (!plan.residual) {
+    // Covered: every candidate provably matches — answer from posting
+    // sizes without touching a document.
+    if (plan.kind == QueryPlan::Kind::kScan) return id_to_slot_.size();
+    if (plan.ranges.size() == 1 || !plan.index->multikey()) {
+      std::size_t total = 0;
+      for (const OrderedIndex::Range& range : plan.ranges) {
+        total += plan.index->count_in_range(range);
+      }
+      return total;
+    }
+    // Multikey with several ranges: one document can land in more than
+    // one — dedup positions across the whole set.
+    std::vector<std::size_t> positions;
+    for (const OrderedIndex::Range& range : plan.ranges) {
+      plan.index->collect(range, positions);
+    }
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+    return positions.size();
+  }
   std::size_t total = 0;
-  for (const std::size_t position : candidates_locked(filter)) {
+  for (const std::size_t position : plan_candidates_locked(plan)) {
     const Slot& slot = slots_[position];
     if (slot.alive && filter.matches(slot.doc)) ++total;
   }
   return total;
+}
+
+util::Value Collection::explain(const Filter& filter,
+                                const FindOptions& options) const {
+  const std::shared_lock lock(mutex_);
+  const QueryPlan plan = plan_locked(filter, &options);
+  const char* kind = plan.kind == QueryPlan::Kind::kScan ? "scan"
+                     : plan.kind == QueryPlan::Kind::kIndexPoint
+                         ? "index_point"
+                         : "index_range";
+  util::JsonObject clauses;
+  clauses.set("total", Value(static_cast<std::int64_t>(plan.total_clauses)));
+  clauses.set("consumed",
+              Value(static_cast<std::int64_t>(plan.consumed_clauses)));
+  util::JsonObject doc;
+  doc.set("plan", Value(std::string(kind)));
+  doc.set("index", plan.index == nullptr ? Value() : Value(plan.index->spec()));
+  doc.set("ranges", Value(static_cast<std::int64_t>(plan.ranges.size())));
+  doc.set("residual", Value(plan.residual));
+  doc.set("covers_sort", Value(plan.covers_sort));
+  doc.set("clauses", Value(std::move(clauses)));
+  doc.set("estimated_candidates", Value(plan.estimated_candidates));
+  doc.set("collection_size",
+          Value(static_cast<std::int64_t>(id_to_slot_.size())));
+  return Value(std::move(doc));
 }
 
 Result<std::size_t> Collection::update_many(const Filter& filter,
@@ -246,7 +725,8 @@ Result<std::size_t> Collection::update_many(const Filter& filter,
   {
     const std::shared_lock gate = gate_lock();
     const std::unique_lock lock(mutex_);
-    for (const std::size_t position : candidates_locked(filter)) {
+    const QueryPlan plan = plan_locked(filter, nullptr);
+    for (const std::size_t position : plan_candidates_locked(plan)) {
       Slot& slot = slots_[position];
       if (!slot.alive || !filter.matches(slot.doc)) continue;
 
@@ -255,9 +735,13 @@ Result<std::size_t> Collection::update_many(const Filter& filter,
       if (!status.ok()) return Result<std::size_t>(status.error());
       if (updated == slot.doc) continue;
 
-      for (const auto& index : indexes_) index->remove(slot.doc, position);
+      for (const auto& index : indexes_) {
+        index_remove_locked(*index, slot.doc, position);
+      }
       slot.doc = std::move(updated);
-      for (const auto& index : indexes_) index->add(slot.doc, position);
+      for (const auto& index : indexes_) {
+        index_add_locked(*index, slot.doc, position);
+      }
       ++modified;
 
       const std::string id(document_id(slot.doc).value_or(""));
@@ -280,12 +764,15 @@ std::size_t Collection::delete_many(const Filter& filter) {
   {
     const std::shared_lock gate = gate_lock();
     const std::unique_lock lock(mutex_);
-    for (const std::size_t position : candidates_locked(filter)) {
+    const QueryPlan plan = plan_locked(filter, nullptr);
+    for (const std::size_t position : plan_candidates_locked(plan)) {
       Slot& slot = slots_[position];
       if (!slot.alive || !filter.matches(slot.doc)) continue;
       // Copy the id before clearing the slot: document_id() views into doc.
       const std::string id(document_id(slot.doc).value_or(""));
-      for (const auto& index : indexes_) index->remove(slot.doc, position);
+      for (const auto& index : indexes_) {
+        index_remove_locked(*index, slot.doc, position);
+      }
       id_to_slot_.erase(id);
       slot.alive = false;
       slot.doc = Document();
@@ -312,7 +799,9 @@ bool Collection::delete_by_id(std::string_view id) {
     const auto it = id_to_slot_.find(std::string(id));
     if (it == id_to_slot_.end()) return false;
     Slot& slot = slots_[it->second];
-    for (const auto& index : indexes_) index->remove(slot.doc, it->second);
+    for (const auto& index : indexes_) {
+      index_remove_locked(*index, slot.doc, it->second);
+    }
     slot.alive = false;
     slot.doc = Document();
     id_to_slot_.erase(it);
@@ -328,50 +817,104 @@ bool Collection::delete_by_id(std::string_view id) {
   return true;
 }
 
-void Collection::create_index(std::string field) {
-  const std::unique_lock lock(mutex_);
-  for (const auto& index : indexes_) {
-    if (index->field() == field) return;
+void Collection::create_index(std::string spec) {
+  create_index(split_index_spec(spec));
+}
+
+void Collection::create_index(std::vector<std::string> fields) {
+  if (fields.empty()) return;
+  auto index = std::make_unique<OrderedIndex>(std::move(fields));
+  // Persist the declaration as a journal meta-record so it survives
+  // reopen even before the first compact() snapshot.  Encoded outside
+  // the lock like every other payload (wasted only when idempotent).
+  std::string payload;
+  if (journaled()) payload = Journal::encode_create_index(name_, index->spec());
+
+  SyncTicket ticket;
+  bool created = false;
+  {
+    const std::shared_lock gate = gate_lock();
+    const std::unique_lock lock(mutex_);
+    for (const auto& existing : indexes_) {
+      if (existing->spec() == index->spec()) return;
+    }
+    for (std::size_t position = 0; position < slots_.size(); ++position) {
+      if (slots_[position].alive) {
+        index_add_locked(*index, slots_[position].doc, position);
+      }
+    }
+    MutationEvent event{MutationEvent::Kind::kCreateIndex, name_, {},
+                        std::move(payload), nullptr};
+    indexes_.push_back(std::move(index));
+    emit(event);
+    emit_sync(&ticket);
+    created = true;
   }
-  auto index = std::make_unique<FieldIndex>(std::move(field));
-  for (std::size_t position = 0; position < slots_.size(); ++position) {
-    if (slots_[position].alive) index->add(slots_[position].doc, position);
-  }
-  indexes_.push_back(std::move(index));
+  // Void-returning API: a sync failure is logged by await_sync only.
+  if (created) (void)await_sync(ticket);
 }
 
 std::vector<std::string> Collection::indexed_fields() const {
   const std::shared_lock lock(mutex_);
-  std::vector<std::string> fields;
-  fields.reserve(indexes_.size());
-  for (const auto& index : indexes_) fields.push_back(index->field());
-  return fields;
+  std::vector<std::string> specs;
+  specs.reserve(indexes_.size());
+  for (const auto& index : indexes_) specs.push_back(index->spec());
+  return specs;
 }
 
 std::vector<Value> Collection::distinct(std::string_view field,
                                         const Filter& filter) const {
   const std::shared_lock lock(mutex_);
+  const OrderedIndex* field_index = nullptr;
+  for (const auto& index : indexes_) {
+    if (index->single_field() && index->fields().front() == field) {
+      field_index = index.get();
+      break;
+    }
+  }
+  // Fully covered: no filter at all — the index's key set IS the answer
+  // (multikey included: the full range holds every element).
+  if (field_index != nullptr && filter.is_match_all()) {
+    return field_index->distinct_values(OrderedIndex::Range{});
+  }
+  const QueryPlan plan = plan_locked(filter, nullptr);
+  if (field_index != nullptr && plan.index == field_index && !plan.residual &&
+      !field_index->multikey()) {
+    // Residual-free plan over the same single-field index: the in-range
+    // keys are exactly the matched documents' values.  Ranges ascend and
+    // are disjoint, so concatenation stays sorted and unique.
+    std::vector<Value> values;
+    for (const OrderedIndex::Range& range : plan.ranges) {
+      std::vector<Value> part = field_index->distinct_values(range);
+      values.insert(values.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    return values;
+  }
+  // Scan path (planner candidates still prune), then sort and dedup
+  // under compare_values so both paths return the same ascending order.
   std::vector<Value> values;
-  // Membership via an ordered index set over `values` (O(log n) per
-  // candidate instead of the old O(n) scan), preserving first-seen order.
-  const auto less = [&values](std::size_t a, std::size_t b) {
-    return compare_values(values[a], values[b]) < 0;
-  };
-  std::set<std::size_t, decltype(less)> seen(less);
-  const auto add_unique = [&](const Value& candidate) {
-    values.push_back(candidate);
-    if (!seen.insert(values.size() - 1).second) values.pop_back();
-  };
-  for (const Slot& slot : slots_) {
+  for (const std::size_t position : plan_candidates_locked(plan)) {
+    const Slot& slot = slots_[position];
     if (!slot.alive || !filter.matches(slot.doc)) continue;
     const Value* field_value = slot.doc.get_path(field);
     if (field_value == nullptr) continue;
     if (field_value->is_array()) {
-      for (const Value& element : field_value->as_array()) add_unique(element);
+      for (const Value& element : field_value->as_array()) {
+        values.push_back(element);
+      }
     } else {
-      add_unique(*field_value);
+      values.push_back(*field_value);
     }
   }
+  std::sort(values.begin(), values.end(), [](const Value& a, const Value& b) {
+    return compare_values(a, b) < 0;
+  });
+  values.erase(std::unique(values.begin(), values.end(),
+                           [](const Value& a, const Value& b) {
+                             return compare_values(a, b) == 0;
+                           }),
+               values.end());
   return values;
 }
 

@@ -37,6 +37,25 @@ struct FindOptions {
   bool descending = false;           ///< sort direction
   std::size_t skip = 0;              ///< drop this many leading results
   std::optional<std::size_t> limit;  ///< cap on returned documents
+  /// Debug knob: bypass the planner and scan the collection.  Used by the
+  /// property tests to prove planned and scanned execution agree.
+  bool force_scan = false;
+};
+
+/// The execution strategy the planner chose for one query.  Surfaced as
+/// JSON by Collection::explain(); internal pointers reference the
+/// collection's indexes and the filter's operands, so a plan is only
+/// valid for the duration of the query that built it.
+struct QueryPlan {
+  enum class Kind { kScan, kIndexPoint, kIndexRange };
+  Kind kind = Kind::kScan;
+  const OrderedIndex* index = nullptr;       ///< null for kScan
+  std::vector<OrderedIndex::Range> ranges;   ///< one per $in element
+  bool residual = true;     ///< re-check the full filter per candidate
+  bool covers_sort = false; ///< index order answers sort_by directly
+  std::size_t consumed_clauses = 0;
+  std::size_t total_clauses = 0;
+  double estimated_candidates = 0.0;
 };
 
 /// A mutation event, surfaced to the owning Database for journaling.
@@ -44,7 +63,7 @@ struct FindOptions {
 /// every *batch* (so a batched insert costs one flush, not N — the I/O
 /// trade-off of paper §4.2.2, measured in bench/ablation_storage).
 struct MutationEvent {
-  enum class Kind { kInsert, kUpdate, kDelete, kSync };
+  enum class Kind { kInsert, kUpdate, kDelete, kCreateIndex, kSync };
   Kind kind;
   std::string collection;
   std::string id;     ///< document id (insert/update/delete); empty for sync
@@ -61,6 +80,7 @@ struct MutationEvent {
 class Collection {
  public:
   explicit Collection(std::string name);
+  ~Collection();
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   /// Number of live documents.
@@ -81,16 +101,28 @@ class Collection {
   /// Fetch by id.
   [[nodiscard]] util::Result<Document> find_by_id(std::string_view id) const;
 
-  /// All documents matching `filter`, honoring `options`.  Uses a field
-  /// index when the filter pins an indexed field by equality.
+  /// All documents matching `filter`, honoring `options`.  The planner
+  /// turns extractable `$eq`/`$in`/range bounds into an ordered-index
+  /// range scan (residual predicate applied per candidate); results come
+  /// back in insertion order — identical to a scan — unless sorted, and
+  /// `sort_by` on a single-field index streams straight off index order.
   [[nodiscard]] std::vector<Document> find(const Filter& filter,
                                            const FindOptions& options = {}) const;
 
   /// First match in insertion order, or kNotFound.
   [[nodiscard]] util::Result<Document> find_one(const Filter& filter) const;
 
+  /// Matching-document count.  Residual-free index plans are *covered*:
+  /// answered from posting sizes without touching documents.
   [[nodiscard]] std::size_t count(const Filter& filter) const;
   [[nodiscard]] std::size_t count_all() const { return size(); }
+
+  /// The plan the planner would choose for this query, as a JSON debug
+  /// document: {"plan", "index", "ranges", "residual", "covers_sort",
+  /// "clauses": {"total", "consumed"}, "estimated_candidates",
+  /// "collection_size"}.
+  [[nodiscard]] util::Value explain(const Filter& filter,
+                                    const FindOptions& options = {}) const;
 
   /// Apply a Mongo-style update document to every match; returns the
   /// number of documents modified.
@@ -102,11 +134,19 @@ class Collection {
   /// Delete one document by id.
   bool delete_by_id(std::string_view id);
 
-  /// Create (and backfill) a hash index on a dotted field.  Idempotent.
-  void create_index(std::string field);
+  /// Create (and backfill) an ordered index on a dotted field, or a
+  /// compound one via a comma-separated spec ("path_id,timestamp_ms").
+  /// Idempotent.  On a journaled collection the declaration is persisted
+  /// as a meta-record so it survives reopen.
+  void create_index(std::string spec);
+  void create_index(std::vector<std::string> fields);
+  /// Declarations of every index, in creation order (compound specs are
+  /// comma-joined) — the form journal snapshots persist.
   [[nodiscard]] std::vector<std::string> indexed_fields() const;
 
-  /// Distinct values of `field` among documents matching `filter`.
+  /// Distinct values of `field` among documents matching `filter`, in
+  /// ascending `compare_values` order.  Covered by a single-field index
+  /// on `field` when one exists and the plan is residual-free.
   [[nodiscard]] std::vector<util::Value> distinct(std::string_view field,
                                                   const Filter& filter) const;
 
@@ -138,8 +178,20 @@ class Collection {
 
   // All methods below require mutex_ held by the caller.
   void insert_locked(Document doc, const std::string& id);
-  [[nodiscard]] std::vector<std::size_t> candidates_locked(
-      const Filter& filter) const;
+  /// Choose the cheapest execution plan for `filter` (and, when given,
+  /// `options`' sort/force_scan).  Instruments the planner metrics.
+  [[nodiscard]] QueryPlan plan_locked(const Filter& filter,
+                                      const FindOptions* options) const;
+  /// Candidate slot positions for a plan, ascending (= insertion order),
+  /// deduplicated.  kScan yields every slot.
+  [[nodiscard]] std::vector<std::size_t> plan_candidates_locked(
+      const QueryPlan& plan) const;
+  /// Index add/remove wrappers that keep the upin_index_entries gauge
+  /// in step with the index's entry count.
+  void index_add_locked(OrderedIndex& index, const Document& doc,
+                        std::size_t position);
+  void index_remove_locked(OrderedIndex& index, const Document& doc,
+                           std::size_t position);
   void emit(MutationEvent& event);
   /// Emit the kSync durability point, stamping `ticket`.
   void emit_sync(SyncTicket* ticket);
@@ -159,7 +211,7 @@ class Collection {
   mutable std::shared_mutex mutex_;
   std::vector<Slot> slots_;
   std::unordered_map<std::string, std::size_t> id_to_slot_;
-  std::vector<std::unique_ptr<FieldIndex>> indexes_;
+  std::vector<std::unique_ptr<OrderedIndex>> indexes_;
   std::atomic<std::uint64_t> next_auto_id_{1};
   std::atomic<bool> has_observer_{false};
   std::function<void(MutationEvent&)> observer_;

@@ -1,5 +1,6 @@
 #include "docdb/filter.hpp"
 
+#include <functional>
 #include <regex>
 #include <string>
 #include <vector>
@@ -424,6 +425,76 @@ Filter Filter::match_all() {
 }
 
 bool Filter::matches(const Document& doc) const { return root_->matches(doc); }
+
+namespace {
+
+/// Visit every leaf clause of the top-level conjunction, flattening
+/// nested $and nodes.  Non-conjunctive subtrees ($or, $nor, $not, ...)
+/// are visited as single opaque leaves.
+void for_each_conjunct(const Filter::Node& node,
+                       const std::function<void(const Filter::Node&)>& visit) {
+  if (node.kind == Filter::Node::Kind::kAnd) {
+    for (const auto& child : node.children) for_each_conjunct(*child, visit);
+    return;
+  }
+  visit(node);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::vector<Filter::Bound>>>
+Filter::extractable_bounds() const {
+  std::vector<std::pair<std::string, std::vector<Bound>>> by_field;
+  const auto bounds_for = [&](const std::string& field) -> std::vector<Bound>& {
+    for (auto& [name, bounds] : by_field) {
+      if (name == field) return bounds;
+    }
+    return by_field.emplace_back(field, std::vector<Bound>{}).second;
+  };
+  for_each_conjunct(*root_, [&](const Node& leaf) {
+    Bound bound;
+    switch (leaf.kind) {
+      case Node::Kind::kEq:
+        bound.op = Bound::Op::kEq;
+        bound.operand = &leaf.operand;
+        break;
+      case Node::Kind::kGt:
+        bound.op = Bound::Op::kGt;
+        bound.operand = &leaf.operand;
+        break;
+      case Node::Kind::kGte:
+        bound.op = Bound::Op::kGte;
+        bound.operand = &leaf.operand;
+        break;
+      case Node::Kind::kLt:
+        bound.op = Bound::Op::kLt;
+        bound.operand = &leaf.operand;
+        break;
+      case Node::Kind::kLte:
+        bound.op = Bound::Op::kLte;
+        bound.operand = &leaf.operand;
+        break;
+      case Node::Kind::kIn:
+        bound.op = Bound::Op::kIn;
+        bound.list = &leaf.operands;
+        break;
+      default:
+        return;  // opaque to the planner; stays in the residual
+    }
+    bounds_for(leaf.field).push_back(bound);
+  });
+  return by_field;
+}
+
+std::size_t Filter::clause_count() const {
+  std::size_t count = 0;
+  for_each_conjunct(*root_, [&](const Node& leaf) {
+    if (leaf.kind != Node::Kind::kTrue) ++count;
+  });
+  return count;
+}
+
+bool Filter::is_match_all() const { return clause_count() == 0; }
 
 const Value* Filter::equality_on(std::string_view field) const {
   const Node* node = root_.get();

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "docdb/document.hpp"
 #include "util/result.hpp"
@@ -44,6 +46,31 @@ class Filter {
   /// (a conjunction containing) a simple equality on it — used by the
   /// query planner to consult an index.
   [[nodiscard]] const util::Value* equality_on(std::string_view field) const;
+
+  /// One index-usable predicate extracted from the top-level conjunction.
+  /// Pointers view into the filter's compiled nodes and stay valid while
+  /// the Filter (or any copy sharing its root) is alive.
+  struct Bound {
+    enum class Op { kEq, kIn, kGt, kGte, kLt, kLte };
+    Op op = Op::kEq;
+    const util::Value* operand = nullptr;        ///< kEq and range ops
+    const std::vector<util::Value>* list = nullptr;  ///< kIn
+  };
+
+  /// Per-field extractable predicates of the top-level conjunction
+  /// (nested `$and` flattened; anything under `$or`/`$nor`/`$not` is
+  /// opaque to the planner).  Fields appear in first-mention order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::vector<Bound>>>
+  extractable_bounds() const;
+
+  /// Leaf clauses in the top-level conjunction — an `$or` subtree counts
+  /// as one (unextractable) clause; match_all() counts zero.  The planner
+  /// compares this against the clauses a plan consumes to decide whether
+  /// the residual predicate still needs to run.
+  [[nodiscard]] std::size_t clause_count() const;
+
+  /// True when this filter matches every document (match_all()).
+  [[nodiscard]] bool is_match_all() const;
 
   class Node;  // implementation detail, exposed for the planner
 

@@ -228,6 +228,11 @@ std::string Journal::encode_create_collection(const std::string& collection) {
   return encode_parts("create_collection", collection, {}, {}, nullptr);
 }
 
+std::string Journal::encode_create_index(const std::string& collection,
+                                         const std::string& field_spec) {
+  return encode_parts("create_index", collection, {}, field_spec, nullptr);
+}
+
 Status Journal::append(const JournalRecord& record) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (out_ == nullptr || !out_->is_open()) {

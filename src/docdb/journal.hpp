@@ -162,6 +162,10 @@ class Journal {
                                                  const std::string& id);
   [[nodiscard]] static std::string encode_create_collection(
       const std::string& collection);
+  /// Index-declaration meta-record ("create_index"); `field_spec` is the
+  /// canonical comma-joined declaration, replayed via create_index().
+  [[nodiscard]] static std::string encode_create_index(
+      const std::string& collection, const std::string& field_spec);
 
   /// Replay an existing journal file through `replay`, streaming one
   /// line at a time (peak memory is one record, not the file).

@@ -79,6 +79,10 @@ Status TestSuite::initialize() {
   db_.collection(kPaths).create_index("server_id");
   db_.collection(kPathsStats).create_index("path_id");
   db_.collection(kPathsStats).create_index("server_id");
+  // The selection layer's hottest query (§6: per-path stats since a
+  // cutoff) pins path_id and ranges over timestamp_ms — one compound
+  // range scan instead of a per-path bucket filter.
+  db_.collection(kPathsStats).create_index("path_id,timestamp_ms");
   return Status::success();
 }
 

@@ -416,5 +416,268 @@ TEST(Collection, ConcurrentReadersAndWriters) {
   EXPECT_EQ(coll.size(), 400u);
 }
 
+// ------------------------------------------------------------ query planner
+
+/// The plan kind explain() reports for a query.
+std::string plan_kind(const Collection& coll, const char* query,
+                      const FindOptions& options = {}) {
+  const Value plan = coll.explain(filter(query), options);
+  return plan.get("plan")->as_string();
+}
+
+TEST(QueryPlanner, ExplainPicksIndexPointOverScan) {
+  Collection coll("stats");
+  coll.create_index("path_id");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"path_id", i % 5}})).ok());
+  }
+  EXPECT_EQ(plan_kind(coll, R"({"path_id": 2})"), "index_point");
+  EXPECT_EQ(plan_kind(coll, R"({"hop_count": 3})"), "scan");
+
+  const Value plan = coll.explain(filter(R"({"path_id": 2})"));
+  EXPECT_EQ(plan.get("index")->as_string(), "path_id");
+  EXPECT_FALSE(plan.get("residual")->as_bool());
+  EXPECT_EQ(plan.get_path("clauses.consumed")->as_int(), 1);
+}
+
+TEST(QueryPlanner, RangeQueriesUseIndexRange) {
+  Collection coll("stats");
+  coll.create_index("latency_ms");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"latency_ms", i * 10}})).ok());
+  }
+  EXPECT_EQ(plan_kind(coll, R"({"latency_ms": {"$gte": 20, "$lt": 50}})"),
+            "index_range");
+  const auto docs = coll.find(filter(R"({"latency_ms": {"$gte": 20, "$lt": 50}})"));
+  EXPECT_EQ(docs.size(), 3u);
+}
+
+TEST(QueryPlanner, ForceScanBypassesIndexes) {
+  Collection coll("stats");
+  coll.create_index("path_id");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"path_id": 1})")).ok());
+  FindOptions options;
+  options.force_scan = true;
+  EXPECT_EQ(plan_kind(coll, R"({"path_id": 1})", options), "scan");
+}
+
+TEST(QueryPlanner, CompoundIndexConsumesPrefixAndWindow) {
+  Collection coll("stats");
+  coll.create_index("path_id,timestamp_ms");
+  for (int path = 0; path < 3; ++path) {
+    for (int t = 0; t < 5; ++t) {
+      ASSERT_TRUE(coll.insert_one(Value::object(
+                                      {{"path_id", path}, {"timestamp_ms", t * 100}}))
+                      .ok());
+    }
+  }
+  const char* query = R"({"path_id": 1, "timestamp_ms": {"$gte": 200}})";
+  const Value plan = coll.explain(filter(query));
+  EXPECT_EQ(plan.get("plan")->as_string(), "index_range");
+  EXPECT_EQ(plan.get("index")->as_string(), "path_id,timestamp_ms");
+  EXPECT_EQ(plan.get_path("clauses.consumed")->as_int(), 2);
+  EXPECT_FALSE(plan.get("residual")->as_bool());
+
+  const auto docs = coll.find(filter(query));
+  ASSERT_EQ(docs.size(), 3u);
+  for (const Document& d : docs) {
+    EXPECT_EQ(d.get("path_id")->as_int(), 1);
+    EXPECT_GE(d.get("timestamp_ms")->as_int(), 200);
+  }
+}
+
+TEST(QueryPlanner, InFansOutToPointRanges) {
+  Collection coll("stats");
+  coll.create_index("server_id");
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"server_id", i % 4}})).ok());
+  }
+  const char* query = R"({"server_id": {"$in": [1, 3]}})";
+  EXPECT_EQ(plan_kind(coll, query), "index_point");
+  EXPECT_EQ(coll.explain(filter(query)).get("ranges")->as_int(), 2);
+  EXPECT_EQ(coll.count(filter(query)), 6u);
+}
+
+TEST(QueryPlanner, IndexedFindPreservesInsertionOrder) {
+  Collection coll("stats");
+  coll.create_index("server_id");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"_id", "d" + std::to_string(i)},
+                                               {"server_id", i % 2}}))
+                    .ok());
+  }
+  const Filter query = filter(R"({"server_id": 1})");
+  FindOptions forced;
+  forced.force_scan = true;
+  const auto planned = coll.find(query);
+  const auto scanned = coll.find(query, forced);
+  ASSERT_EQ(planned.size(), scanned.size());
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    EXPECT_EQ(planned[i], scanned[i]) << "position " << i;
+  }
+  // Insertion order: d1, d3, d5, ...
+  EXPECT_EQ(planned.front().get("_id")->as_string(), "d1");
+}
+
+TEST(QueryPlanner, CoveredCountSkipsDocuments) {
+  Collection coll("stats");
+  coll.create_index("path_id");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"path_id", i % 3}})).ok());
+  }
+  EXPECT_EQ(coll.count(filter(R"({"path_id": 0})")), 10u);
+  EXPECT_EQ(coll.count(filter(R"({"path_id": {"$gte": 1}})")), 20u);
+  EXPECT_EQ(coll.count(Filter::match_all()), 30u);
+}
+
+TEST(QueryPlanner, CountMatchesScanWithResidual) {
+  Collection coll("stats");
+  coll.create_index("path_id");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object(
+                                    {{"path_id", i % 4}, {"loss", i % 2}}))
+                    .ok());
+  }
+  // path_id consumed by the index, loss stays residual.
+  EXPECT_EQ(coll.count(filter(R"({"path_id": 1, "loss": 0})")), 0u);
+  EXPECT_EQ(coll.count(filter(R"({"path_id": 1, "loss": 1})")), 5u);
+}
+
+TEST(QueryPlanner, DistinctIsCoveredAndSorted) {
+  Collection coll("stats");
+  coll.create_index("server_id");
+  for (const int v : {3, 1, 2, 1, 3}) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"server_id", v}})).ok());
+  }
+  const auto values = coll.distinct("server_id", Filter::match_all());
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], Value(1));
+  EXPECT_EQ(values[1], Value(2));
+  EXPECT_EQ(values[2], Value(3));
+  // Filtered distinct off the same index (residual-free range plan).
+  const auto high = coll.distinct("server_id",
+                                  filter(R"({"server_id": {"$gte": 2}})"));
+  ASSERT_EQ(high.size(), 2u);
+  EXPECT_EQ(high[0], Value(2));
+  EXPECT_EQ(high[1], Value(3));
+  // Unindexed distinct returns the same ascending order.
+  Collection plain("plain");
+  for (const int v : {3, 1, 2, 1, 3}) {
+    ASSERT_TRUE(plain.insert_one(Value::object({{"server_id", v}})).ok());
+  }
+  EXPECT_EQ(plain.distinct("server_id", Filter::match_all()), values);
+}
+
+TEST(QueryPlanner, SortStreamsOffIndexOrder) {
+  Collection coll("stats");
+  coll.create_index("latency_ms");
+  for (const int v : {50, 10, 40, 20, 30}) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"latency_ms", v}})).ok());
+  }
+  FindOptions options;
+  options.sort_by = "latency_ms";
+  options.limit = 3;
+  const Value plan = coll.explain(Filter::match_all(), options);
+  EXPECT_TRUE(plan.get("covers_sort")->as_bool());
+  const auto docs = coll.find(Filter::match_all(), options);
+  ASSERT_EQ(docs.size(), 3u);
+  EXPECT_EQ(docs[0].get("latency_ms")->as_int(), 10);
+  EXPECT_EQ(docs[1].get("latency_ms")->as_int(), 20);
+  EXPECT_EQ(docs[2].get("latency_ms")->as_int(), 30);
+
+  options.descending = true;
+  const auto top = coll.find(Filter::match_all(), options);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].get("latency_ms")->as_int(), 50);
+}
+
+TEST(QueryPlanner, SortedStreamingMatchesScanOnTies) {
+  Collection coll("stats");
+  coll.create_index("v");
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"_id", "d" + std::to_string(i)},
+                                               {"v", i % 3}}))
+                    .ok());
+  }
+  FindOptions sorted;
+  sorted.sort_by = "v";
+  FindOptions forced = sorted;
+  forced.force_scan = true;
+  const auto streamed = coll.find(Filter::match_all(), sorted);
+  const auto scanned = coll.find(Filter::match_all(), forced);
+  ASSERT_EQ(streamed.size(), scanned.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i], scanned[i]) << "position " << i;
+  }
+}
+
+TEST(QueryPlanner, TopKHeapMatchesFullSortOnNonIndexedField) {
+  Collection coll("stats");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(coll.insert_one(Value::object({{"_id", "d" + std::to_string(i)},
+                                               {"v", (i * 37) % 50},
+                                               {"tie", i % 5}}))
+                    .ok());
+  }
+  FindOptions limited;
+  limited.sort_by = "tie";  // heavy ties exercise the position tie-break
+  limited.skip = 3;
+  limited.limit = 10;
+  FindOptions full = limited;
+  full.skip = 0;
+  full.limit.reset();
+  const auto topk = coll.find(Filter::match_all(), limited);
+  const auto everything = coll.find(Filter::match_all(), full);
+  ASSERT_EQ(topk.size(), 10u);
+  for (std::size_t i = 0; i < topk.size(); ++i) {
+    EXPECT_EQ(topk[i], everything[i + 3]) << "position " << i;
+  }
+}
+
+TEST(QueryPlanner, MultikeyRangeDoesNotIntersectBounds) {
+  Collection coll("stats");
+  coll.create_index("isds");
+  // [-5, 100] matches {$gt: 0, $lt: 10} (any-element per clause) even
+  // though no single element is inside (0, 10).
+  ASSERT_TRUE(coll.insert_one(doc(R"({"isds": [-5, 100]})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"isds": [5]})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"isds": [200]})")).ok());
+  const Filter query = filter(R"({"isds": {"$gt": 0, "$lt": 10}})");
+  const auto docs = coll.find(query);
+  EXPECT_EQ(docs.size(), 2u);
+  EXPECT_EQ(coll.count(query), 2u);
+  FindOptions forced;
+  forced.force_scan = true;
+  EXPECT_EQ(coll.find(query, forced).size(), 2u);
+}
+
+TEST(QueryPlanner, MissingFieldsFoldButNeverLeakIntoMatches) {
+  Collection coll("stats");
+  coll.create_index("v");
+  ASSERT_TRUE(coll.insert_one(doc(R"({"v": 1})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"other": 1})")).ok());
+  ASSERT_TRUE(coll.insert_one(doc(R"({"v": null})")).ok());
+
+  // $lt matches stored nulls (rank order) but never missing fields.
+  const Filter query = filter(R"({"v": {"$lt": 5}})");
+  EXPECT_EQ(coll.find(query).size(), 2u);
+  EXPECT_EQ(coll.count(query), 2u);
+  // Equality on null matches stored nulls only.
+  const Filter null_eq = filter(R"({"v": null})");
+  EXPECT_EQ(coll.find(null_eq).size(), 1u);
+  EXPECT_EQ(coll.count(null_eq), 1u);
+}
+
+TEST(QueryPlanner, CompoundIndexDeclarationRoundTrips) {
+  Collection coll("stats");
+  coll.create_index("path_id,timestamp_ms");
+  coll.create_index("path_id,timestamp_ms");  // idempotent
+  coll.create_index(std::vector<std::string>{"server_id"});
+  const auto specs = coll.indexed_fields();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0], "path_id,timestamp_ms");
+  EXPECT_EQ(specs[1], "server_id");
+}
+
 }  // namespace
 }  // namespace upin::docdb

@@ -94,6 +94,45 @@ TEST_F(DurableDatabaseTest, DeleteSurvivesReopen) {
   EXPECT_TRUE(reopened.value()->collection("c").find_by_id("b").ok());
 }
 
+TEST_F(DurableDatabaseTest, IndexDeclarationsSurviveReopen) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    Collection& stats = db.value()->collection("paths_stats");
+    // Declared before any compact(): only the live journal meta-record
+    // can carry it across the reopen.
+    stats.create_index("path_id");
+    stats.create_index("path_id,timestamp_ms");
+    ASSERT_TRUE(
+        stats.insert_one(doc(R"({"path_id": 1, "timestamp_ms": 10})")).ok());
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  Collection& stats = reopened.value()->collection("paths_stats");
+  EXPECT_EQ(stats.indexed_fields(),
+            (std::vector<std::string>{"path_id", "path_id,timestamp_ms"}));
+  // The rebuilt index answers queries (and the planner uses it).
+  const auto query =
+      Filter::compile(Value::parse(R"({"path_id": 1})").value()).value();
+  EXPECT_EQ(stats.count(query), 1u);
+  EXPECT_EQ(stats.explain(query).get("plan")->as_string(), "index_point");
+}
+
+TEST_F(DurableDatabaseTest, IndexDeclarationsSurviveCompactAndReopen) {
+  {
+    auto db = Database::open(path_);
+    ASSERT_TRUE(db.ok());
+    Collection& stats = db.value()->collection("s");
+    stats.create_index("a,b");
+    ASSERT_TRUE(stats.insert_one(doc(R"({"a": 1, "b": 2})")).ok());
+    ASSERT_TRUE(db.value()->compact().ok());
+  }
+  auto reopened = Database::open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->collection("s").indexed_fields(),
+            std::vector<std::string>{"a,b"});
+}
+
 TEST_F(DurableDatabaseTest, UpdateSurvivesReopen) {
   {
     auto db = Database::open(path_);

@@ -290,5 +290,63 @@ TEST(CompareValues, ArraysCompareLexicographically) {
   EXPECT_EQ(compare_values(Value::array({1, 2}), Value::array({1, 2})), 0);
 }
 
+// ------------------------------------------------- planner bound extraction
+
+TEST(FilterBounds, ExtractsEqualityRangeAndIn) {
+  const Filter f = compile(
+      R"({"path_id": 3, "loss_pct": {"$gte": 0, "$lt": 10},
+          "server_id": {"$in": [1, 2]}})");
+  const auto bounds = f.extractable_bounds();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[0].first, "path_id");
+  ASSERT_EQ(bounds[0].second.size(), 1u);
+  EXPECT_EQ(bounds[0].second[0].op, Filter::Bound::Op::kEq);
+  EXPECT_EQ(*bounds[0].second[0].operand, Value(3));
+  EXPECT_EQ(bounds[1].first, "loss_pct");
+  ASSERT_EQ(bounds[1].second.size(), 2u);
+  EXPECT_EQ(bounds[1].second[0].op, Filter::Bound::Op::kGte);
+  EXPECT_EQ(bounds[1].second[1].op, Filter::Bound::Op::kLt);
+  EXPECT_EQ(bounds[2].first, "server_id");
+  ASSERT_EQ(bounds[2].second.size(), 1u);
+  EXPECT_EQ(bounds[2].second[0].op, Filter::Bound::Op::kIn);
+  ASSERT_NE(bounds[2].second[0].list, nullptr);
+  EXPECT_EQ(bounds[2].second[0].list->size(), 2u);
+  EXPECT_EQ(f.clause_count(), 4u);
+}
+
+TEST(FilterBounds, FlattensNestedAnd) {
+  const Filter f = compile(
+      R"({"$and": [{"a": 1}, {"$and": [{"b": {"$gt": 2}}, {"c": 3}]}]})");
+  const auto bounds = f.extractable_bounds();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[0].first, "a");
+  EXPECT_EQ(bounds[1].first, "b");
+  EXPECT_EQ(bounds[2].first, "c");
+  EXPECT_EQ(f.clause_count(), 3u);
+}
+
+TEST(FilterBounds, DisjunctionsStayOpaque) {
+  const Filter f =
+      compile(R"({"a": 1, "$or": [{"b": 2}, {"c": 3}]})");
+  const auto bounds = f.extractable_bounds();
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0].first, "a");
+  // The $or subtree counts as one unextractable clause.
+  EXPECT_EQ(f.clause_count(), 2u);
+}
+
+TEST(FilterBounds, UnextractableOperatorsCountAsClauses) {
+  const Filter f = compile(R"({"a": {"$ne": 1}, "b": {"$exists": true}})");
+  EXPECT_TRUE(f.extractable_bounds().empty());
+  EXPECT_EQ(f.clause_count(), 2u);
+}
+
+TEST(FilterBounds, MatchAllHasNoClauses) {
+  EXPECT_TRUE(Filter::match_all().is_match_all());
+  EXPECT_EQ(Filter::match_all().clause_count(), 0u);
+  EXPECT_TRUE(compile("{}").is_match_all());
+  EXPECT_FALSE(compile(R"({"a": 1})").is_match_all());
+}
+
 }  // namespace
 }  // namespace upin::docdb

@@ -1,9 +1,10 @@
-// Tests for docdb/index.
+// Tests for docdb/index (OrderedIndex).
 #include "docdb/index.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 namespace upin::docdb {
 namespace {
@@ -12,82 +13,236 @@ using util::Value;
 
 Document doc(const char* json) { return Value::parse(json).value(); }
 
-TEST(FieldIndex, LookupAfterAdd) {
-  FieldIndex index("server_id");
+/// Point range on a single-field index.
+OrderedIndex::Range point(Value value) {
+  OrderedIndex::Range range;
+  range.prefix.push_back(std::move(value));
+  return range;
+}
+
+std::vector<std::size_t> lookup(const OrderedIndex& index, Value value) {
+  std::vector<std::size_t> hits;
+  index.collect(point(std::move(value)), hits);
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+TEST(OrderedIndex, SpecSplitAndJoin) {
+  EXPECT_EQ(split_index_spec("path_id"), std::vector<std::string>{"path_id"});
+  EXPECT_EQ(split_index_spec("path_id,timestamp_ms"),
+            (std::vector<std::string>{"path_id", "timestamp_ms"}));
+  EXPECT_EQ(join_index_spec({"a", "b"}), "a,b");
+  const OrderedIndex index("path_id,timestamp_ms");
+  EXPECT_EQ(index.spec(), "path_id,timestamp_ms");
+  EXPECT_FALSE(index.single_field());
+}
+
+TEST(OrderedIndex, LookupAfterAdd) {
+  OrderedIndex index("server_id");
   index.add(doc(R"({"server_id": 2})"), 0);
   index.add(doc(R"({"server_id": 2})"), 1);
   index.add(doc(R"({"server_id": 3})"), 2);
-  auto hits = index.lookup(Value(2));
-  std::sort(hits.begin(), hits.end());
-  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
-  EXPECT_EQ(index.lookup(Value(9)).size(), 0u);
+  EXPECT_EQ(lookup(index, Value(2)), (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(lookup(index, Value(9)).empty());
+  EXPECT_EQ(index.entry_count(), 3u);
 }
 
-TEST(FieldIndex, RemoveDropsPosition) {
-  FieldIndex index("k");
+TEST(OrderedIndex, RemoveDropsPosition) {
+  OrderedIndex index("k");
   const Document d = doc(R"({"k": "x"})");
   index.add(d, 0);
   index.add(d, 1);
   index.remove(d, 0);
-  EXPECT_EQ(index.lookup(Value("x")), std::vector<std::size_t>{1});
+  EXPECT_EQ(lookup(index, Value("x")), std::vector<std::size_t>{1});
   index.remove(d, 1);
-  EXPECT_TRUE(index.lookup(Value("x")).empty());
+  EXPECT_TRUE(lookup(index, Value("x")).empty());
   EXPECT_EQ(index.distinct_keys(), 0u);
+  EXPECT_EQ(index.entry_count(), 0u);
 }
 
-TEST(FieldIndex, MissingFieldNotIndexed) {
-  FieldIndex index("k");
+TEST(OrderedIndex, MissingFieldFoldsToNull) {
+  OrderedIndex index("k");
   index.add(doc(R"({"other": 1})"), 0);
-  EXPECT_EQ(index.distinct_keys(), 0u);
+  // Every live document appears in every index: missing keys fold to
+  // null so index order matches the scan-side sort order.
+  EXPECT_EQ(index.distinct_keys(), 1u);
+  EXPECT_TRUE(index.has_missing());
+  EXPECT_EQ(lookup(index, Value()), std::vector<std::size_t>{0});
+  index.remove(doc(R"({"other": 1})"), 0);
+  EXPECT_FALSE(index.has_missing());
 }
 
-TEST(FieldIndex, DottedFieldPath) {
-  FieldIndex index("bw.up_64");
+TEST(OrderedIndex, DottedFieldPath) {
+  OrderedIndex index("bw.up_64");
   index.add(doc(R"({"bw": {"up_64": 4.5}})"), 3);
-  EXPECT_EQ(index.lookup(Value(4.5)), std::vector<std::size_t>{3});
+  EXPECT_EQ(lookup(index, Value(4.5)), std::vector<std::size_t>{3});
 }
 
-TEST(FieldIndex, MultikeyArrayIndexing) {
-  FieldIndex index("isds");
+TEST(OrderedIndex, MultikeyArrayIndexing) {
+  OrderedIndex index("isds");
   index.add(doc(R"({"isds": [16, 17]})"), 0);
-  EXPECT_EQ(index.lookup(Value(16)), std::vector<std::size_t>{0});
-  EXPECT_EQ(index.lookup(Value(17)), std::vector<std::size_t>{0});
-  // Whole-array key also present.
-  EXPECT_EQ(index.lookup(Value::array({16, 17})), std::vector<std::size_t>{0});
+  EXPECT_TRUE(index.multikey());
+  EXPECT_EQ(lookup(index, Value(16)), std::vector<std::size_t>{0});
+  EXPECT_EQ(lookup(index, Value(17)), std::vector<std::size_t>{0});
+  // Whole-array key also present (exact-array equality).
+  EXPECT_EQ(lookup(index, Value::array({16, 17})),
+            std::vector<std::size_t>{0});
+  index.remove(doc(R"({"isds": [16, 17]})"), 0);
+  EXPECT_EQ(index.entry_count(), 0u);
+  // multikey() is sticky: the planner stays conservative.
+  EXPECT_TRUE(index.multikey());
 }
 
-TEST(FieldIndex, NumericKeysCollideAcrossIntDouble) {
-  FieldIndex index("v");
+TEST(OrderedIndex, DuplicateArrayElementsSinglePosting) {
+  OrderedIndex index("isds");
+  index.add(doc(R"({"isds": [16, 16]})"), 0);
+  EXPECT_EQ(lookup(index, Value(16)), std::vector<std::size_t>{0});
+  index.remove(doc(R"({"isds": [16, 16]})"), 0);
+  EXPECT_EQ(index.entry_count(), 0u);
+}
+
+TEST(OrderedIndex, CompoundKeysAndPrefixScan) {
+  OrderedIndex index("path_id,timestamp_ms");
+  index.add(doc(R"({"path_id": 1, "timestamp_ms": 10})"), 0);
+  index.add(doc(R"({"path_id": 1, "timestamp_ms": 20})"), 1);
+  index.add(doc(R"({"path_id": 2, "timestamp_ms": 5})"), 2);
+
+  // Equality prefix alone scans every timestamp under path 1.
+  OrderedIndex::Range prefix_only;
+  prefix_only.prefix.push_back(Value(1));
+  std::vector<std::size_t> hits;
+  index.collect(prefix_only, hits);
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
+
+  // Prefix plus a window on the next column.
+  OrderedIndex::Range windowed = prefix_only;
+  const Value since(15);
+  windowed.lower = &since;
+  hits.clear();
+  index.collect(windowed, hits);
+  EXPECT_EQ(hits, std::vector<std::size_t>{1});
+}
+
+TEST(OrderedIndex, RangeWindowRespectsInclusivity) {
+  OrderedIndex index("v");
+  index.add(doc(R"({"v": 1})"), 0);
+  index.add(doc(R"({"v": 2})"), 1);
+  index.add(doc(R"({"v": 3})"), 2);
+
+  OrderedIndex::Range range;
+  const Value lo(1);
+  const Value hi(3);
+  range.lower = &lo;
+  range.lower_inclusive = false;
+  range.upper = &hi;
+  range.upper_inclusive = false;
+  std::vector<std::size_t> hits;
+  index.collect(range, hits);
+  EXPECT_EQ(hits, std::vector<std::size_t>{1});
+
+  range.lower_inclusive = true;
+  range.upper_inclusive = true;
+  hits.clear();
+  index.collect(range, hits);
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(OrderedIndex, ScanWalksKeyOrderBothWays) {
+  OrderedIndex index("v");
+  index.add(doc(R"({"v": 30})"), 0);
+  index.add(doc(R"({"v": 10})"), 1);
+  index.add(doc(R"({"v": 20})"), 2);
+  index.add(doc(R"({"v": 10})"), 3);
+
+  std::vector<std::size_t> order;
+  index.scan(OrderedIndex::Range{}, false,
+             [&](const IndexKey&, const std::vector<std::size_t>& positions) {
+               order.insert(order.end(), positions.begin(), positions.end());
+               return true;
+             });
+  // Key order ascending; ties (both v=10) in insertion order.
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+
+  order.clear();
+  index.scan(OrderedIndex::Range{}, true,
+             [&](const IndexKey&, const std::vector<std::size_t>& positions) {
+               order.insert(order.end(), positions.begin(), positions.end());
+               return true;
+             });
+  // Descending keys, but positions within one key still ascend.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1, 3}));
+}
+
+TEST(OrderedIndex, ScanStopsWhenVisitorReturnsFalse) {
+  OrderedIndex index("v");
+  index.add(doc(R"({"v": 1})"), 0);
+  index.add(doc(R"({"v": 2})"), 1);
+  std::size_t visited = 0;
+  index.scan(OrderedIndex::Range{}, false,
+             [&](const IndexKey&, const std::vector<std::size_t>&) {
+               ++visited;
+               return false;
+             });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(OrderedIndex, NumericKeysCollideAcrossIntDouble) {
+  OrderedIndex index("v");
   index.add(doc(R"({"v": 2})"), 0);
-  EXPECT_EQ(index.lookup(Value(2.0)), std::vector<std::size_t>{0});
+  EXPECT_EQ(lookup(index, Value(2.0)), std::vector<std::size_t>{0});
+  EXPECT_EQ(index.distinct_keys(), 1u);
+  index.add(doc(R"({"v": 2.0})"), 1);
+  EXPECT_EQ(index.distinct_keys(), 1u);
 }
 
-TEST(FieldIndex, StringAndNumberKeysDoNotCollide) {
-  FieldIndex index("v");
+TEST(OrderedIndex, StringAndNumberKeysDoNotCollide) {
+  OrderedIndex index("v");
   index.add(doc(R"({"v": "2"})"), 0);
-  EXPECT_TRUE(index.lookup(Value(2)).empty());
+  EXPECT_TRUE(lookup(index, Value(2)).empty());
 }
 
-TEST(FieldIndex, BoolAndNullKeys) {
-  FieldIndex index("v");
+TEST(OrderedIndex, BoolAndNullKeys) {
+  OrderedIndex index("v");
   index.add(doc(R"({"v": true})"), 0);
   index.add(doc(R"({"v": null})"), 1);
-  EXPECT_EQ(index.lookup(Value(true)), std::vector<std::size_t>{0});
-  EXPECT_EQ(index.lookup(Value(nullptr)), std::vector<std::size_t>{1});
-  EXPECT_TRUE(index.lookup(Value(false)).empty());
+  EXPECT_EQ(lookup(index, Value(true)), std::vector<std::size_t>{0});
+  EXPECT_EQ(lookup(index, Value(nullptr)), std::vector<std::size_t>{1});
+  EXPECT_TRUE(lookup(index, Value(false)).empty());
 }
 
-TEST(FieldIndex, ClearEmptiesEverything) {
-  FieldIndex index("k");
+TEST(OrderedIndex, DistinctValuesSkipsMissingFolds) {
+  OrderedIndex index("v");
+  index.add(doc(R"({"v": 2})"), 0);
+  index.add(doc(R"({"other": 1})"), 1);  // folded null, not a stored null
+  std::vector<Value> values = index.distinct_values(OrderedIndex::Range{});
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], Value(2));
+
+  index.add(doc(R"({"v": null})"), 2);  // a *stored* null counts
+  values = index.distinct_values(OrderedIndex::Range{});
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_TRUE(values[0].is_null());
+}
+
+TEST(OrderedIndex, CountInRangeDedupsMultikey) {
+  OrderedIndex index("isds");
+  index.add(doc(R"({"isds": [16, 17]})"), 0);
+  index.add(doc(R"({"isds": [17]})"), 1);
+  OrderedIndex::Range range;
+  const Value lo(16);
+  range.lower = &lo;
+  // Document 0 has two in-range elements but counts once.
+  EXPECT_EQ(index.count_in_range(range), 2u);
+}
+
+TEST(OrderedIndex, ClearEmptiesEverything) {
+  OrderedIndex index("k");
   index.add(doc(R"({"k": 1})"), 0);
   index.clear();
   EXPECT_EQ(index.distinct_keys(), 0u);
-}
-
-TEST(FieldIndex, EncodeKeyDistinguishesTypes) {
-  EXPECT_NE(FieldIndex::encode_key(Value(1)), FieldIndex::encode_key(Value("1")));
-  EXPECT_NE(FieldIndex::encode_key(Value(true)), FieldIndex::encode_key(Value(1)));
-  EXPECT_EQ(FieldIndex::encode_key(Value(1)), FieldIndex::encode_key(Value(1.0)));
+  EXPECT_EQ(index.entry_count(), 0u);
+  EXPECT_FALSE(index.has_missing());
 }
 
 }  // namespace

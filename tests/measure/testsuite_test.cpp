@@ -54,7 +54,7 @@ TEST_F(TestSuiteTest, InitializeIsIdempotent) {
 TEST_F(TestSuiteTest, InitializeCreatesIndexes) {
   TestSuite suite(host_, db_, {});
   ASSERT_TRUE(suite.initialize().ok());
-  EXPECT_EQ(db_.collection(kPathsStats).indexed_fields().size(), 2u);
+  EXPECT_EQ(db_.collection(kPathsStats).indexed_fields().size(), 3u);
   EXPECT_EQ(db_.collection(kPaths).indexed_fields().size(), 1u);
 }
 

@@ -1,0 +1,197 @@
+// Planner equivalence property: for generated documents, index
+// declarations, filters and find options, the planner-chosen execution
+// and a forced collection scan must return identical ordered results —
+// same documents, same order, same counts, same distinct values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "docdb/collection.hpp"
+#include "docdb/filter.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace upin {
+namespace {
+
+using docdb::Collection;
+using docdb::Filter;
+using docdb::FindOptions;
+using util::Rng;
+using util::Value;
+
+constexpr const char* kFields[] = {"a", "b", "c"};
+
+Value random_scalar(Rng& rng) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0: return Value(nullptr);
+    case 1: return Value(rng.bernoulli(0.5));
+    case 2: return Value(rng.uniform_int(0, 9));
+    // Halves collide with the ints half the time — exercises the
+    // int/double key folding.
+    case 3: return Value(static_cast<double>(rng.uniform_int(0, 18)) / 2.0);
+    default: return Value("s" + std::to_string(rng.uniform_int(0, 5)));
+  }
+}
+
+Value random_field_value(Rng& rng) {
+  if (rng.bernoulli(0.15)) {  // arrays drive the multikey machinery
+    Value::Array array;
+    const std::int64_t n = rng.uniform_int(0, 3);
+    for (std::int64_t i = 0; i < n; ++i) array.push_back(random_scalar(rng));
+    return Value(std::move(array));
+  }
+  return random_scalar(rng);
+}
+
+Value random_query(Rng& rng) {
+  util::JsonObject query;
+  const std::int64_t clauses = rng.uniform_int(1, 3);
+  for (std::int64_t i = 0; i < clauses; ++i) {
+    const std::string field = kFields[rng.uniform_int(0, 2)];
+    const std::int64_t op = rng.uniform_int(0, 7);
+    if (op == 0) {
+      query.set(field, random_field_value(rng));
+      continue;
+    }
+    util::JsonObject block;
+    switch (op) {
+      case 1: block.set("$eq", random_scalar(rng)); break;
+      case 2: block.set("$gt", random_scalar(rng)); break;
+      case 3: block.set("$gte", random_scalar(rng)); break;
+      case 4: block.set("$lt", random_scalar(rng)); break;
+      case 5: block.set("$lte", random_scalar(rng)); break;
+      case 6: {
+        Value::Array in;
+        const std::int64_t n = rng.uniform_int(0, 3);
+        for (std::int64_t j = 0; j < n; ++j) in.push_back(random_scalar(rng));
+        block.set("$in", Value(std::move(in)));
+        break;
+      }
+      default: block.set("$ne", random_scalar(rng)); break;
+    }
+    // Mixed windows ($gte + $lt on one field) probe bound intersection.
+    if (op >= 2 && op <= 5 && rng.bernoulli(0.35)) {
+      block.set(rng.bernoulli(0.5) ? "$lt" : "$gte", random_scalar(rng));
+    }
+    query.set(field, Value(std::move(block)));
+  }
+  return Value(std::move(query));
+}
+
+std::string options_label(const FindOptions& options) {
+  std::string label = "sort_by=" + options.sort_by;
+  label += options.descending ? " desc" : " asc";
+  label += " skip=" + std::to_string(options.skip);
+  if (options.limit.has_value()) {
+    label += " limit=" + std::to_string(*options.limit);
+  }
+  return label;
+}
+
+class QueryPlanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueryPlanProperty, PlannedAndScannedExecutionAgree) {
+  Rng rng(GetParam());
+  Collection coll("stats");
+
+  // Random index declarations, including compound ones.
+  for (const char* spec : {"a", "b", "c", "a,b", "b,c"}) {
+    if (rng.bernoulli(0.5)) coll.create_index(spec);
+  }
+
+  const std::int64_t docs = rng.uniform_int(60, 180);
+  for (std::int64_t i = 0; i < docs; ++i) {
+    util::JsonObject d;
+    for (const char* field : kFields) {
+      if (!rng.bernoulli(0.15)) d.set(field, random_field_value(rng));
+    }
+    ASSERT_TRUE(coll.insert_one(Value(std::move(d))).ok());
+  }
+  // Churn exercises index maintenance under the same invariant.
+  for (int round = 0; round < 2; ++round) {
+    const auto to_delete = Filter::compile(random_query(rng));
+    ASSERT_TRUE(to_delete.ok());
+    (void)coll.delete_many(to_delete.value());
+    const auto to_update = Filter::compile(random_query(rng));
+    ASSERT_TRUE(to_update.ok());
+    util::JsonObject set;
+    set.set(kFields[rng.uniform_int(0, 2)], random_field_value(rng));
+    util::JsonObject update;
+    update.set("$set", Value(std::move(set)));
+    ASSERT_TRUE(coll.update_many(to_update.value(), Value(std::move(update))).ok());
+  }
+
+  for (int q = 0; q < 25; ++q) {
+    const Value query = random_query(rng);
+    const auto compiled = Filter::compile(query);
+    ASSERT_TRUE(compiled.ok()) << query.dump();
+    const Filter& filter = compiled.value();
+
+    FindOptions options;
+    if (rng.bernoulli(0.6)) {
+      options.sort_by = kFields[rng.uniform_int(0, 2)];
+      options.descending = rng.bernoulli(0.5);
+    }
+    if (rng.bernoulli(0.4)) {
+      options.skip = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    }
+    if (rng.bernoulli(0.5)) {
+      options.limit = static_cast<std::size_t>(rng.uniform_int(0, 20));
+    }
+    FindOptions forced = options;
+    forced.force_scan = true;
+
+    const std::string context =
+        query.dump() + " [" + options_label(options) + "] plan=" +
+        coll.explain(filter, options).dump();
+    const auto planned = coll.find(filter, options);
+    const auto scanned = coll.find(filter, forced);
+    ASSERT_EQ(planned.size(), scanned.size()) << context;
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      ASSERT_EQ(planned[i], scanned[i]) << context << " position " << i;
+    }
+
+    // count() agrees with an unlimited forced scan.
+    FindOptions scan_all;
+    scan_all.force_scan = true;
+    EXPECT_EQ(coll.count(filter), coll.find(filter, scan_all).size())
+        << context;
+
+    // distinct() agrees across paths, order included (both ascending).
+    const char* field = kFields[rng.uniform_int(0, 2)];
+    const std::vector<Value> fast = coll.distinct(field, filter);
+    std::vector<Value> slow;
+    for (const docdb::Document& d : coll.find(filter, scan_all)) {
+      const Value* v = d.get_path(field);
+      if (v == nullptr) continue;
+      if (v->is_array()) {
+        for (const Value& element : v->as_array()) slow.push_back(element);
+      } else {
+        slow.push_back(*v);
+      }
+    }
+    std::sort(slow.begin(), slow.end(), [](const Value& a, const Value& b) {
+      return docdb::compare_values(a, b) < 0;
+    });
+    slow.erase(std::unique(slow.begin(), slow.end(),
+                           [](const Value& a, const Value& b) {
+                             return docdb::compare_values(a, b) == 0;
+                           }),
+               slow.end());
+    ASSERT_EQ(fast.size(), slow.size()) << context << " distinct " << field;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(docdb::compare_values(fast[i], slow[i]), 0)
+          << context << " distinct " << field << " position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPlanProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace upin
