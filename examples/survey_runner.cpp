@@ -3,6 +3,12 @@
 //   survey_runner <iterations> [--skip] [--some_only]
 //                 [--db <journal.jsonl>] [--signed] [--target <Mbps>]
 //                 [--servers 1,3,5] [--metrics] [--trace-out <file>]
+//                 [--strategy <key>] [--multipath-k <n>]
+//
+// With --strategy the campaign's data feeds a post-run path selection
+// under any registered strategy (default paper-objective); with
+// --multipath-k the selection is additionally planned as a weighted
+// k-subflow multipath flow and the plan printed.
 //
 // Runs the three-phase campaign against the embedded SCIONLab-like
 // testbed: paths collection, test execution, batched storage.  With
@@ -12,6 +18,7 @@
 // metrics registry in Prometheus text format on stdout after the run;
 // --trace-out writes the campaign's virtual-clock span tree to a file
 // (bit-identical across runs of the same seed and config).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +28,8 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "scion/scionlab.hpp"
+#include "select/multipath.hpp"
+#include "select/selector.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -30,7 +39,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <iterations> [--skip] [--some_only] [--resume] "
                "[--db <path>] [--signed] [--target <Mbps>] "
-               "[--servers 1,3,5] [--metrics] [--trace-out <file>]\n",
+               "[--servers 1,3,5] [--metrics] [--trace-out <file>] "
+               "[--strategy <key>] [--multipath-k <n>]\n",
                argv0);
 }
 
@@ -55,6 +65,8 @@ int main(int argc, char** argv) {
   bool signed_writes = false;
   bool dump_metrics = false;
   std::string trace_path;
+  std::string strategy;
+  std::size_t multipath_k = 1;
 
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -90,10 +102,29 @@ int main(int argc, char** argv) {
         ids.push_back(static_cast<int>(*id));
       }
       config.server_ids = ids;
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      strategy = argv[++i];
+    } else if (arg == "--multipath-k" && i + 1 < argc) {
+      const auto k = util::parse_int(argv[++i]);
+      if (!k.has_value() || *k < 1) {
+        std::fprintf(stderr, "bad --multipath-k\n");
+        return 2;
+      }
+      multipath_k = static_cast<std::size_t>(*k);
     } else {
       usage(argv[0]);
       return 2;
     }
+  }
+  if (multipath_k > 1 && strategy.empty()) {
+    strategy = select::kPaperObjective;
+  }
+  if (!strategy.empty() &&
+      select::StrategyRegistry::global().find(strategy) == nullptr) {
+    std::fprintf(stderr, "unknown strategy %s (known: %s)\n", strategy.c_str(),
+                 util::join(select::StrategyRegistry::global().keys(), ", ")
+                     .c_str());
+    return 2;
   }
 
   util::Log::set_level(util::LogLevel::kInfo);
@@ -172,6 +203,50 @@ int main(int argc, char** argv) {
               p.checkpoints_recorded, p.units_skipped);
   std::printf("  virtual time         : %.1f min\n",
               util::to_seconds(host.clock().now()) / 60.0);
+
+  if (!strategy.empty()) {
+    const select::PathSelector selector(*db, env.topology);
+    select::UserRequest request;
+    request.server_id = config.server_ids.has_value() &&
+                                !config.server_ids->empty()
+                            ? config.server_ids->front()
+                            : 3;  // Ireland, the paper's featured server
+    const auto selection = selector.select_with(strategy, request);
+    if (!selection.ok()) {
+      std::fprintf(stderr, "selection failed: %s\n",
+                   selection.error().message.c_str());
+      return 1;
+    }
+    std::printf("\nselection under %s (server %d): %zu admitted, %zu rejected\n",
+                strategy.c_str(), request.server_id,
+                selection.value().ranked.size(),
+                selection.value().rejected.size());
+    const std::size_t shown =
+        std::min<std::size_t>(3, selection.value().ranked.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      const select::RankedPath& ranked = selection.value().ranked[i];
+      std::printf("  #%zu %-6s %s\n", i + 1, ranked.summary.path_id.c_str(),
+                  ranked.rationale.c_str());
+    }
+    if (multipath_k > 1) {
+      const auto plan = select::plan_multipath(selection.value(), multipath_k);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "multipath plan failed: %s\n",
+                     plan.error().message.c_str());
+        return 1;
+      }
+      std::printf("  multipath plan (k=%zu):\n", multipath_k);
+      for (const select::MultipathSubflow& subflow : plan.value().subflows) {
+        std::printf("    subflow %-6s weight %.2f\n",
+                    subflow.summary.path_id.c_str(), subflow.weight);
+      }
+      for (const select::SharedBottleneckHop& shared :
+           plan.value().shared_bottlenecks) {
+        std::printf("    shared early hop %s across %zu subflows\n",
+                    shared.hop.to_string().c_str(), shared.subflows.size());
+      }
+    }
+  }
 
   if (!trace_path.empty()) {
     std::ofstream trace(trace_path, std::ios::trunc);

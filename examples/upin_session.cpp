@@ -8,11 +8,16 @@
 // paper's caveat that hops in non-UPIN-enabled domains make a passing
 // verdict merely "uncertain".
 //
-//   upin_session [--metrics] [--trace-out <file>]
+//   upin_session [--metrics] [--trace-out <file>] [--strategy <key>]
+//                [--multipath-k <n>] [--explain-selection]
 //
 // --metrics dumps the metrics registry (Prometheus text format) after
 // the session; --trace-out writes the measurement campaign's
-// virtual-clock span tree to a file.
+// virtual-clock span tree to a file.  --strategy picks any key from the
+// selection-strategy registry (default paper-objective);
+// --explain-selection prints the winning selection's JSON decision
+// trace; --multipath-k pins a weighted k-subflow plan instead of a
+// single path and pings over it.
 #include <cstdio>
 #include <fstream>
 #include <string_view>
@@ -31,18 +36,41 @@ int main(int argc, char** argv) {
   using namespace upin;
 
   bool dump_metrics = false;
+  bool explain_selection = false;
   std::string trace_path;
+  std::string strategy{select::kPaperObjective};
+  std::size_t multipath_k = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--explain-selection") {
+      explain_selection = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      strategy = argv[++i];
+    } else if (arg == "--multipath-k" && i + 1 < argc) {
+      const auto k = util::parse_int(argv[++i]);
+      if (!k.has_value() || *k < 1) {
+        std::fprintf(stderr, "bad --multipath-k\n");
+        return 2;
+      }
+      multipath_k = static_cast<std::size_t>(*k);
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics] [--trace-out <file>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--metrics] [--trace-out <file>] "
+                   "[--strategy <key>] [--multipath-k <n>] "
+                   "[--explain-selection]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (select::StrategyRegistry::global().find(strategy) == nullptr) {
+    std::fprintf(stderr, "unknown strategy %s (known: %s)\n", strategy.c_str(),
+                 util::join(select::StrategyRegistry::global().keys(), ", ")
+                     .c_str());
+    return 2;
   }
 
   const scion::ScionlabEnv env = scion::scionlab_topology();
@@ -81,12 +109,53 @@ int main(int argc, char** argv) {
                 ranked.rationale.c_str());
   }
 
-  // Path Controller pins the winner.
-  upinfw::PathController controller(host, selector);
+  if (explain_selection) {
+    const auto explained =
+        selector.select_with(strategy, recommendation.value().request);
+    if (!explained.ok()) {
+      std::fprintf(stderr, "selection failed: %s\n",
+                   explained.error().message.c_str());
+      return 1;
+    }
+    std::printf("\nselection trace (%s):\n%s\n", strategy.c_str(),
+                explained.value().explain().dump(2).c_str());
+  }
+
+  // Path Controller pins the winner under the chosen strategy.
+  upinfw::PathController controller(host, selector, strategy);
   const auto applied = controller.apply(recommendation.value().request);
   if (!applied.ok()) return 1;
-  std::printf("\ncontroller pinned %s for destination 3\n",
-              applied.value().chosen.summary.path_id.c_str());
+  std::printf("\ncontroller pinned %s for destination 3 (strategy %s)\n",
+              applied.value().chosen.summary.path_id.c_str(),
+              strategy.c_str());
+
+  if (multipath_k > 1) {
+    const auto plan =
+        controller.apply_multipath(recommendation.value().request, multipath_k);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "multipath plan failed: %s\n",
+                   plan.error().message.c_str());
+      return 1;
+    }
+    std::printf("\nmultipath plan (k=%zu):\n", multipath_k);
+    for (const select::MultipathSubflow& subflow :
+         plan.value().plan.subflows) {
+      std::printf("  subflow %-6s weight %.2f\n",
+                  subflow.summary.path_id.c_str(), subflow.weight);
+    }
+    for (const select::SharedBottleneckHop& shared :
+         plan.value().plan.shared_bottlenecks) {
+      std::printf("  shared early hop %s across %zu subflows\n",
+                  shared.hop.to_string().c_str(), shared.subflows.size());
+    }
+    const auto mp_ping = controller.multipath_ping(3);
+    if (mp_ping.ok()) {
+      std::printf("  multipath ping: %zu subflows, %zu probes, %.1f%% loss\n",
+                  mp_ping.value().subflows.size(),
+                  mp_ping.value().aggregate.sent(),
+                  mp_ping.value().aggregate.loss_pct());
+    }
+  }
 
   // Path Tracer records where the traffic actually goes.
   upinfw::PathTracer tracer(host, db);

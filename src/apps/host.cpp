@@ -1,5 +1,6 @@
 #include "apps/host.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/strings.hpp"
@@ -304,6 +305,241 @@ Result<BwtestReport> ScionHost::bwtestclient(const SnetAddress& server,
   report.sc_resolved = std::move(sc).value();
   report.client_to_server = cs_result.value();
   report.server_to_client = sc_result.value();
+  return report;
+}
+
+namespace {
+
+/// Weights normalized to sum 1; kInvalidArgument on empty input or a
+/// non-positive weight.
+Result<std::vector<double>> normalized_weights(
+    const std::vector<SubflowSpec>& subflows) {
+  if (subflows.empty()) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "multipath needs at least one subflow"};
+  }
+  double total = 0.0;
+  for (const SubflowSpec& spec : subflows) {
+    if (!(spec.weight > 0.0)) {
+      return util::Error{ErrorCode::kInvalidArgument,
+                         "subflow weights must be positive"};
+    }
+    total += spec.weight;
+  }
+  std::vector<double> weights;
+  weights.reserve(subflows.size());
+  for (const SubflowSpec& spec : subflows) {
+    weights.push_back(spec.weight / total);
+  }
+  return weights;
+}
+
+/// Integer split of `total` by weight, largest remainder (ties to the
+/// earlier subflow) so the shares always sum to `total` exactly.
+std::vector<std::size_t> split_by_weight(std::size_t total,
+                                         const std::vector<double>& weights) {
+  std::vector<std::size_t> shares(weights.size(), 0);
+  std::vector<double> remainders(weights.size(), 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i];
+    shares[i] = static_cast<std::size_t>(exact);
+    remainders[i] = exact - static_cast<double>(shares[i]);
+    assigned += shares[i];
+  }
+  while (assigned < total) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < weights.size(); ++i) {
+      if (remainders[i] > remainders[best]) best = i;
+    }
+    ++shares[best];
+    remainders[best] = -1.0;
+    ++assigned;
+  }
+  return shares;
+}
+
+}  // namespace
+
+Result<MultipathPingReport> ScionHost::multipath_ping(
+    const SnetAddress& dst, const std::vector<SubflowSpec>& subflows,
+    const MultipathPingOptions& options) {
+  Result<std::vector<double>> weights = normalized_weights(subflows);
+  if (!weights.ok()) return Result<MultipathPingReport>(weights.error());
+  const std::vector<std::size_t> probes =
+      split_by_weight(options.count, weights.value());
+
+  // Every subflow launches at the same instant; the clock advances once
+  // below, by the longest subflow schedule.
+  const SimTime start = clock_.now();
+  MultipathPingReport report;
+  report.subflows.reserve(subflows.size());
+  double burn_s = 0.0;
+  for (std::size_t i = 0; i < subflows.size(); ++i) {
+    MultipathPingReport::Subflow subflow;
+    subflow.probes = probes[i];
+    Result<Path> path = pick_path(dst.ia, subflows[i].sequence);
+    if (!path.ok()) {
+      subflow.error = path.error();
+      report.subflows.push_back(std::move(subflow));
+      continue;
+    }
+    subflow.path = std::move(path).value();
+    if (subflow.probes == 0) {
+      // The weight rounded this subflow out of the schedule entirely.
+      subflow.ok = true;
+      report.subflows.push_back(std::move(subflow));
+      continue;
+    }
+    Result<std::vector<simnet::NodeId>> route = route_of(subflow.path);
+    if (!route.ok()) {
+      subflow.error = route.error();
+      report.subflows.push_back(std::move(subflow));
+      continue;
+    }
+    simnet::PingOptions ping_options;
+    ping_options.count = subflow.probes;
+    ping_options.interval = util::sim_seconds(options.interval_s);
+    ping_options.payload_bytes = options.payload_bytes;
+    Result<simnet::PingStats> stats =
+        compiled_.network.ping(route.value(), ping_options, start);
+    const double schedule_s =
+        static_cast<double>(subflow.probes) * options.interval_s;
+    if (!stats.ok()) {
+      subflow.error = stats.error();
+      if (subflow.error.code == ErrorCode::kTimeout ||
+          subflow.error.code == ErrorCode::kBadResponse) {
+        burn_s = std::max(burn_s, schedule_s);
+      } else if (subflow.error.code == ErrorCode::kUnreachable) {
+        burn_s = std::max(burn_s, config_.scmp_error_fail_fast_s);
+      }
+      report.subflows.push_back(std::move(subflow));
+      continue;
+    }
+    burn_s = std::max(burn_s, schedule_s);
+    subflow.ok = true;
+    subflow.stats = std::move(stats).value();
+    report.subflows.push_back(std::move(subflow));
+  }
+
+  clock_.advance(util::sim_seconds(burn_s));
+  control_plane_.sync(clock_.now());
+
+  // Post-mortems with the end-of-run control-plane view: mid-probe
+  // revocations reclassify dead subflows, and a fully-lost subflow whose
+  // covering revocation arrived by now reports kRevoked, as in ping().
+  for (MultipathPingReport::Subflow& subflow : report.subflows) {
+    if (!subflow.ok) {
+      if (!subflow.path.hops().empty()) {
+        subflow.error = classify_dead_path(subflow.path, subflow.error);
+      }
+      continue;
+    }
+    if (subflow.stats.sent() > 0 &&
+        subflow.stats.lost() == subflow.stats.sent() &&
+        control_plane_.path_revoked(subflow.path, clock_.now())) {
+      subflow.ok = false;
+      subflow.error = util::Error{
+          ErrorCode::kRevoked,
+          "path revoked mid-probe: " + subflow.path.to_string()};
+    }
+  }
+
+  bool any_ok = false;
+  for (const MultipathPingReport::Subflow& subflow : report.subflows) {
+    if (!subflow.ok) continue;
+    any_ok = true;
+    report.aggregate.rtt_ms.insert(report.aggregate.rtt_ms.end(),
+                                   subflow.stats.rtt_ms.begin(),
+                                   subflow.stats.rtt_ms.end());
+  }
+  if (!any_ok) {
+    for (const MultipathPingReport::Subflow& subflow : report.subflows) {
+      if (!subflow.ok) return Result<MultipathPingReport>(subflow.error);
+    }
+  }
+  return report;
+}
+
+Result<MultipathBwtestReport> ScionHost::multipath_bwtest(
+    const SnetAddress& server, const std::vector<SubflowSpec>& subflows,
+    const MultipathBwtestOptions& options) {
+  Result<std::vector<double>> weights = normalized_weights(subflows);
+  if (!weights.ok()) return Result<MultipathBwtestReport>(weights.error());
+
+  const SimTime start = clock_.now();
+  MultipathBwtestReport report;
+  report.subflows.resize(subflows.size());
+  std::vector<simnet::FlowSpec> flows;
+  std::vector<std::size_t> flow_owner;  // flow index -> subflow index
+  for (std::size_t i = 0; i < subflows.size(); ++i) {
+    MultipathBwtestReport::Subflow& subflow = report.subflows[i];
+    subflow.target_mbps = weights.value()[i] * options.total_target_mbps;
+    Result<Path> path = pick_path(server.ia, subflows[i].sequence);
+    if (!path.ok()) {
+      subflow.error = path.error();
+      continue;
+    }
+    subflow.path = std::move(path).value();
+    Result<std::vector<simnet::NodeId>> route = route_of(subflow.path);
+    if (!route.ok()) {
+      subflow.error = route.error();
+      continue;
+    }
+    simnet::FlowSpec flow;
+    flow.route = std::move(route).value();
+    if (options.downstream) {
+      std::reverse(flow.route.begin(), flow.route.end());
+    }
+    flow.options.duration_s = options.duration_s;
+    flow.options.packet_bytes = options.packet_bytes;
+    flow.options.target_mbps = subflow.target_mbps;
+    flows.push_back(std::move(flow));
+    flow_owner.push_back(i);
+  }
+
+  double burn_s = 0.0;
+  if (!flows.empty()) {
+    Result<simnet::MultibwtestOutcome> outcome =
+        compiled_.network.multibwtest(flows, start);
+    if (!outcome.ok()) return Result<MultipathBwtestReport>(outcome.error());
+    for (std::size_t f = 0; f < outcome.value().flows.size(); ++f) {
+      MultipathBwtestReport::Subflow& subflow = report.subflows[flow_owner[f]];
+      simnet::MultibwtestOutcome::Flow& flow = outcome.value().flows[f];
+      if (flow.ok) {
+        subflow.ok = true;
+        subflow.result = flow.result;
+        burn_s = std::max(burn_s, options.duration_s);
+        report.attempted_mbps += flow.result.attempted_mbps;
+        report.achieved_mbps += flow.result.achieved_mbps;
+      } else {
+        subflow.error = flow.error;
+        if (flow.error.code == ErrorCode::kBadResponse ||
+            flow.error.code == ErrorCode::kTimeout) {
+          burn_s = std::max(burn_s, options.duration_s);
+        } else if (flow.error.code == ErrorCode::kUnreachable) {
+          burn_s = std::max(burn_s, config_.scmp_error_fail_fast_s);
+        }
+      }
+    }
+    report.shared_bottlenecks = std::move(outcome.value().shared_bottlenecks);
+  }
+
+  clock_.advance(util::sim_seconds(burn_s));
+  control_plane_.sync(clock_.now());
+  bool any_ok = false;
+  for (MultipathBwtestReport::Subflow& subflow : report.subflows) {
+    if (subflow.ok) {
+      any_ok = true;
+    } else if (!subflow.path.hops().empty()) {
+      subflow.error = classify_dead_path(subflow.path, subflow.error);
+    }
+  }
+  if (!any_ok) {
+    for (const MultipathBwtestReport::Subflow& subflow : report.subflows) {
+      if (!subflow.ok) return Result<MultipathBwtestReport>(subflow.error);
+    }
+  }
   return report;
 }
 

@@ -87,6 +87,58 @@ struct BwtestReport {
   simnet::BwtestResult server_to_client;
 };
 
+/// One subflow of a multipath operation: a pinned hop sequence plus its
+/// relative send weight (normalized across the spec list; callers
+/// typically derive both from a `select::MultipathPlan`).
+struct SubflowSpec {
+  std::string sequence;
+  double weight = 1.0;
+};
+
+struct MultipathPingOptions {
+  std::size_t count = 30;   ///< total probes, split across subflows by weight
+  double interval_s = 0.1;
+  double payload_bytes = 64.0;
+};
+
+/// Weighted round-robin probe train over k concurrent subflows.  The
+/// subflows run in parallel on the timeline (the clock advances once, by
+/// the longest subflow schedule), and each can fail individually.
+struct MultipathPingReport {
+  struct Subflow {
+    scion::Path path;          ///< resolved path (default when pick failed)
+    std::size_t probes = 0;    ///< weighted share of `count`
+    bool ok = false;
+    util::Error error;         ///< meaningful only when !ok
+    simnet::PingStats stats;   ///< meaningful only when ok
+  };
+  std::vector<Subflow> subflows;
+  simnet::PingStats aggregate;  ///< delivered probes across live subflows
+};
+
+struct MultipathBwtestOptions {
+  double duration_s = 3.0;
+  double packet_bytes = 1000.0;
+  double total_target_mbps = 12.0;  ///< split across subflows by weight
+  bool downstream = false;  ///< probe server->client instead of client->server
+};
+
+/// Concurrent weighted bandwidth probes over k subflows, with the shared
+/// links modelled as contended (simnet::Network::multibwtest).
+struct MultipathBwtestReport {
+  struct Subflow {
+    scion::Path path;
+    double target_mbps = 0.0;  ///< weighted share of the total target
+    bool ok = false;
+    util::Error error;
+    simnet::BwtestResult result;
+  };
+  std::vector<Subflow> subflows;
+  double attempted_mbps = 0.0;  ///< summed over live subflows
+  double achieved_mbps = 0.0;   ///< summed over live subflows (goodput)
+  std::vector<simnet::SharedBottleneck> shared_bottlenecks;
+};
+
 /// A host inside the testbed.  Not copyable; shares the env and clock by
 /// reference (one campaign = one host on one timeline).
 class ScionHost {
@@ -114,6 +166,22 @@ class ScionHost {
 
   [[nodiscard]] util::Result<BwtestReport> bwtestclient(
       const scion::SnetAddress& server, const BwtestOptions& options);
+
+  /// Probe `dst` over `subflows.size()` concurrent paths, splitting
+  /// `options.count` probes by normalized weight (largest remainder).
+  /// Succeeds when at least one subflow delivers; kInvalidArgument on an
+  /// empty spec list or non-positive weights.
+  [[nodiscard]] util::Result<MultipathPingReport> multipath_ping(
+      const scion::SnetAddress& dst, const std::vector<SubflowSpec>& subflows,
+      const MultipathPingOptions& options);
+
+  /// Drive `options.total_target_mbps` at `server` over the subflows
+  /// concurrently (per-subflow target = normalized weight x total), with
+  /// shared links contended.  Succeeds when at least one subflow ran.
+  [[nodiscard]] util::Result<MultipathBwtestReport> multipath_bwtest(
+      const scion::SnetAddress& server,
+      const std::vector<SubflowSpec>& subflows,
+      const MultipathBwtestOptions& options);
 
   /// The shared virtual clock (exposed so campaigns can schedule pauses).
   [[nodiscard]] util::VirtualClock& clock() noexcept { return clock_; }

@@ -270,4 +270,47 @@ ScionlabEnv scionlab_topology() {
   return env;
 }
 
+ScionlabEnv scionlab_topology_multihomed() {
+  ScionlabEnv env = scionlab_topology();
+  Topology& topo = env.topology;
+
+  // A second attachment point in Geneva, under the SWITCH core.  Its
+  // uplink mirrors the ETHZ-AP's, and the user AS gets a second 40/14
+  // overlay tunnel — so up-segments via the two APs are disjoint from
+  // the first hop on.
+  AsInfo ap;
+  ap.ia = scionlab::kSwitchAp;
+  ap.name = "SWITCH-AP";
+  ap.role = AsRole::kAttachmentPoint;
+  ap.location = {46.20, 6.14};
+  ap.city = "Geneva";
+  ap.country = "CH";
+  ap.operator_name = "SWITCH";
+  ap.jitter_ms = 0.12;
+  const util::Status ap_added = topo.add_as(std::move(ap));
+  assert(ap_added.ok());
+  (void)ap_added;
+
+  const ParentRow extra_rows[] = {
+      {ia17(0x1102), scionlab::kSwitchAp, 500, 500, 0.20, 1472},
+      {scionlab::kSwitchAp, scionlab::kUserAs, 40, 14, 0.15, 1452},
+  };
+  for (const ParentRow& row : extra_rows) {
+    AsLink link;
+    link.a = row.parent;
+    link.b = row.child;
+    link.type = LinkType::kParentChild;
+    link.capacity_ab_mbps = row.down_mbps;
+    link.capacity_ba_mbps = row.up_mbps;
+    link.util_base = row.util_base;
+    link.mtu = row.mtu;
+    const util::Status added = topo.add_link(link);
+    assert(added.ok());
+    (void)added;
+  }
+
+  assert(env.topology.validate().ok());
+  return env;
+}
+
 }  // namespace upin::scion

@@ -30,6 +30,8 @@ struct ScionlabEnv {
 namespace scionlab {
 inline constexpr IsdAsn kUserAs{17, make_asn(1, 0xf00)};
 inline constexpr IsdAsn kEthzAp{17, make_asn(0, 0x1107)};
+/// Second attachment point, present only in the multihomed variant.
+inline constexpr IsdAsn kSwitchAp{17, make_asn(0, 0x1108)};
 inline constexpr IsdAsn kGermanyAp{19, make_asn(0, 0x1303)};     ///< Magdeburg
 inline constexpr IsdAsn kIreland{16, make_asn(0, 0x1002)};       ///< AWS Dublin
 inline constexpr IsdAsn kNVirginia{16, make_asn(0, 0x1003)};     ///< AWS Ashburn
@@ -42,5 +44,13 @@ inline constexpr IsdAsn kFrankfurtCore{16, make_asn(0, 0x1001)};
 /// Build the full testbed.  Deterministic; `validate()` holds on the
 /// returned topology.
 [[nodiscard]] ScionlabEnv scionlab_topology();
+
+/// The testbed with the user AS multihomed: a second attachment point
+/// (SWITCH-AP, Geneva, under the SWITCH core) carries a second 40/14
+/// access link to MY_AS.  Paths through the two APs share no early hop,
+/// so multipath plans can aggregate beyond one access link — the
+/// substrate for the strategy tournament's k>1 regimes.  The single-AP
+/// `scionlab_topology()` stays the paper-faithful default.
+[[nodiscard]] ScionlabEnv scionlab_topology_multihomed();
 
 }  // namespace upin::scion

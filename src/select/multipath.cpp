@@ -1,0 +1,105 @@
+#include "select/multipath.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upin::select {
+
+using util::ErrorCode;
+using util::JsonObject;
+using util::Result;
+using util::Value;
+
+util::Value MultipathPlan::to_json() const {
+  JsonObject root;
+  root.set("strategy", Value(strategy));
+  Value::Array flows;
+  flows.reserve(subflows.size());
+  for (const MultipathSubflow& subflow : subflows) {
+    JsonObject entry;
+    entry.set("path_id", Value(subflow.summary.path_id));
+    entry.set("sequence", Value(subflow.summary.sequence));
+    entry.set("score", Value(subflow.score));
+    entry.set("weight", Value(subflow.weight));
+    flows.push_back(Value(std::move(entry)));
+  }
+  root.set("subflows", Value(std::move(flows)));
+  Value::Array bottlenecks;
+  bottlenecks.reserve(shared_bottlenecks.size());
+  for (const SharedBottleneckHop& bottleneck : shared_bottlenecks) {
+    JsonObject entry;
+    entry.set("hop", Value(bottleneck.hop.to_string()));
+    Value::Array indices;
+    indices.reserve(bottleneck.subflows.size());
+    for (const std::size_t index : bottleneck.subflows) {
+      indices.emplace_back(static_cast<std::int64_t>(index));
+    }
+    entry.set("subflows", Value(std::move(indices)));
+    bottlenecks.push_back(Value(std::move(entry)));
+  }
+  root.set("shared_bottlenecks", Value(std::move(bottlenecks)));
+  return Value(std::move(root));
+}
+
+Result<MultipathPlan> plan_multipath(const Selection& selection, std::size_t k,
+                                     std::size_t early_hop_window) {
+  if (k == 0) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "multipath plan needs k >= 1"};
+  }
+  if (selection.ranked.empty()) {
+    return util::Error{ErrorCode::kNotFound,
+                       "no admissible path to plan over: " +
+                           selection.request_description};
+  }
+  const std::size_t count = std::min(k, selection.ranked.size());
+
+  MultipathPlan plan;
+  plan.strategy = selection.strategy;
+  plan.subflows.reserve(count);
+  const double best = selection.ranked.front().score;
+  const double scale = std::max(1.0, std::abs(best));
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const RankedPath& path = selection.ranked[i];
+    MultipathSubflow subflow;
+    subflow.summary = path.summary;
+    subflow.score = path.score;
+    // Ranked is sorted ascending, so `front().score` is s_min; a path one
+    // full score-scale behind the winner gets half the winner's share.
+    subflow.weight = 1.0 / (1.0 + (path.score - best) / scale);
+    total += subflow.weight;
+    plan.subflows.push_back(std::move(subflow));
+  }
+  for (MultipathSubflow& subflow : plan.subflows) {
+    subflow.weight /= total;
+  }
+
+  // Shared-bottleneck report: interior hops (shared source/destination
+  // endpoints excluded) within the early window, used by 2+ subflows.
+  std::vector<std::pair<scion::IsdAsn, std::vector<std::size_t>>> users;
+  for (std::size_t i = 0; i < plan.subflows.size(); ++i) {
+    const std::vector<scion::IsdAsn>& hops = plan.subflows[i].summary.hops;
+    if (hops.size() <= 2) continue;
+    const std::size_t interior = hops.size() - 2;
+    const std::size_t window = std::min(early_hop_window, interior);
+    for (std::size_t h = 0; h < window; ++h) {
+      const scion::IsdAsn& hop = hops[1 + h];
+      auto it = std::find_if(users.begin(), users.end(),
+                             [&](const auto& entry) { return entry.first == hop; });
+      if (it == users.end()) {
+        users.emplace_back(hop, std::vector<std::size_t>{i});
+      } else if (it->second.back() != i) {
+        it->second.push_back(i);
+      }
+    }
+  }
+  for (auto& [hop, indices] : users) {
+    if (indices.size() < 2) continue;
+    plan.shared_bottlenecks.push_back(
+        SharedBottleneckHop{hop, std::move(indices)});
+  }
+  return plan;
+}
+
+}  // namespace upin::select

@@ -1,0 +1,56 @@
+// multipath.hpp — scheduling one logical flow over k selected paths.
+//
+// Gartner et al.'s BitTorrent-over-SCION result motivates the model: a
+// strategy's ranking is turned into a MultipathPlan of k subflows whose
+// weights derive from the strategy scores (better score -> more traffic),
+// plus a shared-bottleneck report flagging early hops common to several
+// subflows — on the ScionLab topology every path funnels through the
+// user's single access link, the congestion episode of the paper's Fig 9,
+// so aggregation only pays off across disjoint early hops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "select/types.hpp"
+#include "util/result.hpp"
+
+namespace upin::select {
+
+/// One path of a multipath plan with its normalized send weight.
+struct MultipathSubflow {
+  PathSummary summary;
+  double score = 0.0;   ///< the strategy score the weight derives from
+  double weight = 0.0;  ///< normalized to sum 1 across the plan
+};
+
+/// An early hop shared by two or more subflows — a capacity bottleneck
+/// that caps what aggregation can win.
+struct SharedBottleneckHop {
+  scion::IsdAsn hop;
+  std::vector<std::size_t> subflows;  ///< indices into MultipathPlan::subflows
+};
+
+/// A weighted set of k paths for one destination.
+struct MultipathPlan {
+  std::string strategy;  ///< registry key that ranked the paths
+  std::vector<MultipathSubflow> subflows;
+  std::vector<SharedBottleneckHop> shared_bottlenecks;
+
+  /// JSON rendering: subflows with weights plus the bottleneck report.
+  [[nodiscard]] util::Value to_json() const;
+};
+
+/// Build a plan from a strategy's ranking: the k best admitted paths,
+/// weighted by score distance to the winner
+///   w_i ∝ 1 / (1 + (s_i − s_min) / max(1, |s_min|))
+/// (uniform when all scores tie), then normalized to sum 1.  `k` is
+/// clamped to the number of admitted paths; kInvalidArgument when k = 0,
+/// kNotFound when the selection admitted nothing.  `early_hop_window`
+/// bounds how many interior hops (source and destination excluded) count
+/// for shared-bottleneck detection.
+[[nodiscard]] util::Result<MultipathPlan> plan_multipath(
+    const Selection& selection, std::size_t k,
+    std::size_t early_hop_window = 2);
+
+}  // namespace upin::select

@@ -24,6 +24,9 @@ std::string UserRequest::describe() const {
     out += util::format(", bandwidth >= %.1fMbps (%s)", *min_bandwidth_mbps,
                         bw_direction == BwDirection::kDownstream ? "down" : "up");
   }
+  if (bw_probe_bytes.has_value()) {
+    out += util::format(", bw at %.0fB packets", *bw_probe_bytes);
+  }
   if (max_loss_pct.has_value()) {
     out += util::format(", loss <= %.1f%%", *max_loss_pct);
   }

@@ -40,6 +40,11 @@ struct UserRequest {
   std::optional<double> max_loss_pct;
   std::optional<double> max_jitter_ms;
   std::size_t min_samples = 1;  ///< require this much measurement evidence
+  /// Packet size (bytes) the flow will actually send.  When set, bandwidth
+  /// constraints and objectives use the measured column nearest this size
+  /// (64 B probes vs MTU-sized packets); when unset, the MTU columns are
+  /// used, matching the pre-strategy-lab behaviour.
+  std::optional<double> bw_probe_bytes;
   /// Only consider measurements taken at or after this virtual timestamp
   /// (milliseconds).  Networks drift; stale samples mislead (§4.2.2
   /// stores timestamps for exactly this reason).

@@ -151,164 +151,43 @@ Result<std::vector<PathSummary>> PathSelector::summarize_parallel(
   return summaries;
 }
 
+namespace {
+
+/// The shared paper-objective instance the façade entry points delegate
+/// to (it is stateless, so one is enough).
+const PathSelectionStrategy& paper_strategy() {
+  static const std::unique_ptr<PathSelectionStrategy> strategy =
+      std::move(StrategyRegistry::global().create(kPaperObjective)).value();
+  return *strategy;
+}
+
+}  // namespace
+
 std::optional<std::string> PathSelector::rejection_reason(
     const PathSummary& summary, const UserRequest& request) const {
-  if (summary.samples < request.min_samples) {
-    return util::format("only %zu samples (need %zu)", summary.samples,
-                        request.min_samples);
-  }
-
-  // Control-plane liveness: a delivered, unexpired revocation disqualifies
-  // the path no matter how good its measurement history looks.
-  if (control_plane_ != nullptr && liveness_clock_ != nullptr &&
-      control_plane_->hops_revoked(summary.hops, liveness_clock_->now())) {
-    return std::string("path revoked by control plane");
-  }
-
-  // Sovereignty / governance constraints over every hop.
-  for (const scion::IsdAsn& hop : summary.hops) {
-    const scion::AsInfo* info = topology_.find_as(hop);
-    if (info == nullptr) continue;
-    for (const std::string& country : request.exclude_countries) {
-      if (info->country == country) {
-        return "traverses excluded country " + country + " (" +
-               hop.to_string() + ")";
-      }
-    }
-    for (const std::string& op : request.exclude_operators) {
-      if (info->operator_name == op) {
-        return "traverses excluded operator " + op + " (" + hop.to_string() +
-               ")";
-      }
-    }
-    if (std::find(request.exclude_ases.begin(), request.exclude_ases.end(),
-                  hop) != request.exclude_ases.end()) {
-      return "traverses excluded AS " + hop.to_string();
-    }
-  }
-  for (const std::int64_t isd : summary.isds) {
-    if (std::find(request.exclude_isds.begin(), request.exclude_isds.end(),
-                  static_cast<std::uint16_t>(isd)) !=
-        request.exclude_isds.end()) {
-      return "traverses excluded ISD " + std::to_string(isd);
-    }
-    if (!request.allowed_isds.empty() &&
-        std::find(request.allowed_isds.begin(), request.allowed_isds.end(),
-                  static_cast<std::uint16_t>(isd)) ==
-            request.allowed_isds.end()) {
-      return "traverses ISD " + std::to_string(isd) +
-             " outside the allow-list";
-    }
-  }
-
-  // Performance constraints.
-  if (request.max_latency_ms.has_value()) {
-    if (!summary.latency_ms.has_value()) return "no latency data";
-    if (summary.latency_ms->median > *request.max_latency_ms) {
-      return util::format("median latency %.1fms exceeds %.1fms",
-                          summary.latency_ms->median, *request.max_latency_ms);
-    }
-  }
-  if (request.min_bandwidth_mbps.has_value()) {
-    const std::optional<double> bw = summary.bandwidth(request.bw_direction);
-    if (!bw.has_value()) return "no bandwidth data";
-    if (*bw < *request.min_bandwidth_mbps) {
-      return util::format("bandwidth %.1fMbps below %.1fMbps", *bw,
-                          *request.min_bandwidth_mbps);
-    }
-  }
-  if (request.max_loss_pct.has_value() &&
-      summary.mean_loss_pct > *request.max_loss_pct) {
-    return util::format("loss %.1f%% exceeds %.1f%%", summary.mean_loss_pct,
-                        *request.max_loss_pct);
-  }
-  if (request.max_jitter_ms.has_value()) {
-    if (!summary.mean_jitter_ms.has_value()) return "no jitter data";
-    if (*summary.mean_jitter_ms > *request.max_jitter_ms) {
-      return util::format("jitter %.1fms exceeds %.1fms",
-                          *summary.mean_jitter_ms, *request.max_jitter_ms);
-    }
-  }
-
-  // The objective itself needs a usable metric.
-  if (!score(summary, request).has_value()) {
-    return std::string("no data for objective ") + to_string(request.objective);
-  }
-  return std::nullopt;
+  return check_admission(summary, request, context(), paper_strategy())
+      .rejection;
 }
 
 std::optional<double> PathSelector::score(const PathSummary& summary,
                                           const UserRequest& request) {
-  switch (request.objective) {
-    case Objective::kLowestLatency:
-      if (!summary.latency_ms.has_value()) return std::nullopt;
-      return summary.latency_ms->median;
-    case Objective::kHighestBandwidth: {
-      const std::optional<double> bw = summary.bandwidth(request.bw_direction);
-      if (!bw.has_value()) return std::nullopt;
-      return -*bw;  // lower score = better
-    }
-    case Objective::kLowestLoss:
-      // Tie-break equal losses by latency when available.
-      return summary.mean_loss_pct * 1e6 +
-             (summary.latency_ms.has_value() ? summary.latency_ms->median : 0.0);
-    case Objective::kMostConsistent:
-      // §6.1: "latency consistency is more important than low latency
-      // values" for streaming/VoIP — rank by latency IQR.
-      if (!summary.latency_ms.has_value() || summary.latency_samples < 2) {
-        return std::nullopt;
-      }
-      return summary.latency_ms->iqr;
-  }
-  return std::nullopt;
+  return paper_objective_score(summary, request);
 }
 
 Result<Selection> PathSelector::select(const UserRequest& request) const {
+  return select_with(kPaperObjective, request);
+}
+
+Result<Selection> PathSelector::select_with(std::string_view strategy_key,
+                                            const UserRequest& request,
+                                            const util::JsonObject& knobs) const {
+  Result<std::unique_ptr<PathSelectionStrategy>> strategy =
+      StrategyRegistry::global().create(strategy_key, knobs);
+  if (!strategy.ok()) return Result<Selection>(strategy.error());
   Result<std::vector<PathSummary>> summaries =
       summarize(request.server_id, request.since_timestamp_ms);
   if (!summaries.ok()) return Result<Selection>(summaries.error());
-
-  Selection selection;
-  for (PathSummary& summary : summaries.value()) {
-    const std::optional<std::string> rejection =
-        rejection_reason(summary, request);
-    if (rejection.has_value()) {
-      selection.rejected.emplace_back(summary.path_id, *rejection);
-      continue;
-    }
-    RankedPath ranked;
-    ranked.score = *score(summary, request);
-    switch (request.objective) {
-      case Objective::kLowestLatency:
-        ranked.rationale = util::format("median latency %.2fms over %zu samples",
-                                        summary.latency_ms->median,
-                                        summary.latency_samples);
-        break;
-      case Objective::kHighestBandwidth:
-        ranked.rationale = util::format(
-            "mean %s bandwidth %.2fMbps",
-            request.bw_direction == BwDirection::kDownstream ? "downstream"
-                                                             : "upstream",
-            -ranked.score);
-        break;
-      case Objective::kLowestLoss:
-        ranked.rationale =
-            util::format("mean loss %.2f%%", summary.mean_loss_pct);
-        break;
-      case Objective::kMostConsistent:
-        ranked.rationale =
-            util::format("latency IQR %.2fms", summary.latency_ms->iqr);
-        break;
-    }
-    ranked.summary = std::move(summary);
-    selection.ranked.push_back(std::move(ranked));
-  }
-
-  std::stable_sort(selection.ranked.begin(), selection.ranked.end(),
-                   [](const RankedPath& a, const RankedPath& b) {
-                     return a.score < b.score;
-                   });
-  return selection;
+  return strategy.value()->rank(summaries.value(), request, context());
 }
 
 Result<RankedPath> PathSelector::best(const UserRequest& request) const {

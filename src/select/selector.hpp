@@ -6,6 +6,13 @@
 // rank the survivors under the chosen objective, and return them with a
 // rationale.  Aggregation over many paths is parallelized with the shared
 // thread pool — each path's samples are independent.
+//
+// Since the strategy-lab redesign, PathSelector is a thin façade over the
+// StrategyRegistry: `select()` delegates to the `paper-objective`
+// strategy (bit-identical to the pre-registry pipeline) and
+// `select_with()` runs any registered strategy over the same summaries.
+// The data model (PathSummary, RankedPath, Selection) lives in
+// select/types.hpp; the strategy interface in select/strategy.hpp.
 #pragma once
 
 #include <optional>
@@ -16,52 +23,13 @@
 #include "scion/control_plane.hpp"
 #include "scion/topology.hpp"
 #include "select/request.hpp"
+#include "select/strategy.hpp"
+#include "select/types.hpp"
 #include "util/clock.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace upin::select {
-
-/// Aggregated view of one path's measurement history.
-struct PathSummary {
-  std::string path_id;
-  int server_id = 0;
-  std::string sequence;
-  std::vector<scion::IsdAsn> hops;
-  std::size_t hop_count = 0;
-  std::vector<std::int64_t> isds;
-  double mtu = 0.0;
-
-  std::size_t samples = 0;          ///< total paths_stats documents
-  std::size_t latency_samples = 0;  ///< documents with a latency reading
-  std::optional<util::BoxStats> latency_ms;  ///< set when any probe answered
-  double mean_loss_pct = 0.0;
-  std::optional<double> mean_jitter_ms;
-  std::optional<double> mean_bw_down_mtu;
-  std::optional<double> mean_bw_up_mtu;
-  std::optional<double> mean_bw_down_64;
-  std::optional<double> mean_bw_up_64;
-
-  /// The bandwidth figure a request's direction refers to (MTU packets).
-  [[nodiscard]] std::optional<double> bandwidth(BwDirection direction) const {
-    return direction == BwDirection::kDownstream ? mean_bw_down_mtu
-                                                 : mean_bw_up_mtu;
-  }
-};
-
-/// A selected path with its score (lower = better) and the explanation.
-struct RankedPath {
-  PathSummary summary;
-  double score = 0.0;
-  std::string rationale;
-};
-
-/// Outcome of a selection: ranked admissible paths plus the reasons the
-/// inadmissible ones were rejected (transparency requirement of UPIN).
-struct Selection {
-  std::vector<RankedPath> ranked;
-  std::vector<std::pair<std::string, std::string>> rejected;  ///< path_id, why
-};
 
 /// Read-side engine over the measurement database.
 class PathSelector {
@@ -89,18 +57,34 @@ class PathSelector {
       int server_id, util::ThreadPool& pool,
       std::optional<std::int64_t> since_ms = std::nullopt) const;
 
-  /// Full selection under a request.
+  /// Full selection under a request — the `paper-objective` strategy.
   [[nodiscard]] util::Result<Selection> select(const UserRequest& request) const;
+
+  /// Full selection under any registered strategy: summarize, then rank
+  /// with `StrategyRegistry::global().create(strategy_key, knobs)`.
+  /// Propagates kNotFound for unknown keys and kInvalidArgument for bad
+  /// knobs.
+  [[nodiscard]] util::Result<Selection> select_with(
+      std::string_view strategy_key, const UserRequest& request,
+      const util::JsonObject& knobs = {}) const;
 
   /// The single best path, or kNotFound when nothing qualifies.
   [[nodiscard]] util::Result<RankedPath> best(const UserRequest& request) const;
+
+  /// The selection context this selector ranks in (topology + attached
+  /// liveness), for callers driving strategies directly.
+  [[nodiscard]] SelectionContext context() const noexcept {
+    return SelectionContext{&topology_, control_plane_, liveness_clock_};
+  }
 
   /// Constraint check used by select(); exposed for tests.  Returns the
   /// rejection reason or nullopt when admissible.
   [[nodiscard]] std::optional<std::string> rejection_reason(
       const PathSummary& summary, const UserRequest& request) const;
 
-  /// Objective score (lower = better); exposed for tests.
+  /// Deprecated: the paper objective's score, kept as a shim so existing
+  /// callers compile.  New code scores through a strategy
+  /// (`PathSelectionStrategy::score_path`) or `paper_objective_score`.
   [[nodiscard]] static std::optional<double> score(const PathSummary& summary,
                                                    const UserRequest& request);
 

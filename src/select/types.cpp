@@ -1,0 +1,72 @@
+#include "select/types.hpp"
+
+namespace upin::select {
+
+using util::JsonObject;
+using util::Value;
+
+std::optional<double> PathSummary::bandwidth(BwDirection direction,
+                                             double packet_bytes) const {
+  const std::optional<double>& at_64 = direction == BwDirection::kDownstream
+                                           ? mean_bw_down_64
+                                           : mean_bw_up_64;
+  const std::optional<double>& at_mtu = direction == BwDirection::kDownstream
+                                            ? mean_bw_down_mtu
+                                            : mean_bw_up_mtu;
+  // Nearest measured packet size wins; the cutoff is the midpoint between
+  // the probe size (64 B) and the path MTU.  A summary without MTU
+  // metadata (synthetic tests) treats anything above 64 B as MTU-sized.
+  const double cutoff = (64.0 + std::max(mtu, 64.0)) / 2.0;
+  const bool prefer_64 = packet_bytes <= cutoff;
+  if (prefer_64) return at_64.has_value() ? at_64 : at_mtu;
+  return at_mtu.has_value() ? at_mtu : at_64;
+}
+
+util::Value Selection::explain() const {
+  JsonObject root;
+  root.set("strategy", Value(strategy));
+  root.set("request", Value(request_description));
+
+  Value::Array admitted;
+  admitted.reserve(ranked.size());
+  for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+    const RankedPath& path = ranked[rank];
+    JsonObject entry;
+    entry.set("path_id", Value(path.summary.path_id));
+    entry.set("rank", Value(rank));
+    entry.set("score", Value(path.score));
+    entry.set("rationale", Value(path.rationale));
+    if (!path.terms.empty()) {
+      JsonObject terms;
+      for (const ScoreTerm& term : path.terms) {
+        terms.set(term.name, Value(term.value));
+      }
+      entry.set("score_terms", Value(std::move(terms)));
+    }
+    admitted.push_back(Value(std::move(entry)));
+  }
+  root.set("admitted", Value(std::move(admitted)));
+
+  Value::Array dropped;
+  dropped.reserve(rejected_detail.size());
+  for (const RejectedPath& path : rejected_detail) {
+    JsonObject entry;
+    entry.set("path_id", Value(path.path_id));
+    entry.set("reason", Value(path.reason));
+    Value::Array verdicts;
+    verdicts.reserve(path.verdicts.size());
+    for (const ConstraintVerdict& verdict : path.verdicts) {
+      JsonObject row;
+      row.set("constraint", Value(verdict.constraint));
+      row.set("passed", Value(verdict.passed));
+      if (!verdict.detail.empty()) row.set("detail", Value(verdict.detail));
+      verdicts.push_back(Value(std::move(row)));
+    }
+    entry.set("verdicts", Value(std::move(verdicts)));
+    dropped.push_back(Value(std::move(entry)));
+  }
+  root.set("rejected", Value(std::move(dropped)));
+  return Value(std::move(root));
+}
+
+}  // namespace upin::select

@@ -1,0 +1,101 @@
+// types.hpp — the data model of the selection layer.
+//
+// PathSummary aggregates one path's measurement history; a strategy maps
+// summaries to a Selection: admitted paths ranked under the strategy's
+// objective plus the reasons the inadmissible ones were rejected (the
+// transparency requirement of UPIN).  Every admission decision is also
+// kept as structured per-constraint verdicts so `Selection::explain()`
+// can render the full decision trace as JSON, mirroring docdb's
+// `explain()`.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scion/isd_asn.hpp"
+#include "select/request.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace upin::select {
+
+/// Aggregated view of one path's measurement history.
+struct PathSummary {
+  std::string path_id;
+  int server_id = 0;
+  std::string sequence;
+  std::vector<scion::IsdAsn> hops;
+  std::size_t hop_count = 0;
+  std::vector<std::int64_t> isds;
+  double mtu = 0.0;
+
+  std::size_t samples = 0;          ///< total paths_stats documents
+  std::size_t latency_samples = 0;  ///< documents with a latency reading
+  std::optional<util::BoxStats> latency_ms;  ///< set when any probe answered
+  double mean_loss_pct = 0.0;
+  std::optional<double> mean_jitter_ms;
+  std::optional<double> mean_bw_down_mtu;
+  std::optional<double> mean_bw_up_mtu;
+  std::optional<double> mean_bw_down_64;
+  std::optional<double> mean_bw_up_64;
+
+  /// The bandwidth figure a request's direction refers to (MTU packets).
+  [[nodiscard]] std::optional<double> bandwidth(BwDirection direction) const {
+    return direction == BwDirection::kDownstream ? mean_bw_down_mtu
+                                                 : mean_bw_up_mtu;
+  }
+
+  /// Packet-size-aware bandwidth lookup: picks the measured column
+  /// (64-byte probes vs MTU-sized packets) nearest to `packet_bytes`,
+  /// falling back to the other column when the preferred one has no
+  /// samples.  The campaign measures both (§4.1.1); small-packet flows
+  /// should be judged against the 64 B figures.
+  [[nodiscard]] std::optional<double> bandwidth(BwDirection direction,
+                                                double packet_bytes) const;
+};
+
+/// One named component of a strategy's score (for explain traces).
+struct ScoreTerm {
+  std::string name;
+  double value = 0.0;
+};
+
+/// A selected path with its score (lower = better) and the explanation.
+struct RankedPath {
+  PathSummary summary;
+  double score = 0.0;
+  std::string rationale;
+  std::vector<ScoreTerm> terms;  ///< per-strategy score decomposition
+};
+
+/// Verdict of one admission constraint against one path.
+struct ConstraintVerdict {
+  std::string constraint;  ///< e.g. "min-samples", "sovereignty"
+  bool passed = true;
+  std::string detail;      ///< human-readable evidence
+};
+
+/// A rejected path with the full per-constraint record.
+struct RejectedPath {
+  std::string path_id;
+  std::string reason;  ///< the first failed constraint's detail
+  std::vector<ConstraintVerdict> verdicts;
+};
+
+/// Outcome of a selection: ranked admissible paths plus the reasons the
+/// inadmissible ones were rejected (transparency requirement of UPIN).
+struct Selection {
+  std::string strategy;             ///< registry key that produced this
+  std::string request_description;  ///< UserRequest::describe() snapshot
+  std::vector<RankedPath> ranked;
+  std::vector<std::pair<std::string, std::string>> rejected;  ///< path_id, why
+  std::vector<RejectedPath> rejected_detail;  ///< same paths, full verdicts
+
+  /// JSON decision trace: admitted paths with per-strategy score terms,
+  /// rejected paths with per-constraint verdicts.
+  [[nodiscard]] util::Value explain() const;
+};
+
+}  // namespace upin::select

@@ -77,6 +77,41 @@ std::uint64_t endpoint_key(NodeId from, NodeId to) noexcept {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
+/// Wire footprint and pacing of a constant-rate flow — the sender-side
+/// half of the bwtest model, shared by the single- and multi-flow paths
+/// so both compute identical loads.
+struct WirePlan {
+  int frames = 1;            ///< underlay frames per application packet
+  double wire_bytes = 0.0;   ///< bytes on the wire per application packet
+  double pps_effective = 0.0;
+  double attempted_mbps = 0.0;
+  double wire_mbps = 0.0;
+};
+
+WirePlan wire_plan(const BwtestOptions& options, const NetworkConfig& config) {
+  WirePlan plan;
+
+  // Wire footprint of one application packet.
+  const double scion_packet_bytes =
+      options.packet_bytes + config.scion_header_bytes;
+  const double frame_capacity = config.underlay_mtu - config.underlay_header_bytes;
+  if (config.fragmentation_enabled) {
+    plan.frames =
+        static_cast<int>(std::ceil(scion_packet_bytes / frame_capacity));
+    plan.frames = std::max(plan.frames, 1);
+  }
+  plan.wire_bytes = scion_packet_bytes +
+                    static_cast<double>(plan.frames) * config.underlay_header_bytes;
+
+  // Sender pacing: the VM cannot exceed its packets-per-second budget.
+  const double pps_target =
+      options.target_mbps * 1e6 / 8.0 / options.packet_bytes;
+  plan.pps_effective = std::min(pps_target, config.sender_pps_cap);
+  plan.attempted_mbps = plan.pps_effective * options.packet_bytes * 8.0 / 1e6;
+  plan.wire_mbps = plan.pps_effective * plan.wire_bytes * 8.0 / 1e6;
+  return plan;
+}
+
 }  // namespace
 
 Network::Network(std::uint64_t seed, NetworkConfig config)
@@ -352,6 +387,13 @@ Result<TraceResult> Network::traceroute(const std::vector<NodeId>& route,
 Result<BwtestResult> Network::bwtest(const std::vector<NodeId>& route,
                                      const BwtestOptions& options,
                                      SimTime start) const {
+  return bwtest_loaded(route, options, start, nullptr, 0.0);
+}
+
+Result<BwtestResult> Network::bwtest_loaded(
+    const std::vector<NodeId>& route, const BwtestOptions& options,
+    SimTime start, const std::unordered_map<std::uint64_t, double>* total_wire_mbps,
+    double own_wire_mbps) const {
   const Result<RouteLinks> resolved = resolve(route);
   if (!resolved.ok()) return Result<BwtestResult>(resolved.error());
   if (options.packet_bytes < 4.0) {
@@ -393,25 +435,11 @@ Result<BwtestResult> Network::bwtest(const std::vector<NodeId>& route,
 
   BwtestResult result;
 
-  // Wire footprint of one application packet.
-  const double scion_packet_bytes =
-      options.packet_bytes + config_.scion_header_bytes;
-  const double frame_capacity =
-      config_.underlay_mtu - config_.underlay_header_bytes;
-  int frames = 1;
-  if (config_.fragmentation_enabled) {
-    frames = static_cast<int>(std::ceil(scion_packet_bytes / frame_capacity));
-    frames = std::max(frames, 1);
-  }
-  const double wire_bytes =
-      scion_packet_bytes + static_cast<double>(frames) * config_.underlay_header_bytes;
-
-  // Sender pacing: the VM cannot exceed its packets-per-second budget.
-  const double pps_target =
-      options.target_mbps * 1e6 / 8.0 / options.packet_bytes;
-  const double pps_effective = std::min(pps_target, config_.sender_pps_cap);
-  result.attempted_mbps = pps_effective * options.packet_bytes * 8.0 / 1e6;
-  const double wire_mbps = pps_effective * wire_bytes * 8.0 / 1e6;
+  const WirePlan plan = wire_plan(options, config_);
+  const int frames = plan.frames;
+  result.attempted_mbps = plan.attempted_mbps;
+  const double wire_mbps = plan.wire_mbps;
+  const double pps_effective = plan.pps_effective;
 
   // Per-link frame survival: byte-share under overload plus ambient loss
   // plus outage drops at the receiving node.
@@ -425,7 +453,17 @@ Result<BwtestResult> Network::bwtest(const std::vector<NodeId>& route,
     const double available =
         link.capacity_mbps * (1.0 - utilization(from, to, mid));
     bottleneck_available = std::min(bottleneck_available, available);
-    const double share = std::min(1.0, available / wire_mbps);
+    // Concurrent subflows on this link dilute the share: the flow gets
+    // its proportional cut of the headroom.  `cross == 0` (the lone-flow
+    // case) reduces to the legacy single-flow formula exactly.
+    double cross = 0.0;
+    if (total_wire_mbps != nullptr) {
+      const auto it = total_wire_mbps->find(endpoint_key(from, to));
+      if (it != total_wire_mbps->end()) {
+        cross = std::max(0.0, it->second - own_wire_mbps);
+      }
+    }
+    const double share = std::min(1.0, available / (wire_mbps + cross));
     frame_survival *= share;
     frame_survival *= 1.0 - frame_loss(from, to, mid);
     frame_survival *= 1.0 - outage_drop(to, mid);
@@ -450,6 +488,83 @@ Result<BwtestResult> Network::bwtest(const std::vector<NodeId>& route,
       static_cast<double>(result.packets_sent) * (1.0 - packet_survival));
   result.bottleneck_available_mbps = bottleneck_available;
   return result;
+}
+
+Result<MultibwtestOutcome> Network::multibwtest(
+    const std::vector<FlowSpec>& flows, SimTime start) const {
+  if (flows.empty()) {
+    return util::Error{ErrorCode::kInvalidArgument,
+                       "multibwtest needs at least one flow"};
+  }
+  MultibwtestOutcome outcome;
+  outcome.flows.resize(flows.size());
+
+  // Dry pass: each flow alone decides whether it sends at all (route
+  // validation, injected faults, server-side errors).  Every verdict is
+  // label-deterministic, so the loaded re-run below reaches the same one.
+  std::vector<bool> sends(flows.size(), false);
+  std::vector<double> flow_wire(flows.size(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Result<BwtestResult> dry =
+        bwtest_loaded(flows[i].route, flows[i].options, start, nullptr, 0.0);
+    if (!dry.ok()) {
+      outcome.flows[i].error = dry.error();
+      continue;
+    }
+    sends[i] = true;
+    flow_wire[i] = wire_plan(flows[i].options, config_).wire_mbps;
+  }
+
+  // Total offered wire load per directed link, plus who crosses it.
+  std::unordered_map<std::uint64_t, double> total_wire;
+  std::vector<std::uint64_t> link_order;
+  std::unordered_map<std::uint64_t, SharedBottleneck> by_link;
+  double max_duration_s = 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!sends[i]) continue;
+    max_duration_s = std::max(max_duration_s, flows[i].options.duration_s);
+    for (std::size_t h = 0; h + 1 < flows[i].route.size(); ++h) {
+      const std::uint64_t key =
+          endpoint_key(flows[i].route[h], flows[i].route[h + 1]);
+      const auto [it, inserted] = by_link.try_emplace(key);
+      if (inserted) {
+        link_order.push_back(key);
+        it->second.from = flows[i].route[h];
+        it->second.to = flows[i].route[h + 1];
+      }
+      it->second.flows.push_back(i);
+      it->second.offered_wire_mbps += flow_wire[i];
+      total_wire[key] += flow_wire[i];
+    }
+  }
+
+  // Loaded pass: every sending flow against the others' wire load.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!sends[i]) continue;
+    Result<BwtestResult> loaded = bwtest_loaded(
+        flows[i].route, flows[i].options, start, &total_wire, flow_wire[i]);
+    if (!loaded.ok()) {
+      outcome.flows[i].error = loaded.error();
+      continue;
+    }
+    outcome.flows[i].ok = true;
+    outcome.flows[i].result = std::move(loaded).value();
+  }
+
+  // Contention report: links carrying 2+ subflows, headroom at mid-test.
+  const SimTime mid = start + util::sim_seconds(max_duration_s / 2.0);
+  for (const std::uint64_t key : link_order) {
+    SharedBottleneck& bottleneck = by_link.at(key);
+    if (bottleneck.flows.size() < 2) continue;
+    const LinkSpec* link = find_link(bottleneck.from, bottleneck.to);
+    if (link != nullptr) {
+      bottleneck.available_mbps =
+          link->capacity_mbps *
+          (1.0 - utilization(bottleneck.from, bottleneck.to, mid));
+    }
+    outcome.shared_bottlenecks.push_back(std::move(bottleneck));
+  }
+  return outcome;
 }
 
 }  // namespace upin::simnet

@@ -139,6 +139,35 @@ struct BwtestResult {
   double bottleneck_available_mbps = 0.0;  ///< diagnosis: min wire headroom
 };
 
+/// One flow of a concurrent multipath bandwidth test.
+struct FlowSpec {
+  std::vector<NodeId> route;
+  BwtestOptions options;
+};
+
+/// A directed link crossed by two or more concurrent subflows — the
+/// capacity they compete for (the paper's Fig 9 congestion episode when
+/// it sits on the shared access hop).
+struct SharedBottleneck {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::vector<std::size_t> flows;  ///< indices into the FlowSpec list
+  double available_mbps = 0.0;     ///< headroom left by background traffic
+  double offered_wire_mbps = 0.0;  ///< summed wire load of those subflows
+};
+
+/// Outcome of `multibwtest`: per-flow results (a flow can fail
+/// individually, e.g. its destination is down) plus the contention report.
+struct MultibwtestOutcome {
+  struct Flow {
+    bool ok = false;
+    util::Error error;
+    BwtestResult result;  ///< meaningful only when `ok`
+  };
+  std::vector<Flow> flows;
+  std::vector<SharedBottleneck> shared_bottlenecks;
+};
+
 /// The network model.  Thread-safe for concurrent measurements after the
 /// topology is frozen (all mutation happens during construction).
 class Network {
@@ -182,6 +211,16 @@ class Network {
       const std::vector<NodeId>& route, const BwtestOptions& options,
       util::SimTime start) const;
 
+  /// `flows.size()` concurrent constant-rate flows sharing the network:
+  /// on every directed link, a flow's byte-share is computed against the
+  /// link headroom minus the wire load of the other flows crossing it
+  /// (`share = min(1, available / (own_wire + cross_wire))`).  A single
+  /// flow reproduces `bwtest` bit-identically.  Flows fail individually
+  /// (injected faults, server errors); failed flows offer no load.
+  /// kInvalidArgument when `flows` is empty.
+  [[nodiscard]] util::Result<MultibwtestOutcome> multibwtest(
+      const std::vector<FlowSpec>& flows, util::SimTime start) const;
+
   /// Background utilization of the (from,to) link at time `t` — exposed
   /// for tests and the ablation benches.
   [[nodiscard]] double utilization(NodeId from, NodeId to, util::SimTime t) const;
@@ -206,6 +245,16 @@ class Network {
   [[nodiscard]] bool frame_survives(const RouteLinks& route_links,
                                     const std::vector<NodeId>& route,
                                     util::SimTime t, util::Rng& rng) const;
+
+  /// bwtest core shared with multibwtest: `total_wire_mbps` (keyed by
+  /// endpoint pair) is the combined wire load of every concurrent flow on
+  /// that link, `own_wire_mbps` this flow's contribution.  Null map means
+  /// a lone flow — the exact legacy bwtest computation.
+  [[nodiscard]] util::Result<BwtestResult> bwtest_loaded(
+      const std::vector<NodeId>& route, const BwtestOptions& options,
+      util::SimTime start,
+      const std::unordered_map<std::uint64_t, double>* total_wire_mbps,
+      double own_wire_mbps) const;
 
   [[nodiscard]] static std::string route_label(const std::vector<NodeId>& route);
 

@@ -9,8 +9,18 @@ using util::Result;
 using util::SimTime;
 
 PathController::PathController(apps::ScionHost& host,
-                               const select::PathSelector& selector)
-    : host_(host), selector_(selector) {}
+                               const select::PathSelector& selector,
+                               std::string strategy_key,
+                               util::JsonObject strategy_knobs)
+    : host_(host),
+      selector_(selector),
+      strategy_key_(std::move(strategy_key)),
+      strategy_knobs_(std::move(strategy_knobs)) {}
+
+Result<select::Selection> PathController::run_selection(
+    const select::UserRequest& request) const {
+  return selector_.select_with(strategy_key_, request, strategy_knobs_);
+}
 
 Result<scion::SnetAddress> PathController::address_of(int server_id) const {
   const auto& servers = host_.env().servers;
@@ -23,9 +33,13 @@ Result<scion::SnetAddress> PathController::address_of(int server_id) const {
 
 Result<ActiveIntent> PathController::apply(
     const select::UserRequest& request) {
-  Result<select::RankedPath> best = selector_.best(request);
-  if (!best.ok()) return Result<ActiveIntent>(best.error());
-  ActiveIntent intent{request, std::move(best).value()};
+  Result<select::Selection> selection = run_selection(request);
+  if (!selection.ok()) return Result<ActiveIntent>(selection.error());
+  if (selection.value().ranked.empty()) {
+    return util::Error{ErrorCode::kNotFound,
+                       "no path satisfies: " + request.describe()};
+  }
+  ActiveIntent intent{request, selection.value().ranked.front()};
   active_[request.server_id] = intent;
   return intent;
 }
@@ -81,7 +95,7 @@ std::optional<Result<apps::PingReport>> PathController::failover_ping(
     revoked_since = control_plane.revoked_since(dead.value(), detected_at);
   }
 
-  Result<select::Selection> selection = selector_.select(intent.request);
+  Result<select::Selection> selection = run_selection(intent.request);
   if (!selection.ok()) return std::nullopt;
   for (const select::RankedPath& candidate : selection.value().ranked) {
     if (candidate.summary.path_id == intent.chosen.summary.path_id) continue;
@@ -106,14 +120,112 @@ std::optional<Result<apps::PingReport>> PathController::failover_ping(
 Result<std::vector<int>> PathController::reresolve_all() {
   std::vector<int> changed;
   for (auto& [server_id, intent] : active_) {
-    Result<select::RankedPath> best = selector_.best(intent.request);
-    if (!best.ok()) continue;  // keep the old pin when nothing qualifies
-    if (best.value().summary.path_id != intent.chosen.summary.path_id) {
+    Result<select::Selection> selection = run_selection(intent.request);
+    if (!selection.ok() || selection.value().ranked.empty()) {
+      continue;  // keep the old pin when nothing qualifies
+    }
+    select::RankedPath best = std::move(selection.value().ranked.front());
+    if (best.summary.path_id != intent.chosen.summary.path_id) {
       changed.push_back(server_id);
     }
-    intent.chosen = std::move(best).value();
+    intent.chosen = std::move(best);
   }
   return changed;
+}
+
+Result<ActiveMultipath> PathController::apply_multipath(
+    const select::UserRequest& request, std::size_t k) {
+  Result<select::Selection> selection = run_selection(request);
+  if (!selection.ok()) return Result<ActiveMultipath>(selection.error());
+  Result<select::MultipathPlan> plan =
+      select::plan_multipath(selection.value(), k);
+  if (!plan.ok()) return Result<ActiveMultipath>(plan.error());
+  ActiveMultipath intent{request, k, std::move(plan).value()};
+  multipath_[request.server_id] = intent;
+  return intent;
+}
+
+std::optional<ActiveMultipath> PathController::active_multipath(
+    int server_id) const {
+  const auto it = multipath_.find(server_id);
+  if (it == multipath_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+std::vector<apps::SubflowSpec> subflow_specs(
+    const select::MultipathPlan& plan) {
+  std::vector<apps::SubflowSpec> specs;
+  specs.reserve(plan.subflows.size());
+  for (const select::MultipathSubflow& subflow : plan.subflows) {
+    specs.push_back(
+        apps::SubflowSpec{subflow.summary.sequence, subflow.weight});
+  }
+  return specs;
+}
+
+bool is_control_plane_death(const util::Error& error) {
+  return error.code == ErrorCode::kRevoked || error.code == ErrorCode::kExpired;
+}
+
+}  // namespace
+
+Result<apps::MultipathPingReport> PathController::multipath_ping(
+    int server_id, const apps::MultipathPingOptions& options) {
+  Result<scion::SnetAddress> address = address_of(server_id);
+  if (!address.ok()) return Result<apps::MultipathPingReport>(address.error());
+  const auto it = multipath_.find(server_id);
+  if (it == multipath_.end()) {
+    return util::Error{ErrorCode::kNotFound,
+                       "no multipath plan pinned for server " +
+                           std::to_string(server_id)};
+  }
+
+  Result<apps::MultipathPingReport> report =
+      host_.multipath_ping(address.value(), subflow_specs(it->second.plan),
+                           options);
+
+  // Did the control plane kill the run (or any subflow of it)?
+  bool revoked = !report.ok() && is_control_plane_death(report.error());
+  if (report.ok()) {
+    for (const apps::MultipathPingReport::Subflow& subflow :
+         report.value().subflows) {
+      if (!subflow.ok && is_control_plane_death(subflow.error)) {
+        revoked = true;
+        break;
+      }
+    }
+  }
+  if (!revoked) return report;
+
+  // Graceful multipath failover: measure how long traffic sat on the
+  // dead subflow, re-resolve the plan inside the intent's policy and
+  // retry once over the fresh subflow set.
+  scion::ControlPlane& control_plane = host_.control_plane();
+  const SimTime detected_at = host_.clock().now();
+  std::optional<SimTime> revoked_since;
+  for (const select::MultipathSubflow& subflow : it->second.plan.subflows) {
+    const util::Result<scion::Path> dead =
+        scion::Path::parse_sequence(subflow.summary.sequence);
+    if (!dead.ok()) continue;
+    const std::optional<SimTime> since =
+        control_plane.revoked_since(dead.value(), detected_at);
+    if (since.has_value() &&
+        (!revoked_since.has_value() || *since < *revoked_since)) {
+      revoked_since = since;
+    }
+  }
+
+  Result<ActiveMultipath> replanned =
+      apply_multipath(it->second.request, it->second.k);
+  if (!replanned.ok()) return report;  // no live alternative: surface as-is
+  ++failovers_;
+  measure::record_revocation_failover(revoked_since.has_value()
+                                          ? detected_at - *revoked_since
+                                          : util::SimTime::zero());
+  return host_.multipath_ping(address.value(),
+                              subflow_specs(replanned.value().plan), options);
 }
 
 }  // namespace upin::upinfw

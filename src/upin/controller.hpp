@@ -13,8 +13,10 @@
 
 #include <map>
 #include <optional>
+#include <string>
 
 #include "apps/host.hpp"
+#include "select/multipath.hpp"
 #include "select/selector.hpp"
 
 namespace upin::upinfw {
@@ -25,9 +27,23 @@ struct ActiveIntent {
   select::RankedPath chosen;
 };
 
+/// An applied multipath intent: the request, the requested subflow count
+/// and the plan it resolved to (which may carry fewer subflows when the
+/// selection admitted fewer paths).
+struct ActiveMultipath {
+  select::UserRequest request;
+  std::size_t k = 1;
+  select::MultipathPlan plan;
+};
+
 class PathController {
  public:
-  PathController(apps::ScionHost& host, const select::PathSelector& selector);
+  /// The controller resolves intents through `strategy_key` (any key in
+  /// `select::StrategyRegistry::global()`, validated per call) with the
+  /// given knobs; the default is the paper's objective pipeline.
+  PathController(apps::ScionHost& host, const select::PathSelector& selector,
+                 std::string strategy_key = std::string(select::kPaperObjective),
+                 util::JsonObject strategy_knobs = {});
 
   /// Resolve `request` and pin the winning path for its destination.
   /// kNotFound when nothing satisfies the request (nothing is pinned and
@@ -60,6 +76,23 @@ class PathController {
   /// destinations whose pinned path changed.
   util::Result<std::vector<int>> reresolve_all();
 
+  /// Resolve `request` into a weighted k-subflow plan under the
+  /// controller's strategy and pin it for the destination.  Propagates
+  /// kNotFound when nothing is admissible.
+  util::Result<ActiveMultipath> apply_multipath(
+      const select::UserRequest& request, std::size_t k);
+
+  /// Currently pinned multipath plan for a destination, if any.
+  [[nodiscard]] std::optional<ActiveMultipath> active_multipath(
+      int server_id) const;
+
+  /// Weighted concurrent ping over the pinned multipath plan.  When the
+  /// run dies — or any subflow dies — under a control-plane revocation,
+  /// the plan is re-resolved within the intent's policy and the ping
+  /// retried once over the fresh plan (a recorded revocation failover).
+  util::Result<apps::MultipathPingReport> multipath_ping(
+      int server_id, const apps::MultipathPingOptions& options = {});
+
  private:
   [[nodiscard]] util::Result<scion::SnetAddress> address_of(int server_id) const;
 
@@ -69,9 +102,16 @@ class PathController {
       int server_id, const scion::SnetAddress& address,
       const apps::PingOptions& options);
 
+  /// Full selection under the controller's strategy.
+  [[nodiscard]] util::Result<select::Selection> run_selection(
+      const select::UserRequest& request) const;
+
   apps::ScionHost& host_;
   const select::PathSelector& selector_;
+  std::string strategy_key_;
+  util::JsonObject strategy_knobs_;
   std::map<int, ActiveIntent> active_;
+  std::map<int, ActiveMultipath> multipath_;
   std::size_t failovers_ = 0;
 };
 

@@ -283,6 +283,79 @@ TEST_F(HostTest, DeterministicAcrossIdenticalHosts) {
   EXPECT_EQ(*a.value().stats.avg_ms(), *b.value().stats.avg_ms());
 }
 
+// ----------------------------------------------------- multipath flows
+
+TEST_F(HostTest, MultipathPingRejectsEmptyAndBadSpecs) {
+  EXPECT_EQ(host_.multipath_ping(ireland_, {}, {}).error().code,
+            util::ErrorCode::kInvalidArgument);
+  const auto listings = host_.showpaths(kIreland, {});
+  ASSERT_TRUE(listings.ok());
+  SubflowSpec bad;
+  bad.sequence = listings.value().front().path.sequence();
+  bad.weight = 0.0;
+  EXPECT_EQ(host_.multipath_ping(ireland_, {bad}, {}).error().code,
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(HostTest, MultipathPingSplitsProbesByWeight) {
+  const auto listings = host_.showpaths(kIreland, {});
+  ASSERT_TRUE(listings.ok());
+  ASSERT_GE(listings.value().size(), 2u);
+  SubflowSpec heavy{listings.value()[0].path.sequence(), 3.0};
+  SubflowSpec light{listings.value()[1].path.sequence(), 1.0};
+  MultipathPingOptions options;
+  options.count = 20;
+  const auto report = host_.multipath_ping(ireland_, {heavy, light}, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().subflows.size(), 2u);
+  // Largest-remainder split of 20 probes at weights 3:1.
+  EXPECT_EQ(report.value().subflows[0].probes, 15u);
+  EXPECT_EQ(report.value().subflows[1].probes, 5u);
+  EXPECT_TRUE(report.value().subflows[0].ok);
+  EXPECT_TRUE(report.value().subflows[1].ok);
+  // The aggregate concatenates what the live subflows delivered.
+  EXPECT_EQ(report.value().aggregate.sent(),
+            report.value().subflows[0].stats.sent() +
+                report.value().subflows[1].stats.sent());
+}
+
+TEST_F(HostTest, MultipathBwtestSplitsTargetAndSumsGoodput) {
+  const auto listings = host_.showpaths(kIreland, {});
+  ASSERT_TRUE(listings.ok());
+  ASSERT_GE(listings.value().size(), 2u);
+  SubflowSpec first{listings.value()[0].path.sequence(), 1.0};
+  SubflowSpec second{listings.value()[1].path.sequence(), 1.0};
+  MultipathBwtestOptions options;
+  options.total_target_mbps = 10.0;
+  const auto report = host_.multipath_bwtest(ireland_, {first, second}, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().subflows.size(), 2u);
+  double attempted = 0.0;
+  double achieved = 0.0;
+  for (const MultipathBwtestReport::Subflow& subflow : report.value().subflows) {
+    ASSERT_TRUE(subflow.ok);
+    EXPECT_DOUBLE_EQ(subflow.target_mbps, 5.0);  // equal weights
+    attempted += subflow.result.attempted_mbps;
+    achieved += subflow.result.achieved_mbps;
+  }
+  EXPECT_DOUBLE_EQ(report.value().attempted_mbps, attempted);
+  EXPECT_DOUBLE_EQ(report.value().achieved_mbps, achieved);
+  EXPECT_GT(report.value().achieved_mbps, 0.0);
+}
+
+TEST_F(HostTest, MultipathBwtestFlagsTheSharedAccessLink) {
+  // On the single-AP testbed every path funnels through MY AS -> ETHZ-AP,
+  // so any two subflows share that first link.
+  const auto listings = host_.showpaths(kIreland, {});
+  ASSERT_TRUE(listings.ok());
+  ASSERT_GE(listings.value().size(), 2u);
+  SubflowSpec first{listings.value()[0].path.sequence(), 1.0};
+  SubflowSpec second{listings.value()[1].path.sequence(), 1.0};
+  const auto report = host_.multipath_bwtest(ireland_, {first, second}, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().shared_bottlenecks.empty());
+}
+
 // --------------------------------------------- control-plane lifetimes
 
 TEST(HostLifetimes, ScmpFailFastKnobControlsUnreachableCost) {

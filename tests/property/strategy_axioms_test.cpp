@@ -1,0 +1,291 @@
+// Axiomatic properties of path-selection strategies (ISSUE 9 §tests):
+// over randomized synthetic summaries and requests, every registered
+// strategy must satisfy
+//   (1) appending a strictly-worse clone of the winner never changes the
+//       winner,
+//   (2) duplicating the winner keeps the original first and preserves the
+//       relative order of the original paths (ranking is stable), and
+//   (3) no admitted path ever violates the request's hard constraints
+//       (sovereignty, ISD policy, performance bounds) — the invariant the
+//       registry contract promises for all strategies, checked over 1000
+//       randomized requests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "scion/scionlab.hpp"
+#include "select/strategy.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace upin::select {
+namespace {
+
+/// Synthetic path over the real testbed topology: user AS -> ETHZ-AP ->
+/// a random walk over cores -> the destination.  Metrics are drawn from
+/// ranges wide enough to exercise every constraint branch.
+PathSummary random_summary(util::Rng& rng, const scion::Topology& topology,
+                           int index) {
+  PathSummary summary;
+  summary.path_id = "syn-" + std::to_string(index);
+  summary.server_id = 3;
+  summary.hops.push_back(scion::scionlab::kUserAs);
+  summary.hops.push_back(scion::scionlab::kEthzAp);
+  const std::vector<scion::AsInfo>& ases = topology.ases();
+  const std::int64_t extra = rng.uniform_int(1, 3);
+  for (std::int64_t i = 0; i < extra; ++i) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ases.size()) - 1));
+    summary.hops.push_back(ases[pick].ia);
+  }
+  summary.hop_count = summary.hops.size();
+  for (const scion::IsdAsn& hop : summary.hops) {
+    const auto isd = static_cast<std::int64_t>(hop.isd());
+    if (std::find(summary.isds.begin(), summary.isds.end(), isd) ==
+        summary.isds.end()) {
+      summary.isds.push_back(isd);
+    }
+  }
+  summary.mtu = 1452.0;
+  summary.samples = static_cast<std::size_t>(rng.uniform_int(0, 8));
+  if (rng.bernoulli(0.9)) {
+    std::vector<double> latencies;
+    const std::int64_t n = rng.uniform_int(2, 8);
+    for (std::int64_t i = 0; i < n; ++i) {
+      latencies.push_back(rng.uniform(5.0, 400.0));
+    }
+    summary.latency_ms = util::box_stats(latencies);
+    summary.latency_samples = latencies.size();
+  }
+  summary.mean_loss_pct = rng.uniform(0.0, 12.0);
+  if (rng.bernoulli(0.9)) summary.mean_jitter_ms = rng.uniform(0.0, 20.0);
+  if (rng.bernoulli(0.9)) {
+    summary.mean_bw_down_mtu = rng.uniform(1.0, 40.0);
+    summary.mean_bw_up_mtu = rng.uniform(1.0, 14.0);
+    summary.mean_bw_down_64 = rng.uniform(0.5, 5.0);
+    summary.mean_bw_up_64 = rng.uniform(0.5, 5.0);
+  }
+  return summary;
+}
+
+UserRequest random_request(util::Rng& rng) {
+  UserRequest request;
+  request.server_id = 3;
+  switch (rng.uniform_int(0, 3)) {
+    case 0: request.objective = Objective::kLowestLatency; break;
+    case 1: request.objective = Objective::kHighestBandwidth; break;
+    case 2: request.objective = Objective::kLowestLoss; break;
+    default: request.objective = Objective::kMostConsistent; break;
+  }
+  request.bw_direction =
+      rng.bernoulli(0.5) ? BwDirection::kDownstream : BwDirection::kUpstream;
+  if (rng.bernoulli(0.3)) request.max_latency_ms = rng.uniform(20.0, 300.0);
+  if (rng.bernoulli(0.3)) request.min_bandwidth_mbps = rng.uniform(1.0, 30.0);
+  if (rng.bernoulli(0.3)) request.max_loss_pct = rng.uniform(0.5, 8.0);
+  if (rng.bernoulli(0.3)) request.max_jitter_ms = rng.uniform(1.0, 15.0);
+  if (rng.bernoulli(0.3)) {
+    request.min_samples = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  }
+  if (rng.bernoulli(0.25)) request.exclude_countries = {"US"};
+  if (rng.bernoulli(0.25)) request.exclude_operators = {"AWS"};
+  if (rng.bernoulli(0.2)) request.exclude_ases = {scion::scionlab::kSingapore};
+  if (rng.bernoulli(0.2)) request.exclude_isds = {19};
+  if (rng.bernoulli(0.15)) request.allowed_isds = {16, 17};
+  if (rng.bernoulli(0.2)) request.bw_probe_bytes = 64.0;
+  return request;
+}
+
+/// A clone of `winner` that is strictly worse on every metric a strategy
+/// could score by: slower, lossier, jitterier, less bandwidth, same hops.
+PathSummary strictly_worse_clone(const PathSummary& winner) {
+  PathSummary clone = winner;
+  clone.path_id = winner.path_id + "-worse";
+  if (clone.latency_ms.has_value()) {
+    util::BoxStats& box = *clone.latency_ms;
+    box.minimum += 50.0;
+    box.maximum += 200.0;
+    box.mean += 100.0;
+    box.q1 += 60.0;
+    box.median += 100.0;
+    box.q3 += 160.0;
+    box.iqr = box.q3 - box.q1;  // grows by 100
+    box.whisker_low += 60.0;
+    box.whisker_high += 200.0;
+  }
+  clone.mean_loss_pct += 5.0;
+  if (clone.mean_jitter_ms.has_value()) *clone.mean_jitter_ms += 10.0;
+  const auto halve = [](std::optional<double>& bw) {
+    if (bw.has_value()) *bw /= 2.0;
+  };
+  halve(clone.mean_bw_down_mtu);
+  halve(clone.mean_bw_up_mtu);
+  halve(clone.mean_bw_down_64);
+  halve(clone.mean_bw_up_64);
+  return clone;
+}
+
+class StrategyAxiomsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new scion::ScionlabEnv(scion::scionlab_topology());
+  }
+  static void TearDownTestSuite() {
+    delete env_;
+    env_ = nullptr;
+  }
+
+  [[nodiscard]] static SelectionContext context() {
+    return SelectionContext{&env_->topology, nullptr, nullptr};
+  }
+
+  static scion::ScionlabEnv* env_;
+};
+
+scion::ScionlabEnv* StrategyAxiomsTest::env_ = nullptr;
+
+TEST_F(StrategyAxiomsTest, StrictlyWorseCloneNeverBecomesTheWinner) {
+  util::Rng rng(0xA1);
+  for (const std::string& key : StrategyRegistry::global().keys()) {
+    auto strategy = StrategyRegistry::global().create(key);
+    ASSERT_TRUE(strategy.ok()) << key;
+    util::Rng stream = rng.fork(key);
+    for (int round = 0; round < 200; ++round) {
+      std::vector<PathSummary> pool;
+      for (int i = 0; i < 6; ++i) {
+        pool.push_back(random_summary(stream, env_->topology, i));
+      }
+      const UserRequest request = random_request(stream);
+      const Selection before =
+          strategy.value()->rank(pool, request, context());
+      if (before.ranked.empty()) continue;
+      const std::string winner = before.ranked.front().summary.path_id;
+
+      pool.push_back(strictly_worse_clone(before.ranked.front().summary));
+      const Selection after = strategy.value()->rank(pool, request, context());
+      ASSERT_FALSE(after.ranked.empty()) << key;
+      EXPECT_EQ(after.ranked.front().summary.path_id, winner)
+          << key << " round " << round << ": a strictly worse clone of the "
+          << "winner displaced it (" << request.describe() << ")";
+    }
+  }
+}
+
+TEST_F(StrategyAxiomsTest, DuplicatingTheWinnerLeavesTheRankingStable) {
+  util::Rng rng(0xB2);
+  for (const std::string& key : StrategyRegistry::global().keys()) {
+    auto strategy = StrategyRegistry::global().create(key);
+    ASSERT_TRUE(strategy.ok()) << key;
+    util::Rng stream = rng.fork(key);
+    for (int round = 0; round < 200; ++round) {
+      std::vector<PathSummary> pool;
+      for (int i = 0; i < 6; ++i) {
+        pool.push_back(random_summary(stream, env_->topology, i));
+      }
+      const UserRequest request = random_request(stream);
+      const Selection before =
+          strategy.value()->rank(pool, request, context());
+      if (before.ranked.empty()) continue;
+
+      PathSummary dup = before.ranked.front().summary;
+      dup.path_id += "-dup";
+      pool.push_back(std::move(dup));
+      const Selection after = strategy.value()->rank(pool, request, context());
+
+      ASSERT_FALSE(after.ranked.empty()) << key;
+      EXPECT_EQ(after.ranked.front().summary.path_id,
+                before.ranked.front().summary.path_id)
+          << key << " round " << round
+          << ": the duplicate overtook the original winner";
+      // The original paths keep their relative order.
+      std::vector<std::string> original_order;
+      for (const RankedPath& path : after.ranked) {
+        const std::string& id = path.summary.path_id;
+        if (id.size() < 4 || id.substr(id.size() - 4) != "-dup") {
+          original_order.push_back(id);
+        }
+      }
+      ASSERT_EQ(original_order.size(), before.ranked.size()) << key;
+      for (std::size_t i = 0; i < original_order.size(); ++i) {
+        EXPECT_EQ(original_order[i], before.ranked[i].summary.path_id)
+            << key << " round " << round << " position " << i;
+      }
+    }
+  }
+}
+
+TEST_F(StrategyAxiomsTest, AdmittedPathsNeverViolateHardConstraints) {
+  util::Rng rng(0xC3);
+  const std::vector<std::string> keys = StrategyRegistry::global().keys();
+  int checked = 0;
+  for (int round = 0; round < 1000; ++round) {
+    util::Rng stream = rng.fork("round:" + std::to_string(round));
+    std::vector<PathSummary> pool;
+    for (int i = 0; i < 5; ++i) {
+      pool.push_back(random_summary(stream, env_->topology, i));
+    }
+    const UserRequest request = random_request(stream);
+    const std::string& key = keys[static_cast<std::size_t>(round) % keys.size()];
+    auto strategy = StrategyRegistry::global().create(key);
+    ASSERT_TRUE(strategy.ok()) << key;
+    const Selection selection =
+        strategy.value()->rank(pool, request, context());
+
+    for (const RankedPath& path : selection.ranked) {
+      ++checked;
+      const PathSummary& s = path.summary;
+      EXPECT_GE(s.samples, request.min_samples) << key;
+      for (const scion::IsdAsn& hop : s.hops) {
+        const scion::AsInfo* info = env_->topology.find_as(hop);
+        if (info != nullptr) {
+          for (const std::string& country : request.exclude_countries) {
+            EXPECT_NE(info->country, country) << key << " " << s.path_id;
+          }
+          for (const std::string& op : request.exclude_operators) {
+            EXPECT_NE(info->operator_name, op) << key << " " << s.path_id;
+          }
+        }
+        EXPECT_EQ(std::count(request.exclude_ases.begin(),
+                             request.exclude_ases.end(), hop),
+                  0)
+            << key << " " << s.path_id;
+      }
+      for (const std::int64_t isd : s.isds) {
+        EXPECT_EQ(std::count(request.exclude_isds.begin(),
+                             request.exclude_isds.end(),
+                             static_cast<std::uint16_t>(isd)),
+                  0)
+            << key << " " << s.path_id;
+        if (!request.allowed_isds.empty()) {
+          EXPECT_NE(std::count(request.allowed_isds.begin(),
+                               request.allowed_isds.end(),
+                               static_cast<std::uint16_t>(isd)),
+                    0)
+              << key << " " << s.path_id;
+        }
+      }
+      if (request.max_latency_ms.has_value()) {
+        ASSERT_TRUE(s.latency_ms.has_value()) << key;
+        EXPECT_LE(s.latency_ms->median, *request.max_latency_ms) << key;
+      }
+      if (request.min_bandwidth_mbps.has_value()) {
+        const std::optional<double> bw = request_bandwidth(s, request);
+        ASSERT_TRUE(bw.has_value()) << key;
+        EXPECT_GE(*bw, *request.min_bandwidth_mbps) << key;
+      }
+      if (request.max_loss_pct.has_value()) {
+        EXPECT_LE(s.mean_loss_pct, *request.max_loss_pct) << key;
+      }
+      if (request.max_jitter_ms.has_value()) {
+        ASSERT_TRUE(s.mean_jitter_ms.has_value()) << key;
+        EXPECT_LE(*s.mean_jitter_ms, *request.max_jitter_ms) << key;
+      }
+    }
+  }
+  // The generator must actually admit paths, or the invariant is vacuous.
+  EXPECT_GT(checked, 500);
+}
+
+}  // namespace
+}  // namespace upin::select

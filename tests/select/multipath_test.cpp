@@ -1,0 +1,176 @@
+// Tests for select/multipath: weight derivation, k clamping, and the
+// shared-bottleneck report, over hand-built selections (no campaign).
+#include "select/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scion/isd_asn.hpp"
+
+namespace upin::select {
+namespace {
+
+scion::IsdAsn ia(std::uint16_t isd, std::uint16_t low) {
+  return scion::IsdAsn{isd, scion::make_asn(0, low)};
+}
+
+RankedPath make_ranked(std::string path_id, double score,
+                       std::vector<scion::IsdAsn> hops) {
+  RankedPath ranked;
+  ranked.summary.path_id = std::move(path_id);
+  ranked.summary.sequence = "seq-" + ranked.summary.path_id;
+  ranked.summary.hops = std::move(hops);
+  ranked.score = score;
+  return ranked;
+}
+
+Selection make_selection(std::vector<RankedPath> ranked) {
+  Selection selection;
+  selection.strategy = "paper-objective";
+  selection.request_description = "server 3, objective lowest-latency";
+  selection.ranked = std::move(ranked);
+  return selection;
+}
+
+TEST(PlanMultipath, RejectsZeroK) {
+  const auto plan = plan_multipath(make_selection({make_ranked("p1", 1.0, {})}), 0);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, util::ErrorCode::kInvalidArgument);
+}
+
+TEST(PlanMultipath, EmptySelectionIsNotFound) {
+  const auto plan = plan_multipath(make_selection({}), 2);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, util::ErrorCode::kNotFound);
+  EXPECT_NE(plan.error().message.find("server 3"), std::string::npos)
+      << "the error should carry the request description";
+}
+
+TEST(PlanMultipath, EqualScoresGiveEqualWeights) {
+  const auto plan = plan_multipath(
+      make_selection({make_ranked("p1", 12.0, {}), make_ranked("p2", 12.0, {}),
+                      make_ranked("p3", 12.0, {})}),
+      3);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().subflows.size(), 3u);
+  double total = 0.0;
+  for (const MultipathSubflow& subflow : plan.value().subflows) {
+    EXPECT_DOUBLE_EQ(subflow.weight, 1.0 / 3.0);
+    total += subflow.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PlanMultipath, BetterScoresGetLargerShares) {
+  // One full score-scale behind the winner halves the share: with
+  // s_min = 10 and s_2 = 20, raw weights are 1 and 1/2.
+  const auto plan = plan_multipath(
+      make_selection({make_ranked("fast", 10.0, {}), make_ranked("slow", 20.0, {})}),
+      2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().subflows.size(), 2u);
+  const MultipathSubflow& fast = plan.value().subflows[0];
+  const MultipathSubflow& slow = plan.value().subflows[1];
+  EXPECT_GT(fast.weight, slow.weight);
+  EXPECT_NEAR(fast.weight, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(slow.weight, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fast.weight + slow.weight, 1.0, 1e-12);
+}
+
+TEST(PlanMultipath, KIsClampedToTheAdmittedCount) {
+  const auto plan = plan_multipath(
+      make_selection({make_ranked("p1", 1.0, {}), make_ranked("p2", 2.0, {})}),
+      8);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().subflows.size(), 2u);
+}
+
+TEST(PlanMultipath, TakesTheKBestInRankedOrder) {
+  const auto plan = plan_multipath(
+      make_selection({make_ranked("a", 1.0, {}), make_ranked("b", 2.0, {}),
+                      make_ranked("c", 3.0, {})}),
+      2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().subflows.size(), 2u);
+  EXPECT_EQ(plan.value().subflows[0].summary.path_id, "a");
+  EXPECT_EQ(plan.value().subflows[1].summary.path_id, "b");
+}
+
+TEST(PlanMultipath, SharedEarlyHopsAreReported) {
+  // Both paths enter through the same attachment point (the interior hop
+  // right after the shared source) and diverge afterwards.
+  const std::vector<scion::IsdAsn> via_ap1_a = {ia(17, 0xf00), ia(17, 0x1107),
+                                                ia(17, 0x1101), ia(16, 0x1002)};
+  const std::vector<scion::IsdAsn> via_ap1_b = {ia(17, 0xf00), ia(17, 0x1107),
+                                                ia(16, 0x1001), ia(16, 0x1002)};
+  const auto plan = plan_multipath(
+      make_selection({make_ranked("p1", 1.0, via_ap1_a),
+                      make_ranked("p2", 2.0, via_ap1_b)}),
+      2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().shared_bottlenecks.size(), 1u);
+  const SharedBottleneckHop& shared = plan.value().shared_bottlenecks.front();
+  EXPECT_EQ(shared.hop, ia(17, 0x1107));
+  EXPECT_EQ(shared.subflows, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PlanMultipath, EndpointsNeverCountAsBottlenecks) {
+  // Identical source and destination, fully disjoint interiors: aggregation
+  // is clean even though both endpoints are "shared".
+  const auto plan = plan_multipath(
+      make_selection({make_ranked("p1", 1.0,
+                                  {ia(17, 0xf00), ia(17, 0x1107), ia(16, 0x1002)}),
+                      make_ranked("p2", 2.0,
+                                  {ia(17, 0xf00), ia(17, 0x1108), ia(16, 0x1002)})}),
+      2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().shared_bottlenecks.empty());
+}
+
+TEST(PlanMultipath, EarlyHopWindowBoundsTheScan) {
+  // The shared hop sits third in the interior — outside the default
+  // window of 2, inside a window of 3.
+  const std::vector<scion::IsdAsn> long_a = {ia(17, 0xf00), ia(17, 0x1107),
+                                             ia(17, 0x1101), ia(19, 0x1301),
+                                             ia(16, 0x1002)};
+  const std::vector<scion::IsdAsn> long_b = {ia(17, 0xf00), ia(17, 0x1108),
+                                             ia(17, 0x1102), ia(19, 0x1301),
+                                             ia(16, 0x1002)};
+  const Selection selection = make_selection(
+      {make_ranked("p1", 1.0, long_a), make_ranked("p2", 2.0, long_b)});
+  const auto narrow = plan_multipath(selection, 2, 2);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_TRUE(narrow.value().shared_bottlenecks.empty());
+  const auto wide = plan_multipath(selection, 2, 3);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_EQ(wide.value().shared_bottlenecks.size(), 1u);
+  EXPECT_EQ(wide.value().shared_bottlenecks.front().hop, ia(19, 0x1301));
+}
+
+TEST(PlanMultipath, ToJsonRendersTheFullPlan) {
+  const auto plan = plan_multipath(
+      make_selection({make_ranked("p1", 1.0,
+                                  {ia(17, 0xf00), ia(17, 0x1107), ia(16, 0x1002)}),
+                      make_ranked("p2", 2.0,
+                                  {ia(17, 0xf00), ia(17, 0x1107), ia(16, 0x1002)})}),
+      2);
+  ASSERT_TRUE(plan.ok());
+  const util::Value json = plan.value().to_json();
+  EXPECT_EQ(json.get("strategy")->as_string(), "paper-objective");
+  const auto& subflows = json.get("subflows")->as_array();
+  ASSERT_EQ(subflows.size(), 2u);
+  EXPECT_EQ(subflows[0].get("path_id")->as_string(), "p1");
+  EXPECT_EQ(subflows[0].get("sequence")->as_string(), "seq-p1");
+  EXPECT_DOUBLE_EQ(subflows[0].get("score")->as_double(), 1.0);
+  EXPECT_GT(subflows[0].get("weight")->as_double(),
+            subflows[1].get("weight")->as_double());
+  const auto& bottlenecks = json.get("shared_bottlenecks")->as_array();
+  ASSERT_EQ(bottlenecks.size(), 1u);
+  EXPECT_EQ(bottlenecks[0].get("hop")->as_string(),
+            ia(17, 0x1107).to_string());
+  ASSERT_EQ(bottlenecks[0].get("subflows")->as_array().size(), 2u);
+  EXPECT_EQ(bottlenecks[0].get("subflows")->as_array()[0].as_int(), 0);
+  EXPECT_EQ(bottlenecks[0].get("subflows")->as_array()[1].as_int(), 1);
+}
+
+}  // namespace
+}  // namespace upin::select

@@ -335,5 +335,76 @@ TEST(PingStats, EmptyIsWellDefined) {
   EXPECT_FALSE(stats.avg_ms().has_value());
 }
 
+TEST(Multibwtest, EmptyFlowListIsInvalid) {
+  LineFixture fix;
+  const auto outcome = fix.net.multibwtest({}, SimTime::zero());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Multibwtest, LoneFlowReproducesBwtestBitIdentically) {
+  LineFixture fix;
+  BwtestOptions options;
+  options.packet_bytes = 1000.0;
+  options.target_mbps = 12.0;
+  const auto solo = fix.net.bwtest(fix.route(), options, SimTime::zero());
+  ASSERT_TRUE(solo.ok());
+  const auto multi =
+      fix.net.multibwtest({FlowSpec{fix.route(), options}}, SimTime::zero());
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi.value().flows.size(), 1u);
+  ASSERT_TRUE(multi.value().flows[0].ok);
+  const BwtestResult& a = solo.value();
+  const BwtestResult& b = multi.value().flows[0].result;
+  EXPECT_EQ(a.attempted_mbps, b.attempted_mbps);
+  EXPECT_EQ(a.achieved_mbps, b.achieved_mbps);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_TRUE(multi.value().shared_bottlenecks.empty());
+}
+
+TEST(Multibwtest, ConcurrentFlowsContendOnSharedLinks) {
+  // A 30 Mbps line cannot carry two 20 Mbps flows: together they achieve
+  // less than twice what either achieves alone.
+  LineFixture fix(30.0, 30.0, 0.1);
+  BwtestOptions options;
+  options.packet_bytes = 1000.0;
+  options.target_mbps = 20.0;
+  const auto solo = fix.net.bwtest(fix.route(), options, SimTime::zero());
+  ASSERT_TRUE(solo.ok());
+  const auto multi = fix.net.multibwtest(
+      {FlowSpec{fix.route(), options}, FlowSpec{fix.route(), options}},
+      SimTime::zero());
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi.value().flows.size(), 2u);
+  double combined = 0.0;
+  for (const MultibwtestOutcome::Flow& flow : multi.value().flows) {
+    ASSERT_TRUE(flow.ok);
+    EXPECT_LT(flow.result.achieved_mbps, solo.value().achieved_mbps);
+    combined += flow.result.achieved_mbps;
+  }
+  EXPECT_LT(combined, 2.0 * solo.value().achieved_mbps);
+  EXPECT_LE(combined, 30.0);
+}
+
+TEST(Multibwtest, ReportsSharedBottleneckLinks) {
+  LineFixture fix(30.0, 30.0, 0.1);
+  BwtestOptions options;
+  options.packet_bytes = 1000.0;
+  options.target_mbps = 20.0;
+  // Both flows cross A->B; only one continues to C.
+  const auto multi = fix.net.multibwtest(
+      {FlowSpec{{fix.a, fix.b}, options}, FlowSpec{fix.route(), options}},
+      SimTime::zero());
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi.value().shared_bottlenecks.size(), 1u);
+  const SharedBottleneck& shared = multi.value().shared_bottlenecks.front();
+  EXPECT_EQ(shared.from, fix.a);
+  EXPECT_EQ(shared.to, fix.b);
+  EXPECT_EQ(shared.flows, (std::vector<std::size_t>{0, 1}));
+  EXPECT_GT(shared.offered_wire_mbps, 0.0);
+  EXPECT_GT(shared.available_mbps, 0.0);
+}
+
 }  // namespace
 }  // namespace upin::simnet

@@ -156,6 +156,60 @@ TEST_F(UpinFwTest, ControllerRejectsUnsatisfiableIntent) {
   EXPECT_FALSE(controller.active(3).has_value());
 }
 
+TEST_F(UpinFwTest, ControllerHonorsAlternateStrategy) {
+  // Under geo-constrained, the winner is the geographically shortest
+  // admitted path — by construction the same ranking select_with returns.
+  PathController controller(*host_, *selector_,
+                            std::string(select::kGeoConstrained));
+  select::UserRequest request;
+  request.server_id = 3;
+  const auto applied = controller.apply(request);
+  ASSERT_TRUE(applied.ok());
+  const auto expected = selector_->select_with(select::kGeoConstrained, request);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_FALSE(expected.value().ranked.empty());
+  EXPECT_EQ(applied.value().chosen.summary.path_id,
+            expected.value().ranked.front().summary.path_id);
+}
+
+TEST_F(UpinFwTest, ControllerUnknownStrategyFailsOnApply) {
+  PathController controller(*host_, *selector_, "no-such-strategy");
+  select::UserRequest request;
+  request.server_id = 3;
+  const auto applied = controller.apply(request);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.error().code, util::ErrorCode::kNotFound);
+  EXPECT_FALSE(controller.active(3).has_value());
+}
+
+TEST_F(UpinFwTest, ControllerPinsAndPingsMultipathPlans) {
+  PathController controller(*host_, *selector_);
+  select::UserRequest request;
+  request.server_id = 3;
+  const auto applied = controller.apply_multipath(request, 2);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().k, 2u);
+  EXPECT_EQ(applied.value().plan.subflows.size(), 2u);
+  const auto active = controller.active_multipath(3);
+  ASSERT_TRUE(active.has_value());
+  EXPECT_EQ(active->plan.subflows[0].summary.path_id,
+            applied.value().plan.subflows[0].summary.path_id);
+
+  apps::MultipathPingOptions options;
+  options.count = 10;
+  const auto report = controller.multipath_ping(3, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().subflows.size(), 2u);
+  EXPECT_GT(report.value().aggregate.sent(), 0u);
+}
+
+TEST_F(UpinFwTest, ControllerMultipathPingNeedsAPinnedPlan) {
+  PathController controller(*host_, *selector_);
+  const auto report = controller.multipath_ping(3);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, util::ErrorCode::kNotFound);
+}
+
 TEST_F(UpinFwTest, ControllerReresolveReportsStability) {
   PathController controller(*host_, *selector_);
   select::UserRequest request;
