@@ -20,47 +20,35 @@ using util::Result;
 using util::Status;
 using util::Value;
 
-namespace {
-
-/// Campaign-engine metrics.  Everything here advances with virtual-time
-/// logic only, so fixed-seed runs reproduce the values exactly.
-struct SuiteMetrics {
-  obs::Counter& pings;
-  obs::Counter& ping_failures;
-  obs::Counter& bwtests;
-  obs::Counter& bwtest_failures;
-  obs::Counter& path_tests;
-  obs::Counter& breaker_skips;
-  obs::Counter& stats_inserted;
-  obs::Counter& batches_inserted;
-  obs::Counter& batches_rejected;
-  obs::Counter& checkpoints;
-  obs::Counter& units_skipped;
-
-  static SuiteMetrics& get() {
-    obs::Registry& registry = obs::Registry::global();
-    static SuiteMetrics metrics{
-        registry.counter("upin_measure_pings_total"),
-        registry.counter("upin_measure_ping_failures_total"),
-        registry.counter("upin_measure_bwtests_total"),
-        registry.counter("upin_measure_bwtest_failures_total"),
-        registry.counter("upin_measure_path_tests_total"),
-        registry.counter("upin_measure_breaker_skips_total"),
-        registry.counter("upin_measure_stats_inserted_total"),
-        registry.counter("upin_measure_batches_inserted_total"),
-        registry.counter("upin_measure_batches_rejected_total"),
-        registry.counter("upin_measure_checkpoints_total"),
-        registry.counter("upin_measure_units_skipped_total"),
-    };
-    return metrics;
-  }
-};
-
-}  // namespace
-
 TestSuite::TestSuite(apps::ScionHost& host, docdb::Database& db,
                      TestSuiteConfig config)
-    : host_(host), db_(db), config_(std::move(config)) {}
+    : host_(host), db_(db), config_(std::move(config)) {
+  // Resolve the counter handles once (registration mutex), so every
+  // update below is a lock-free sharded add.  All of these advance with
+  // virtual-time logic only — fixed-seed runs reproduce the values
+  // exactly, which is what makes per-campaign registries comparable
+  // between a solo run and an in-fleet run.
+  obs::Registry& reg = registry();
+  metrics_.pings = &reg.counter("upin_measure_pings_total");
+  metrics_.ping_failures = &reg.counter("upin_measure_ping_failures_total");
+  metrics_.bwtests = &reg.counter("upin_measure_bwtests_total");
+  metrics_.bwtest_failures = &reg.counter("upin_measure_bwtest_failures_total");
+  metrics_.path_tests = &reg.counter("upin_measure_path_tests_total");
+  metrics_.breaker_skips = &reg.counter("upin_measure_breaker_skips_total");
+  metrics_.stats_inserted = &reg.counter("upin_measure_stats_inserted_total");
+  metrics_.batches_inserted =
+      &reg.counter("upin_measure_batches_inserted_total");
+  metrics_.batches_rejected =
+      &reg.counter("upin_measure_batches_rejected_total");
+  metrics_.checkpoints = &reg.counter("upin_measure_checkpoints_total");
+  metrics_.units_skipped = &reg.counter("upin_measure_units_skipped_total");
+  metrics_.probes_shed = &reg.counter("upin_measure_probes_shed_total");
+}
+
+obs::Registry& TestSuite::registry() const {
+  return config_.registry != nullptr ? *config_.registry
+                                     : obs::Registry::global();
+}
 
 void TestSuite::enable_signed_writes(scion::TrustStore& trust) {
   trust_ = &trust;
@@ -172,13 +160,13 @@ Status TestSuite::store_batch(std::vector<Document> docs) {
         db_.collection(kPathsStats).insert_many(std::move(docs));
     if (!inserted.ok()) {
       ++progress_.batches_rejected;
-      SuiteMetrics::get().batches_rejected.add();
+      metrics_.batches_rejected->add();
       return Status(inserted.error());
     }
     progress_.stats_inserted += batch_size;
     ++progress_.batches_inserted;
-    SuiteMetrics::get().stats_inserted.add(batch_size);
-    SuiteMetrics::get().batches_inserted.add();
+    metrics_.stats_inserted->add(batch_size);
+    metrics_.batches_inserted->add();
     return Status::success();
   }
 
@@ -191,7 +179,7 @@ Status TestSuite::store_batch(std::vector<Document> docs) {
       host_.address().local.ia, key.public_key);
   if (!cert.ok()) {
     ++progress_.batches_rejected;
-    SuiteMetrics::get().batches_rejected.add();
+    metrics_.batches_rejected->add();
     return Status(cert.error());
   }
   std::string payload;
@@ -209,13 +197,13 @@ Status TestSuite::store_batch(std::vector<Document> docs) {
       scion::TrustStore::encode_credential(credential));
   if (!inserted.ok()) {
     ++progress_.batches_rejected;
-    SuiteMetrics::get().batches_rejected.add();
+    metrics_.batches_rejected->add();
     return Status(inserted.error());
   }
   progress_.stats_inserted += batch_size;
   ++progress_.batches_inserted;
-  SuiteMetrics::get().stats_inserted.add(batch_size);
-  SuiteMetrics::get().batches_inserted.add();
+  metrics_.stats_inserted->add(batch_size);
+  metrics_.batches_inserted->add();
   return Status::success();
 }
 
@@ -265,15 +253,15 @@ void TestSuite::record_metrics_snapshot(const std::string& id,
   docdb::Collection& metrics = db_.collection(kCampaignMetrics);
   metrics.delete_by_id(id);
   Result<std::string> inserted = metrics.insert_one(metrics_document(
-      id, stage, host_.clock().now(), obs::Registry::global().snapshot()));
+      id, stage, host_.clock().now(), registry().snapshot()));
   if (!inserted.ok()) {
     util::Log::warn("campaign_metrics snapshot failed: " +
                     inserted.error().message);
   }
 }
 
-Status TestSuite::run_unit(const Destination& destination, int iteration) {
-  SuiteMetrics& metrics = SuiteMetrics::get();
+Status TestSuite::run_unit(const Destination& destination, int iteration,
+                           bool shed_bandwidth) {
   const obs::ScopedSpan unit_span(
       config_.tracer, host_.clock(),
       util::format("unit s%d i%d", destination.server_id, iteration));
@@ -303,16 +291,18 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     }
 
     // An open breaker means this destination has been failing hard:
-    // stop hammering it and accept partial results for the unit.
-    if (!breaker.allow(host_.clock().now())) {
+    // stop hammering it and accept partial results for the unit.  A
+    // shed (degraded-tenant) unit is exempt: its cheap ping doubles as
+    // the breaker's half-open probe — without it, a breaker that opened
+    // in zero-cost skip units would never see the cooldown elapse and
+    // the tenant could never demonstrate recovery.
+    if (!shed_bandwidth && !breaker.allow(host_.clock().now())) {
       ++progress_.breaker_skips;
-      metrics.breaker_skips.add();
+      metrics_.breaker_skips->add();
       continue;
     }
     const obs::ScopedSpan path_span(config_.tracer, host_.clock(),
                                     "path " + record.value().id);
-    bool operation_failed = false;
-    bool data_plane_failed = false;
 
     StatsSample sample;
     sample.path_id = record.value().id;
@@ -326,7 +316,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     ping_options.count = config_.ping_count;
     ping_options.interval_s = config_.ping_interval_s;
     ping_options.sequence = record.value().sequence;
-    metrics.pings.add();
+    metrics_.pings->add();
     Result<apps::PingReport> ping = [&] {
       const obs::ScopedSpan probe_span(config_.tracer, host_.clock(), "ping");
       return run_with_retry<apps::PingReport>(
@@ -336,7 +326,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     }();
     if (!ping.ok()) {
       ++progress_.ping_failures;
-      metrics.ping_failures.add();
+      metrics_.ping_failures->add();
       note_failure(destination.server_id, ping.error());
       // Control-plane deaths (revoked/expired) are authoritative facts
       // about the path, not evidence the destination is failing: they
@@ -353,65 +343,76 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
     sample.loss_pct = ping.value().stats.loss_pct();
     sample.jitter_ms = ping.value().stats.stddev_ms();
 
-    // --- bandwidth: scion-bwtestclient -cs d,{64|MTU},?,target ----
-    const auto bw_spec = [&](std::string_view size) {
-      return util::format("%g,%.*s,?,%gMbps", config_.bw_duration_s,
-                          static_cast<int>(size.size()), size.data(),
-                          config_.bw_target_mbps);
-    };
-    const auto run_bwtest = [&](const std::string& spec,
-                                std::string_view label)
-        -> Result<apps::BwtestReport> {
-      apps::BwtestOptions options;
-      options.cs_spec = spec;
-      options.sequence = record.value().sequence;
-      metrics.bwtests.add();
-      const obs::ScopedSpan probe_span(config_.tracer, host_.clock(),
-                                       std::string(label));
-      return run_with_retry<apps::BwtestReport>(
-          config_.retry, host_.clock(),
-          std::string(label) + ":" + sample.path_id, progress_.retry,
-          [&] { return host_.bwtestclient(destination.address, options); });
-    };
-    Result<apps::BwtestReport> small = run_bwtest(
-        bw_spec(util::format("%g", config_.small_packet_bytes)), "bw64");
-    Result<apps::BwtestReport> mtu = run_bwtest(bw_spec("MTU"), "bwmtu");
-
-    if (small.ok()) {
-      sample.bw_up_64 = small.value().client_to_server.achieved_mbps;
-      sample.bw_down_64 = small.value().server_to_client.achieved_mbps;
-    } else {
-      ++progress_.bwtest_failures;
-      metrics.bwtest_failures.add();
-      note_failure(destination.server_id, small.error());
-      operation_failed = true;
-      data_plane_failed |= small.error().code != ErrorCode::kRevoked &&
-                           small.error().code != ErrorCode::kExpired;
-    }
-    if (mtu.ok()) {
-      sample.bw_up_mtu = mtu.value().client_to_server.achieved_mbps;
-      sample.bw_down_mtu = mtu.value().server_to_client.achieved_mbps;
-    } else {
-      ++progress_.bwtest_failures;
-      metrics.bwtest_failures.add();
-      note_failure(destination.server_id, mtu.error());
-      operation_failed = true;
-      data_plane_failed |= mtu.error().code != ErrorCode::kRevoked &&
-                           mtu.error().code != ErrorCode::kExpired;
-    }
-
-    if (operation_failed) {
-      // Same rule as the ping leg: only data-plane faults count against
-      // the breaker — a revoked path says nothing about server health.
-      if (data_plane_failed) breaker.record_failure(host_.clock().now());
-    } else {
+    if (shed_bandwidth) {
+      // Degraded-tenant mode: the cheap latency/loss probes keep flowing,
+      // the two expensive bandwidth probes are shed.  The ping succeeded,
+      // so the breaker records a healthy destination.
+      progress_.probes_shed += 2;
+      metrics_.probes_shed->add(2);
       breaker.record_success();
+    } else {
+      // --- bandwidth: scion-bwtestclient -cs d,{64|MTU},?,target ----
+      bool operation_failed = false;
+      bool data_plane_failed = false;
+      const auto bw_spec = [&](std::string_view size) {
+        return util::format("%g,%.*s,?,%gMbps", config_.bw_duration_s,
+                            static_cast<int>(size.size()), size.data(),
+                            config_.bw_target_mbps);
+      };
+      const auto run_bwtest = [&](const std::string& spec,
+                                  std::string_view label)
+          -> Result<apps::BwtestReport> {
+        apps::BwtestOptions options;
+        options.cs_spec = spec;
+        options.sequence = record.value().sequence;
+        metrics_.bwtests->add();
+        const obs::ScopedSpan probe_span(config_.tracer, host_.clock(),
+                                         std::string(label));
+        return run_with_retry<apps::BwtestReport>(
+            config_.retry, host_.clock(),
+            std::string(label) + ":" + sample.path_id, progress_.retry,
+            [&] { return host_.bwtestclient(destination.address, options); });
+      };
+      Result<apps::BwtestReport> small = run_bwtest(
+          bw_spec(util::format("%g", config_.small_packet_bytes)), "bw64");
+      Result<apps::BwtestReport> mtu = run_bwtest(bw_spec("MTU"), "bwmtu");
+
+      if (small.ok()) {
+        sample.bw_up_64 = small.value().client_to_server.achieved_mbps;
+        sample.bw_down_64 = small.value().server_to_client.achieved_mbps;
+      } else {
+        ++progress_.bwtest_failures;
+        metrics_.bwtest_failures->add();
+        note_failure(destination.server_id, small.error());
+        operation_failed = true;
+        data_plane_failed |= small.error().code != ErrorCode::kRevoked &&
+                             small.error().code != ErrorCode::kExpired;
+      }
+      if (mtu.ok()) {
+        sample.bw_up_mtu = mtu.value().client_to_server.achieved_mbps;
+        sample.bw_down_mtu = mtu.value().server_to_client.achieved_mbps;
+      } else {
+        ++progress_.bwtest_failures;
+        metrics_.bwtest_failures->add();
+        note_failure(destination.server_id, mtu.error());
+        operation_failed = true;
+        data_plane_failed |= mtu.error().code != ErrorCode::kRevoked &&
+                             mtu.error().code != ErrorCode::kExpired;
+      }
+
+      if (operation_failed) {
+        // Same rule as the ping leg: only data-plane faults count against
+        // the breaker — a revoked path says nothing about server health.
+        if (data_plane_failed) breaker.record_failure(host_.clock().now());
+      } else {
+        breaker.record_success();
+      }
     }
 
     sample.timestamp = host_.clock().now();
     batch.push_back(stats_document(sample));
     ++progress_.path_tests_run;
-    metrics.path_tests.add();
+    metrics_.path_tests->add();
 
     host_.clock().advance(util::sim_seconds(config_.inter_test_gap_s));
   }
@@ -445,7 +446,7 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
         checkpoints.insert_one(checkpoint_document(checkpoint));
     if (inserted.ok()) {
       ++progress_.checkpoints_recorded;
-      metrics.checkpoints.add();
+      metrics_.checkpoints->add();
     } else {
       util::Log::warn("checkpoint insert failed: " +
                       inserted.error().message);
@@ -466,109 +467,153 @@ Status TestSuite::run_unit(const Destination& destination, int iteration) {
   return Status::success();
 }
 
-Status TestSuite::run_tests() {
-  const std::vector<Destination> destinations = selected_destinations();
-  obs::ProgressReporter reporter(
-      util::sim_seconds(config_.progress_report_interval_s));
-  std::size_t units_done = 0;
-  const std::size_t units_total =
-      destinations.size() * static_cast<std::size_t>(
-                                std::max(config_.iterations, 0));
+Status TestSuite::prepare_plan() {
+  if (plan_ready_) return Status::success();
+  plan_destinations_ = selected_destinations();
+  plan_remaining_.assign(plan_destinations_.size(), config_.iterations);
+  plan_use_checkpoints_.assign(plan_destinations_.size(), false);
+  plan_cursor_ = 0;
 
   // Resume planning.  Destinations with checkpoint history skip exactly
   // the recorded (destination, iteration) units, restoring the clock and
   // breaker state each unit left behind; databases from before the
   // checkpoint ledger fall back to the count-based top-up.
-  std::vector<int> remaining(destinations.size(), config_.iterations);
-  std::vector<bool> use_checkpoints(destinations.size(), false);
   if (config_.resume) {
     const docdb::Collection* checkpoints =
         db_.find_collection(kCampaignCheckpoints);
-    for (std::size_t i = 0; i < destinations.size(); ++i) {
+    for (std::size_t i = 0; i < plan_destinations_.size(); ++i) {
       if (checkpoints != nullptr) {
         util::JsonObject query;
-        query.set("server_id", Value(destinations[i].server_id));
+        query.set("server_id", Value(plan_destinations_[i].server_id));
         Result<Filter> by_server = Filter::compile(Value(std::move(query)));
         if (by_server.ok() && checkpoints->count(by_server.value()) > 0) {
-          use_checkpoints[i] = true;
+          plan_use_checkpoints_[i] = true;
           continue;
         }
       }
-      const auto done = completed_iterations(destinations[i].server_id);
-      remaining[i] = std::max(
-          0, config_.iterations - static_cast<int>(
-                                      std::min<std::size_t>(done, INT_MAX)));
+      const auto done = completed_iterations(plan_destinations_[i].server_id);
+      plan_remaining_[i] = std::max(
+          0, config_.iterations -
+                 static_cast<int>(std::min<std::size_t>(done, INT_MAX)));
     }
   }
+  plan_ready_ = true;
+  return Status::success();
+}
 
-  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
-    for (std::size_t destination_index = 0;
-         destination_index < destinations.size(); ++destination_index) {
-      const Destination& destination = destinations[destination_index];
-      if (config_.resume) {
-        if (use_checkpoints[destination_index]) {
-          const Result<Document> doc =
-              db_.collection(kCampaignCheckpoints)
-                  .find_by_id(
-                      checkpoint_doc_id(destination.server_id, iteration));
-          if (doc.ok()) {
-            const Result<CampaignCheckpoint> checkpoint =
-                parse_checkpoint_document(doc.value());
-            if (checkpoint.ok()) {
-              // Fast-forward through the finished unit: same clock
-              // reading, same breaker state, zero re-measurement.
-              host_.clock().advance_to(checkpoint.value().clock_end);
-              breaker_for(destination.server_id)
-                  .restore(checkpoint.value().breaker_failures,
-                           checkpoint.value().breaker_open,
-                           checkpoint.value().breaker_opened_at);
-              if (!checkpoint.value().path_cache.is_null()) {
-                const Status restored = host_.control_plane().restore(
-                    checkpoint.value().path_cache,
-                    checkpoint.value().clock_end);
-                if (!restored.ok()) {
-                  util::Log::warn("path-cache restore failed: " +
-                                  restored.error().message);
-                }
+std::size_t TestSuite::planned_units() const {
+  return plan_destinations_.size() *
+         static_cast<std::size_t>(std::max(config_.iterations, 0));
+}
+
+Result<TestSuite::StepOutcome> TestSuite::step(bool shed_bandwidth) {
+  if (!plan_ready_) {
+    const Status planned = prepare_plan();
+    if (!planned.ok()) return planned.error();
+  }
+  const std::size_t dest_count = plan_destinations_.size();
+  const std::size_t total = planned_units();
+  // The cursor walks the unit grid iteration-major — the paper's loop
+  // order (every destination once per iteration).  Count-skipped resume
+  // units consume cursor positions without surfacing as steps.
+  while (plan_cursor_ < total) {
+    const std::size_t cursor = plan_cursor_++;
+    const int iteration = static_cast<int>(cursor / dest_count);
+    const std::size_t destination_index = cursor % dest_count;
+    const Destination& destination = plan_destinations_[destination_index];
+    if (config_.resume) {
+      if (plan_use_checkpoints_[destination_index]) {
+        const Result<Document> doc =
+            db_.collection(kCampaignCheckpoints)
+                .find_by_id(
+                    checkpoint_doc_id(destination.server_id, iteration));
+        if (doc.ok()) {
+          const Result<CampaignCheckpoint> checkpoint =
+              parse_checkpoint_document(doc.value());
+          if (checkpoint.ok()) {
+            // Fast-forward through the finished unit: same clock
+            // reading, same breaker state, zero re-measurement.
+            host_.clock().advance_to(checkpoint.value().clock_end);
+            breaker_for(destination.server_id)
+                .restore(checkpoint.value().breaker_failures,
+                         checkpoint.value().breaker_open,
+                         checkpoint.value().breaker_opened_at);
+            if (!checkpoint.value().path_cache.is_null()) {
+              const Status restored = host_.control_plane().restore(
+                  checkpoint.value().path_cache,
+                  checkpoint.value().clock_end);
+              if (!restored.ok()) {
+                util::Log::warn("path-cache restore failed: " +
+                                restored.error().message);
               }
-              ++progress_.units_skipped;
-              SuiteMetrics::get().units_skipped.add();
-              continue;
             }
+            ++progress_.units_skipped;
+            metrics_.units_skipped->add();
+            return StepOutcome::kSkippedResume;
           }
-        } else if (iteration >= remaining[destination_index]) {
-          continue;
         }
+        // Missing or corrupt checkpoint: fall through and re-measure.
+      } else if (iteration >= plan_remaining_[destination_index]) {
+        continue;  // count-based top-up: this unit is already stored
       }
-      const Status unit = run_unit(destination, iteration);
-      if (!unit.ok()) return unit;
-      ++units_done;
-      reporter.tick(host_.clock().now(), [&] {
-        return util::format(
-            "campaign progress units=%zu/%zu path_tests=%zu failures=%zu "
-            "retries=%zu breaker_skips=%zu clock_s=%.0f",
-            units_done, units_total, progress_.path_tests_run,
-            progress_.errors.total(), progress_.retry.retries,
-            progress_.breaker_skips,
-            util::to_seconds(host_.clock().now()));
-      });
     }
+    const Status unit = run_unit(destination, iteration, shed_bandwidth);
+    if (!unit.ok()) return unit.error();
+    return StepOutcome::kRan;
+  }
+  return StepOutcome::kDone;
+}
+
+Status TestSuite::run_tests() {
+  const Status planned = prepare_plan();
+  if (!planned.ok()) return planned;
+  obs::ProgressReporter reporter(
+      util::sim_seconds(config_.progress_report_interval_s));
+  std::size_t units_done = 0;
+  const std::size_t units_total = planned_units();
+
+  while (true) {
+    const Result<StepOutcome> outcome = step();
+    if (!outcome.ok()) return Status(outcome.error());
+    if (outcome.value() == StepOutcome::kDone) break;
+    if (outcome.value() != StepOutcome::kRan) continue;
+    ++units_done;
+    reporter.tick(host_.clock().now(), [&] {
+      return util::format(
+          "campaign progress units=%zu/%zu path_tests=%zu failures=%zu "
+          "retries=%zu breaker_skips=%zu clock_s=%.0f",
+          units_done, units_total, progress_.path_tests_run,
+          progress_.errors.total(), progress_.retry.retries,
+          progress_.breaker_skips,
+          util::to_seconds(host_.clock().now()));
+    });
   }
   return Status::success();
 }
 
-Status TestSuite::run() {
+Status TestSuite::begin() {
   Status init = initialize();
   if (!init.ok()) return init;
   if (!config_.skip_collection) {
     const Status collected = collect_paths();
     if (!collected.ok()) return collected;
   }
-  const Status tested = run_tests();
-  if (tested.ok() && config_.metrics_snapshots) {
+  return prepare_plan();
+}
+
+Status TestSuite::finish() {
+  if (config_.metrics_snapshots) {
     record_metrics_snapshot("final", "final");
   }
-  return tested;
+  return Status::success();
+}
+
+Status TestSuite::run() {
+  const Status begun = begin();
+  if (!begun.ok()) return begun;
+  const Status tested = run_tests();
+  if (!tested.ok()) return tested;
+  return finish();
 }
 
 }  // namespace upin::measure

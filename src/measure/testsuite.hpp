@@ -34,6 +34,8 @@
 #include "scion/trust.hpp"
 
 namespace upin::obs {
+class Counter;
+class Registry;
 class SpanTracer;
 }  // namespace upin::obs
 
@@ -83,6 +85,13 @@ struct TestSuiteConfig {
   /// campaign -> unit -> path -> probe timeline into it; when null (the
   /// default) the instrumentation is free.
   obs::SpanTracer* tracer = nullptr;
+  /// Metrics sink.  Null (the default) instruments the process-wide
+  /// registry.  The fleet scheduler gives every tenant campaign its own
+  /// registry so (a) per-tenant rates are separable and (b) the
+  /// `campaign_metrics` snapshots a campaign journals are a pure function
+  /// of that campaign alone — the property behind the isolation gate's
+  /// "in-fleet journal bytes == solo journal bytes".
+  obs::Registry* registry = nullptr;
   /// Refresh the `campaign_metrics` "latest" snapshot at every checkpoint
   /// (the "final" snapshot at campaign end is always written).
   bool metrics_snapshots = true;
@@ -110,6 +119,9 @@ struct TestSuiteProgress {
   std::size_t breaker_skips = 0;  ///< path tests skipped while open
   std::size_t units_skipped = 0;  ///< checkpointed units skipped on resume
   std::size_t checkpoints_recorded = 0;
+  /// Bandwidth probes skipped by fleet load shedding (degraded tenants
+  /// run ping-only units; two bw probes shed per path test).
+  std::size_t probes_shed = 0;
 };
 
 /// The campaign engine.  Owns neither the host nor the database.
@@ -131,6 +143,38 @@ class TestSuite {
   /// Phases 1+2 honoring skip_collection, i.e. `./test_suite.sh N [--skip]`.
   util::Status run();
 
+  // ---- unit-stepped execution (fleet scheduling) ---------------------
+  //
+  // A multi-tenant scheduler cannot hand a whole campaign to run(): it
+  // interleaves *units* of N campaigns for fairness.  The stepping API
+  // exposes the identical execution path at (destination, iteration)
+  // granularity — run_tests() itself is implemented as a step() loop, so
+  // a stepped campaign journals byte-identical output to a solo run().
+
+  /// What one step() call did.
+  enum class StepOutcome {
+    kRan,           ///< executed the next unit (measure + store + checkpoint)
+    kSkippedResume, ///< fast-forwarded a checkpointed unit (resume)
+    kDone,          ///< the plan is exhausted; nothing happened
+  };
+
+  /// Prepare stepping: initialize(), collect_paths() (unless skipped) and
+  /// resume planning.  Equivalent to the preamble of run().
+  [[nodiscard]] util::Status begin();
+
+  /// Units in the plan: destinations x iterations (including units that
+  /// resume will fast-forward).  Valid after begin().
+  [[nodiscard]] std::size_t planned_units() const;
+
+  /// Execute (or fast-forward) the next planned unit.  With
+  /// `shed_bandwidth` the unit runs ping-only — the fleet's degraded mode
+  /// for tenants burning their error budget: the cheap latency/loss
+  /// probes keep flowing, the expensive bandwidth probes are shed.
+  [[nodiscard]] util::Result<StepOutcome> step(bool shed_bandwidth = false);
+
+  /// Record the "final" metrics snapshot — the epilogue of run().
+  [[nodiscard]] util::Status finish();
+
   /// Sign each batch with a fresh one-time key certified by `trust`, and
   /// write through the database's guarded interface.
   void enable_signed_writes(scion::TrustStore& trust);
@@ -148,13 +192,36 @@ class TestSuite {
     int server_id = 0;
     scion::SnetAddress address;
   };
+  /// Cached counter handles into the configured registry, resolved once
+  /// per suite so the hot path is a lock-free add (the registry's
+  /// get-or-create mutex is paid only at construction).
+  struct Metrics {
+    obs::Counter* pings = nullptr;
+    obs::Counter* ping_failures = nullptr;
+    obs::Counter* bwtests = nullptr;
+    obs::Counter* bwtest_failures = nullptr;
+    obs::Counter* path_tests = nullptr;
+    obs::Counter* breaker_skips = nullptr;
+    obs::Counter* stats_inserted = nullptr;
+    obs::Counter* batches_inserted = nullptr;
+    obs::Counter* batches_rejected = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* units_skipped = nullptr;
+    obs::Counter* probes_shed = nullptr;
+  };
+  [[nodiscard]] obs::Registry& registry() const;
   [[nodiscard]] std::vector<Destination> selected_destinations() const;
   [[nodiscard]] util::Status store_batch(std::vector<docdb::Document> docs);
 
+  /// Hoist run_tests()' resume planning: destination list, per-destination
+  /// remaining-iteration counts, checkpoint availability.  Idempotent.
+  [[nodiscard]] util::Status prepare_plan();
+
   /// Run every path test of one (destination, iteration) unit, applying
   /// retry / breaker policy, and commit the batch plus its checkpoint.
+  /// `shed_bandwidth` skips the two bwtest probes (fleet degraded mode).
   [[nodiscard]] util::Status run_unit(const Destination& destination,
-                                      int iteration);
+                                      int iteration, bool shed_bandwidth);
   /// Store a registry snapshot under `id` in campaign_metrics.
   void record_metrics_snapshot(const std::string& id,
                                const std::string& stage);
@@ -166,9 +233,17 @@ class TestSuite {
   docdb::Database& db_;
   TestSuiteConfig config_;
   TestSuiteProgress progress_;
+  Metrics metrics_;
   scion::TrustStore* trust_ = nullptr;
   std::uint64_t batch_counter_ = 0;
   std::map<int, CircuitBreaker> breakers_;
+
+  // Stepping plan (prepare_plan / step state).
+  bool plan_ready_ = false;
+  std::vector<Destination> plan_destinations_;
+  std::vector<int> plan_remaining_;  // per destination (resume top-up count)
+  std::vector<bool> plan_use_checkpoints_;
+  std::size_t plan_cursor_ = 0;  // iteration-major over the unit grid
 };
 
 }  // namespace upin::measure

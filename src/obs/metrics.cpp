@@ -106,6 +106,60 @@ LatencyHistogram& Registry::histogram(std::string_view name, double lo,
   return *it->second;
 }
 
+namespace {
+
+/// `name{campaign="label"}` — the exposition key for a labeled series.
+std::string series_key(std::string_view name, std::string_view campaign) {
+  std::string key;
+  key.reserve(name.size() + campaign.size() + 13);
+  key.append(name);
+  key.append("{campaign=\"");
+  key.append(campaign);
+  key.append("\"}");
+  return key;
+}
+
+template <typename T, typename Family, typename Make>
+T& labeled_get_or_create(Family& family, std::string_view name,
+                         std::string_view campaign, const Make& make) {
+  auto family_it = family.find(name);
+  if (family_it == family.end()) {
+    family_it = family.emplace(std::string(name),
+                               typename Family::mapped_type{}).first;
+  }
+  auto series_it = family_it->second.find(campaign);
+  if (series_it == family_it->second.end()) {
+    series_it =
+        family_it->second.emplace(std::string(campaign), make()).first;
+  }
+  return *series_it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, std::string_view campaign) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return labeled_get_or_create<Counter>(
+      labeled_counters_, name, campaign,
+      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view campaign) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return labeled_get_or_create<Gauge>(
+      labeled_gauges_, name, campaign,
+      [] { return std::make_unique<Gauge>(); });
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name,
+                                      std::string_view campaign, double lo,
+                                      double hi, std::size_t bins) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return labeled_get_or_create<LatencyHistogram>(
+      labeled_histograms_, name, campaign,
+      [&] { return std::make_unique<LatencyHistogram>(lo, hi, bins); });
+}
+
 std::string Registry::to_prometheus() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
@@ -113,9 +167,23 @@ std::string Registry::to_prometheus() const {
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(counter->value()) + "\n";
   }
+  for (const auto& [name, series] : labeled_counters_) {
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [campaign, counter] : series) {
+      out += series_key(name, campaign) + " " +
+             std::to_string(counter->value()) + "\n";
+    }
+  }
   for (const auto& [name, gauge] : gauges_) {
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, series] : labeled_gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [campaign, gauge] : series) {
+      out += series_key(name, campaign) + " " +
+             std::to_string(gauge->value()) + "\n";
+    }
   }
   for (const auto& [name, histogram] : histograms_) {
     out += "# TYPE " + name + " histogram\n";
@@ -131,6 +199,24 @@ std::string Registry::to_prometheus() const {
     out += name + "_sum " + util::format("%g", histogram->sum()) + "\n";
     out += name + "_count " + std::to_string(histogram->total()) + "\n";
   }
+  for (const auto& [name, series] : labeled_histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [campaign, histogram] : series) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t bin = 0; bin < histogram->bin_count(); ++bin) {
+        cumulative += histogram->count(bin);
+        out += name + "_bucket{campaign=\"" + campaign + "\",le=\"" +
+               util::format("%g", histogram->bin_high(bin)) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_bucket{campaign=\"" + campaign + "\",le=\"+Inf\"} " +
+             std::to_string(histogram->total()) + "\n";
+      out += series_key(name + "_sum", campaign) + " " +
+             util::format("%g", histogram->sum()) + "\n";
+      out += series_key(name + "_count", campaign) + " " +
+             std::to_string(histogram->total()) + "\n";
+    }
+  }
   return out;
 }
 
@@ -140,26 +226,44 @@ Value Registry::snapshot() const {
   for (const auto& [name, counter] : counters_) {
     counters.set(name, Value(counter->value()));
   }
+  for (const auto& [name, series] : labeled_counters_) {
+    for (const auto& [campaign, counter] : series) {
+      counters.set(series_key(name, campaign), Value(counter->value()));
+    }
+  }
   util::JsonObject gauges;
   for (const auto& [name, gauge] : gauges_) {
     gauges.set(name, Value(gauge->value()));
   }
+  for (const auto& [name, series] : labeled_gauges_) {
+    for (const auto& [campaign, gauge] : series) {
+      gauges.set(series_key(name, campaign), Value(gauge->value()));
+    }
+  }
   util::JsonObject histograms;
-  for (const auto& [name, histogram] : histograms_) {
+  const auto histogram_entry = [](const LatencyHistogram& histogram) {
     Value::Array buckets;
-    buckets.reserve(histogram->bin_count());
-    for (std::size_t bin = 0; bin < histogram->bin_count(); ++bin) {
-      buckets.emplace_back(static_cast<std::size_t>(histogram->count(bin)));
+    buckets.reserve(histogram.bin_count());
+    for (std::size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+      buckets.emplace_back(static_cast<std::size_t>(histogram.count(bin)));
     }
     // Built field-by-field: GCC 12's -Wmaybe-uninitialized misfires on
     // moving variant temporaries out of a nested initializer list here.
     util::JsonObject entry;
-    entry.set("lo", Value(histogram->bin_low(0)));
-    entry.set("width", Value(histogram->bin_high(0) - histogram->bin_low(0)));
-    entry.set("total", Value(histogram->total()));
-    entry.set("sum", Value(histogram->sum()));
+    entry.set("lo", Value(histogram.bin_low(0)));
+    entry.set("width", Value(histogram.bin_high(0) - histogram.bin_low(0)));
+    entry.set("total", Value(histogram.total()));
+    entry.set("sum", Value(histogram.sum()));
     entry.set("buckets", Value(std::move(buckets)));
-    histograms.set(name, Value(std::move(entry)));
+    return Value(std::move(entry));
+  };
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.set(name, histogram_entry(*histogram));
+  }
+  for (const auto& [name, series] : labeled_histograms_) {
+    for (const auto& [campaign, histogram] : series) {
+      histograms.set(series_key(name, campaign), histogram_entry(*histogram));
+    }
   }
   util::JsonObject root;
   root.set("counters", Value(std::move(counters)));
@@ -173,6 +277,15 @@ void Registry::reset_values() {
   for (const auto& [name, counter] : counters_) counter->reset();
   for (const auto& [name, gauge] : gauges_) gauge->reset();
   for (const auto& [name, histogram] : histograms_) histogram->reset();
+  for (const auto& [name, series] : labeled_counters_) {
+    for (const auto& [campaign, counter] : series) counter->reset();
+  }
+  for (const auto& [name, series] : labeled_gauges_) {
+    for (const auto& [campaign, gauge] : series) gauge->reset();
+  }
+  for (const auto& [name, series] : labeled_histograms_) {
+    for (const auto& [campaign, histogram] : series) histogram->reset();
+  }
 }
 
 std::string pipeline_summary(const Registry& registry) {

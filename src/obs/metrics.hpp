@@ -143,6 +143,28 @@ class Registry {
   [[nodiscard]] LatencyHistogram& histogram(std::string_view name, double lo,
                                             double hi, std::size_t bins);
 
+  // ---- per-campaign label dimension -----------------------------------
+  //
+  // The fleet scheduler multiplexes N tenant campaigns over one process,
+  // so its rates must be separable per tenant.  A labeled metric belongs
+  // to a *family* (`name`) and carries one `campaign="<label>"` pair in
+  // both export formats:
+  //
+  //   Prometheus: upin_fleet_units_total{campaign="3"} 12
+  //   JSON:       "counters": {"upin_fleet_units_total{campaign=\"3\"}": 12}
+  //
+  // Get-or-create takes the registration mutex once; callers cache the
+  // returned reference, so the update fast path is the same lock-free
+  // sharded-atomic add as unlabeled metrics.  The unlabeled paths above
+  // are untouched (no label lookup, no allocation on a lookup hit).
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 std::string_view campaign);
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view campaign);
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name,
+                                            std::string_view campaign,
+                                            double lo, double hi,
+                                            std::size_t bins);
+
   /// Prometheus text exposition (sorted by metric name — stable output).
   [[nodiscard]] std::string to_prometheus() const;
 
@@ -155,12 +177,22 @@ class Registry {
   void reset_values();
 
  private:
+  template <typename T>
+  using LabeledFamily =
+      std::map<std::string, std::map<std::string, std::unique_ptr<T>,
+                                     std::less<>>,
+               std::less<>>;
+
   mutable std::mutex mutex_;
   // std::map keeps exposition output sorted and pointers stable.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
       histograms_;
+  // family name -> campaign label -> instance.
+  LabeledFamily<Counter> labeled_counters_;
+  LabeledFamily<Gauge> labeled_gauges_;
+  LabeledFamily<LatencyHistogram> labeled_histograms_;
 };
 
 /// Human-readable table of the journal-pipeline metrics (flush-latency

@@ -46,6 +46,26 @@ class BoundedQueue {
     if (closed_) return 0;
     items_.push_back(std::move(item));
     const std::uint64_t seq = ++pushed_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return seq;
+  }
+
+  /// Non-blocking push: enqueue `item` if there is room, else return 0
+  /// immediately — never waits.  The multi-tenant scheduler uses this to
+  /// *count* a full tenant lane as backpressure and move on to the next
+  /// tenant instead of stalling on the slow one.  When `was_full` is
+  /// non-null it distinguishes the two 0 cases: true = queue full (item
+  /// may be retried later), false = queue closed (item can never land).
+  std::uint64_t try_push(T item, bool* was_full = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (was_full != nullptr) {
+      *was_full = !closed_ && items_.size() >= capacity_;
+    }
+    if (closed_ || items_.size() >= capacity_) return 0;
+    items_.push_back(std::move(item));
+    const std::uint64_t seq = ++pushed_;
+    lock.unlock();
     not_empty_.notify_one();
     return seq;
   }
@@ -61,6 +81,9 @@ class BoundedQueue {
     out.assign(std::make_move_iterator(items_.begin()),
                std::make_move_iterator(items_.end()));
     items_.clear();
+    // Notify after releasing the lock: a woken producer can then acquire
+    // the mutex immediately instead of bouncing off the notifier.
+    lock.unlock();
     not_full_.notify_all();
     return true;
   }

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "docdb/database.hpp"
+#include "fleet/fleet.hpp"
 #include "measure/testsuite.hpp"
 #include "scion/scionlab.hpp"
 
@@ -227,6 +228,112 @@ TEST_F(FaultRecoveryTest, KillThenResumeReproducesIdenticalDocuments) {
       EXPECT_EQ(it->second, json) << "document " << id << " diverged";
     }
   }
+}
+
+TEST_F(FaultRecoveryTest, FleetKillThenResumeReproducesIdenticalDocuments) {
+  // Whole-fleet crash recovery: kill a three-tenant fleet mid-campaign
+  // (every tenant at a different committed-batch boundary, tenant 0 with
+  // a torn journal tail on top), resume the fleet over the same shard
+  // directory, and require every tenant's paths_stats document set to
+  // match an uninterrupted reference fleet exactly.
+  namespace fs = std::filesystem;
+  const std::string base =
+      (fs::temp_directory_path() /
+       ("fleet_resume_" + std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+          .string();
+  fs::remove_all(base);
+
+  fleet::FleetConfig config;
+  config.seed = 42;
+  config.net_config = reliable();
+  config.suite.iterations = 3;
+  config.error_budget = 0;  // ladder off: pure crash/resume mechanics
+  config.watchdog_deadline_s = 0.0;
+  config.threads = 3;
+  std::vector<fleet::CampaignSpec> specs(3);
+  for (int id = 0; id < 3; ++id) {
+    specs[static_cast<std::size_t>(id)].campaign_id = id;
+    specs[static_cast<std::size_t>(id)].server_ids = {3 + 2 * id};
+  }
+
+  const auto shard = [&](const char* dir, int id) {
+    return (fs::path(base) / dir / fleet::shard_filename(id)).string();
+  };
+  const auto stats_in_shard = [&](const std::string& path) {
+    auto opened = docdb::Database::open(path);
+    EXPECT_TRUE(opened.ok()) << path;
+    return opened.ok() ? stats_snapshot(*opened.value())
+                       : std::map<std::string, std::string>{};
+  };
+
+  // Reference: the same fleet, never interrupted.
+  {
+    fleet::FleetConfig reference = config;
+    reference.data_dir = base + "/ref";
+    const auto result = fleet::FleetScheduler(env_, reference).run(specs);
+    ASSERT_TRUE(result.ok());
+    for (const auto& campaign : result.value().campaigns) {
+      ASSERT_EQ(campaign.state, fleet::TenantState::kHealthy);
+    }
+  }
+
+  // Crashed fleet: every tenant killed at its own batch boundary.
+  const std::size_t crash_points[3] = {1, 2, 2};
+  {
+    fleet::FleetConfig crashing = config;
+    crashing.data_dir = base + "/crash";
+    std::vector<fleet::CampaignSpec> crash_specs = specs;
+    for (std::size_t i = 0; i < 3; ++i) {
+      crash_specs[i].crash_after_batches = crash_points[i];
+    }
+    const auto result = fleet::FleetScheduler(env_, crashing).run(crash_specs);
+    ASSERT_TRUE(result.ok()) << "tenant crashes are contained, not fatal";
+    EXPECT_EQ(result.value().failed, 3u);
+    for (const auto& campaign : result.value().campaigns) {
+      EXPECT_EQ(campaign.state, fleet::TenantState::kFailed);
+      ASSERT_FALSE(campaign.failure.ok());
+      EXPECT_EQ(campaign.failure.error().code, util::ErrorCode::kDataLoss);
+    }
+  }
+
+  // The kill also tore tenant 0's journal mid-append.
+  {
+    std::ofstream out(shard("crash", 0), std::ios::binary | std::ios::app);
+    out << "crc32=0123abcd {\"op\":\"ins";
+  }
+
+  // Resume the whole fleet over the crashed directory.
+  {
+    fleet::FleetConfig resuming = config;
+    resuming.data_dir = base + "/crash";
+    resuming.resume = true;
+    const auto result = fleet::FleetScheduler(env_, resuming).run(specs);
+    ASSERT_TRUE(result.ok());
+    for (std::size_t i = 0; i < 3; ++i) {
+      const fleet::CampaignStatus& campaign = result.value().campaigns[i];
+      EXPECT_EQ(campaign.state, fleet::TenantState::kHealthy);
+      EXPECT_EQ(campaign.units_resumed, crash_points[i])
+          << "exactly the checkpointed units fast-forward";
+      EXPECT_EQ(campaign.units_run + campaign.units_resumed, 3u);
+    }
+  }
+
+  // Bit-identical recovery, per tenant: the resumed shards hold exactly
+  // the reference document sets.
+  for (int id = 0; id < 3; ++id) {
+    const auto reference = stats_in_shard(shard("ref", id));
+    const auto resumed = stats_in_shard(shard("crash", id));
+    ASSERT_FALSE(reference.empty());
+    ASSERT_EQ(resumed.size(), reference.size()) << "campaign " << id;
+    for (const auto& [doc_id, json] : reference) {
+      const auto it = resumed.find(doc_id);
+      ASSERT_NE(it, resumed.end())
+          << "campaign " << id << " missing document " << doc_id;
+      EXPECT_EQ(it->second, json)
+          << "campaign " << id << " document " << doc_id << " diverged";
+    }
+  }
+  fs::remove_all(base);
 }
 
 TEST_F(FaultRecoveryTest, SyncTicketsPutCommittedBatchesOnDiskAtCrashTime) {

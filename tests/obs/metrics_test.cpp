@@ -191,6 +191,73 @@ TEST(PipelineSummary, ReportsJournalCounters) {
   EXPECT_NE(table.find("flush latency"), std::string::npos);
 }
 
+TEST(LabeledMetrics, SeriesAreSeparablePerCampaign) {
+  Registry registry;
+  registry.counter("upin_fleet_units_total", "0").add(3);
+  registry.counter("upin_fleet_units_total", "1").add(7);
+  registry.gauge("upin_fleet_campaign_state", "0").set(2);
+  registry.histogram("upin_fleet_unit_clock_s", "1", 0.0, 100.0, 10)
+      .observe(12.0);
+
+  // Same (family, campaign) resolves to the same instance.
+  EXPECT_EQ(registry.counter("upin_fleet_units_total", "0").value(), 3u);
+  EXPECT_EQ(registry.counter("upin_fleet_units_total", "1").value(), 7u);
+  // A different campaign is an independent series.
+  EXPECT_EQ(registry.counter("upin_fleet_units_total", "2").value(), 0u);
+  // The labeled family does not collide with an unlabeled metric.
+  EXPECT_EQ(registry.counter("upin_fleet_units_total2").value(), 0u);
+}
+
+TEST(LabeledMetrics, PrometheusExpositionCarriesTheCampaignLabel) {
+  Registry registry;
+  registry.counter("upin_fleet_units_total", "0").add(5);
+  registry.counter("upin_fleet_units_total", "3").add(1);
+  registry.gauge("upin_fleet_campaign_state", "3").set(1);
+  registry.histogram("upin_fleet_unit_clock_s", "3", 0.0, 10.0, 2)
+      .observe(4.0);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE upin_fleet_units_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("upin_fleet_units_total{campaign=\"0\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("upin_fleet_units_total{campaign=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("upin_fleet_campaign_state{campaign=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("upin_fleet_unit_clock_s_bucket{campaign=\"3\",le=\"5\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("upin_fleet_unit_clock_s_count{campaign=\"3\"} 1"),
+            std::string::npos);
+  // One TYPE line per family, not one per labeled series.
+  std::size_t type_lines = 0;
+  for (std::size_t at = text.find("# TYPE upin_fleet_units_total counter");
+       at != std::string::npos;
+       at = text.find("# TYPE upin_fleet_units_total counter", at + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(LabeledMetrics, SnapshotAndResetCoverLabeledSeries) {
+  Registry registry;
+  registry.counter("upin_fleet_errors_total", "2").add(4);
+  registry.gauge("upin_fleet_lane_depth", "2").set(3);
+  const util::Value snap = registry.snapshot();
+  const util::Value* counter =
+      snap.get_path("counters.upin_fleet_errors_total{campaign=\"2\"}");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->try_int().value_or(-1), 4);
+  const util::Value* gauge =
+      snap.get_path("gauges.upin_fleet_lane_depth{campaign=\"2\"}");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->try_int().value_or(-1), 3);
+
+  registry.reset_values();
+  EXPECT_EQ(registry.counter("upin_fleet_errors_total", "2").value(), 0u);
+  EXPECT_EQ(registry.gauge("upin_fleet_lane_depth", "2").value(), 0);
+}
+
 TEST(PipelineSummary, EmptyRegistryIsAllZeros) {
   Registry registry;
   const std::string table = pipeline_summary(registry);
